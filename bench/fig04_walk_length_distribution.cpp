@@ -1,0 +1,64 @@
+/// @file
+/// Fig. 4 reproduction: the power-law distribution of temporal walk
+/// lengths on the wiki-talk (stand-in) dataset.
+///
+/// Paper finding: even with a generous length budget, most temporal
+/// walks terminate after 1-5 hops because the strictly-increasing
+/// timestamp constraint exhausts the neighborhood; the frequency of
+/// longer walks decays exponentially. This drives the word2vec GPU
+/// batching design (SV-B).
+#include "tgl/tgl.hpp"
+
+#include <cstdio>
+
+int
+main(int argc, char** argv)
+{
+    using namespace tgl;
+    util::CliParser cli("fig04_walk_length_distribution",
+                        "Fig. 4: temporal walk length distribution");
+    cli.add_flag("dataset", "wiki-talk", "catalog dataset");
+    cli.add_flag("scale", "0.02", "stand-in scale");
+    cli.add_flag("walks", "10", "K: walks per node");
+    cli.add_flag("max-length", "80", "length budget (paper uses 80)");
+    cli.add_flag("seed", "1", "random seed");
+    try {
+        if (!cli.parse(argc, argv)) {
+            return 0;
+        }
+        const gen::Dataset dataset = gen::make_dataset(
+            cli.get_string("dataset"), cli.get_double("scale"),
+            static_cast<std::uint64_t>(cli.get_int("seed")));
+        const auto graph = graph::GraphBuilder::build(
+            dataset.edges, {.symmetrize = true});
+
+        walk::WalkConfig config;
+        config.walks_per_node =
+            static_cast<unsigned>(cli.get_int("walks"));
+        config.max_length =
+            static_cast<unsigned>(cli.get_int("max-length"));
+        config.min_walk_tokens = 1;
+        config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+        const walk::Corpus corpus = walk::generate_walks(graph, config);
+        const walk::LengthDistribution dist =
+            walk::length_distribution(corpus);
+
+        std::printf("# Fig. 4 reproduction — %s stand-in (%s nodes, %s "
+                    "edges), K=%u, budget=%u\n",
+                    dataset.name.c_str(),
+                    util::format_count(graph.num_nodes()).c_str(),
+                    util::format_count(graph.num_edges()).c_str(),
+                    config.walks_per_node, config.max_length);
+        std::printf("%s\n", walk::format_length_distribution(dist).c_str());
+        std::printf("\n# paper shape check: mass concentrated on lengths"
+                    " 1-5 (here %.1f%%), exponential tail decay "
+                    "(log-slope %.3f < 0)\n",
+                    dist.short_walk_fraction * 100.0,
+                    dist.tail_log_slope);
+    } catch (const util::Error& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/// @file
+/// Micro-benchmarks of the GEMM substrate at the paper's classifier
+/// shapes (tiny, skinny matrices — the shapes SVIII-A says vendor
+/// libraries mishandle) and at VGG-like shapes for contrast, plus the
+/// blocked-vs-naive ablation.
+#include "nn/gemm.hpp"
+#include "rng/random.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace tgl;
+
+nn::Tensor
+random_tensor(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    nn::Tensor t(rows, cols);
+    rng::Random random(seed);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = random.next_float() - 0.5f;
+    }
+    return t;
+}
+
+void
+BM_MatmulSquare(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const nn::Tensor a = random_tensor(n, n, 1);
+    const nn::Tensor b = random_tensor(n, n, 2);
+    nn::Tensor c;
+    for (auto _ : state) {
+        nn::matmul(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(n * n * n));
+}
+
+BENCHMARK(BM_MatmulSquare)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_MatmulNaiveSquare(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const nn::Tensor a = random_tensor(n, n, 1);
+    const nn::Tensor b = random_tensor(n, n, 2);
+    nn::Tensor c;
+    for (auto _ : state) {
+        nn::matmul_naive(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            static_cast<std::int64_t>(n * n * n));
+}
+
+BENCHMARK(BM_MatmulNaiveSquare)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The classifier's actual forward shape: batch x 2d times hidden.
+void
+BM_ClassifierForwardShape(benchmark::State& state)
+{
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const nn::Tensor x = random_tensor(batch, 16, 3);
+    const nn::Tensor w = random_tensor(16, 16, 4);
+    nn::Tensor y;
+    for (auto _ : state) {
+        nn::matmul_nt(x, w, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(2 * batch * 16 * 16));
+}
+
+BENCHMARK(BM_ClassifierForwardShape)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/// VGG-like fat shape for the per-instruction-efficiency contrast the
+/// paper draws (37.4x, SVII-B).
+void
+BM_VggLikeShape(benchmark::State& state)
+{
+    const nn::Tensor x = random_tensor(64, 2048, 5);
+    const nn::Tensor w = random_tensor(1024, 2048, 6);
+    nn::Tensor y;
+    for (auto _ : state) {
+        nn::matmul_nt(x, w, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(2ll * 64 * 2048 * 1024));
+}
+
+BENCHMARK(BM_VggLikeShape)->Unit(benchmark::kMillisecond);
+
+void
+BM_GradientShapes(benchmark::State& state)
+{
+    // dW = dY^T X at classifier sizes.
+    const nn::Tensor dy = random_tensor(256, 16, 7);
+    const nn::Tensor x = random_tensor(256, 16, 8);
+    nn::Tensor dw;
+    for (auto _ : state) {
+        nn::matmul_tn(dy, x, dw);
+        benchmark::DoNotOptimize(dw.data());
+    }
+}
+
+BENCHMARK(BM_GradientShapes)->Unit(benchmark::kMicrosecond);
+
+} // namespace

@@ -1,0 +1,147 @@
+/// @file
+/// Micro-benchmarks of the sampling substrate: PRNG throughput,
+/// alias vs CDF tables, one-pass vs two-pass transient sampling, and
+/// the full softmax transition draw at varying neighborhood sizes
+/// (the inner loop that makes the walk kernel compute-bound, Eq. 1).
+#include "rng/alias_table.hpp"
+#include "rng/discrete_sampler.hpp"
+#include "walk/transition.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace tgl;
+
+void
+BM_Xoshiro(benchmark::State& state)
+{
+    rng::Xoshiro256 engine(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine());
+    }
+}
+
+BENCHMARK(BM_Xoshiro);
+
+void
+BM_NextIndex(benchmark::State& state)
+{
+    rng::Random random(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(random.next_index(12345));
+    }
+}
+
+BENCHMARK(BM_NextIndex);
+
+std::vector<double>
+skewed_weights(std::size_t n)
+{
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        weights[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    return weights;
+}
+
+void
+BM_AliasTableSample(benchmark::State& state)
+{
+    const rng::AliasTable table(
+        skewed_weights(static_cast<std::size_t>(state.range(0))));
+    rng::Random random(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.sample(random));
+    }
+}
+
+BENCHMARK(BM_AliasTableSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void
+BM_DiscreteSamplerSample(benchmark::State& state)
+{
+    const rng::DiscreteSampler sampler(
+        skewed_weights(static_cast<std::size_t>(state.range(0))));
+    rng::Random random(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.sample(random));
+    }
+}
+
+BENCHMARK(BM_DiscreteSamplerSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void
+BM_OnePassTransient(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Random random(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng::sample_weighted_one_pass(
+            n, [](std::size_t i) { return static_cast<double>(i + 1); },
+            random));
+    }
+}
+
+BENCHMARK(BM_OnePassTransient)->Arg(4)->Arg(32)->Arg(256);
+
+void
+BM_TwoPassTransient(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Random random(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng::sample_weighted_two_pass(
+            n, [](std::size_t i) { return static_cast<double>(i + 1); },
+            random));
+    }
+}
+
+BENCHMARK(BM_TwoPassTransient)->Arg(4)->Arg(32)->Arg(256);
+
+std::vector<graph::Neighbor>
+neighborhood(std::size_t n)
+{
+    std::vector<graph::Neighbor> result(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result[i] = {static_cast<graph::NodeId>(i),
+                     static_cast<double>(i) / static_cast<double>(n)};
+    }
+    return result;
+}
+
+void
+run_transition(benchmark::State& state, walk::TransitionKind kind)
+{
+    const auto candidates =
+        neighborhood(static_cast<std::size_t>(state.range(0)));
+    rng::Random random(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(walk::sample_transition(
+            candidates, 0.0, 1.0, kind, random));
+    }
+}
+
+void
+BM_TransitionUniform(benchmark::State& state)
+{
+    run_transition(state, walk::TransitionKind::kUniform);
+}
+
+void
+BM_TransitionSoftmax(benchmark::State& state)
+{
+    run_transition(state, walk::TransitionKind::kExponential);
+}
+
+void
+BM_TransitionLinear(benchmark::State& state)
+{
+    run_transition(state, walk::TransitionKind::kLinear);
+}
+
+BENCHMARK(BM_TransitionUniform)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_TransitionSoftmax)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_TransitionLinear)->Arg(4)->Arg(32)->Arg(256);
+
+} // namespace

@@ -1,0 +1,172 @@
+/// @file
+/// Micro-benchmarks of the SGNS trainers: Hogwild vs batched, padding
+/// and vectorization knobs, dimension sweep. Items = training pairs.
+#include "tgl/tgl.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace tgl;
+
+const walk::Corpus&
+shared_corpus()
+{
+    static const walk::Corpus corpus = [] {
+        const auto dataset = gen::make_dataset("ia-email", 0.03, 9);
+        const auto graph = graph::GraphBuilder::build(
+            dataset.edges, {.symmetrize = true});
+        walk::WalkConfig config;
+        config.walks_per_node = 5;
+        config.max_length = 6;
+        config.seed = 21;
+        return walk::generate_walks(graph, config);
+    }();
+    return corpus;
+}
+
+graph::NodeId
+corpus_nodes()
+{
+    graph::NodeId max_node = 0;
+    for (graph::NodeId node : shared_corpus().tokens()) {
+        max_node = std::max(max_node, node);
+    }
+    return max_node + 1;
+}
+
+void
+BM_HogwildTrain(benchmark::State& state)
+{
+    const walk::Corpus& corpus = shared_corpus();
+    const graph::NodeId nodes = corpus_nodes();
+    embed::SgnsConfig config;
+    config.dim = static_cast<unsigned>(state.range(0));
+    config.epochs = 1;
+    std::uint64_t pairs = 0;
+    for (auto _ : state) {
+        embed::TrainStats stats;
+        benchmark::DoNotOptimize(
+            embed::train_sgns(corpus, nodes, config, &stats));
+        pairs += stats.pairs_trained;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+
+BENCHMARK(BM_HogwildTrain)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+run_batched(benchmark::State& state, std::size_t batch, unsigned stride,
+            bool vectorized)
+{
+    const walk::Corpus& corpus = shared_corpus();
+    const graph::NodeId nodes = corpus_nodes();
+    embed::BatchedSgnsConfig config;
+    config.sgns.dim = 8;
+    config.sgns.epochs = 1;
+    config.sgns.row_stride = stride;
+    config.sgns.vectorized = vectorized;
+    config.batch_size = batch;
+    std::uint64_t pairs = 0;
+    for (auto _ : state) {
+        embed::TrainStats stats;
+        benchmark::DoNotOptimize(
+            embed::train_sgns_batched(corpus, nodes, config, &stats));
+        pairs += stats.pairs_trained;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+
+void
+BM_BatchedBySize(benchmark::State& state)
+{
+    run_batched(state, static_cast<std::size_t>(state.range(0)), 0, true);
+}
+
+BENCHMARK(BM_BatchedBySize)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BatchedPadded(benchmark::State& state)
+{
+    run_batched(state, 16384, 16, true);
+}
+
+void
+BM_BatchedNoPad(benchmark::State& state)
+{
+    run_batched(state, 16384, 0, true);
+}
+
+void
+BM_BatchedScalar(benchmark::State& state)
+{
+    run_batched(state, 16384, 0, false);
+}
+
+void
+BM_BatchedSharedNegatives(benchmark::State& state)
+{
+    const walk::Corpus& corpus = shared_corpus();
+    const graph::NodeId nodes = corpus_nodes();
+    embed::BatchedSgnsConfig config;
+    config.sgns.dim = 8;
+    config.sgns.epochs = 1;
+    config.batch_size = 16384;
+    config.shared_negatives = true;
+    std::uint64_t pairs = 0;
+    for (auto _ : state) {
+        embed::TrainStats stats;
+        benchmark::DoNotOptimize(
+            embed::train_sgns_batched(corpus, nodes, config, &stats));
+        pairs += stats.pairs_trained;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+
+BENCHMARK(BM_BatchedPadded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedNoPad)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedScalar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchedSharedNegatives)->Unit(benchmark::kMillisecond);
+
+void
+BM_NegativeTableAlias(benchmark::State& state)
+{
+    const embed::Vocab vocab(shared_corpus());
+    const embed::NegativeTable table(vocab,
+                                     embed::NegativeTableKind::kAlias);
+    rng::Random random(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.sample(random));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_NegativeTableArray(benchmark::State& state)
+{
+    const embed::Vocab vocab(shared_corpus());
+    const embed::NegativeTable table(vocab,
+                                     embed::NegativeTableKind::kArray,
+                                     1 << 22);
+    rng::Random random(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.sample(random));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_NegativeTableAlias);
+BENCHMARK(BM_NegativeTableArray);
+
+} // namespace

@@ -1,0 +1,113 @@
+/// @file
+/// Micro-benchmarks of the temporal random walk kernel: transition
+/// model cost, neighbor-search ablation (binary vs the paper's linear
+/// scan), and strictness modes. Throughput is reported in walk steps
+/// per second.
+#include "tgl/tgl.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace tgl;
+
+const graph::TemporalGraph&
+shared_graph()
+{
+    static const graph::TemporalGraph graph = [] {
+        const auto dataset = gen::make_dataset("ia-email", 0.05, 7);
+        return graph::GraphBuilder::build(dataset.edges,
+                                          {.symmetrize = true});
+    }();
+    return graph;
+}
+
+void
+run_walks(benchmark::State& state, walk::TransitionKind transition,
+          bool linear_search)
+{
+    const graph::TemporalGraph& graph = shared_graph();
+    walk::WalkConfig config;
+    config.walks_per_node = 2;
+    config.max_length = 6;
+    config.transition = transition;
+    config.linear_neighbor_search = linear_search;
+    config.seed = 11;
+
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        walk::WalkProfile profile;
+        const walk::Corpus corpus =
+            walk::generate_walks(graph, config, &profile);
+        benchmark::DoNotOptimize(corpus.num_tokens());
+        steps += profile.steps_taken;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+
+void
+BM_WalkUniform(benchmark::State& state)
+{
+    run_walks(state, walk::TransitionKind::kUniform, false);
+}
+
+void
+BM_WalkExponential(benchmark::State& state)
+{
+    run_walks(state, walk::TransitionKind::kExponential, false);
+}
+
+void
+BM_WalkExponentialDecay(benchmark::State& state)
+{
+    run_walks(state, walk::TransitionKind::kExponentialDecay, false);
+}
+
+void
+BM_WalkLinearBias(benchmark::State& state)
+{
+    run_walks(state, walk::TransitionKind::kLinear, false);
+}
+
+void
+BM_WalkLinearNeighborScan(benchmark::State& state)
+{
+    // The paper's O(max-degree) sampleLatent search.
+    run_walks(state, walk::TransitionKind::kExponential, true);
+}
+
+void
+BM_WalkBinaryNeighborSearch(benchmark::State& state)
+{
+    run_walks(state, walk::TransitionKind::kExponential, false);
+}
+
+BENCHMARK(BM_WalkUniform)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalkExponential)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalkExponentialDecay)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalkLinearBias)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalkLinearNeighborScan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WalkBinaryNeighborSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_WalkLengthSweep(benchmark::State& state)
+{
+    const graph::TemporalGraph& graph = shared_graph();
+    walk::WalkConfig config;
+    config.walks_per_node = 2;
+    config.max_length = static_cast<unsigned>(state.range(0));
+    config.seed = 13;
+    for (auto _ : state) {
+        const walk::Corpus corpus = walk::generate_walks(graph, config);
+        benchmark::DoNotOptimize(corpus.num_tokens());
+    }
+}
+
+BENCHMARK(BM_WalkLengthSweep)
+    ->Arg(2)
+    ->Arg(6)
+    ->Arg(20)
+    ->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,78 @@
+/// @file
+/// Hyperparameter sweep on a user-chosen dataset — the Fig. 8
+/// accuracy-complexity exploration as a reusable tool. Sweeps one
+/// hyperparameter (walks | length | dim) while holding the others at
+/// the paper's optimum and prints accuracy + front-end runtime per
+/// point, making the saturation trade-off visible on your own data.
+///
+/// Example: ./hyperparameter_sweep --sweep walks --dataset ia-email
+#include "tgl/tgl.hpp"
+
+#include <cstdio>
+#include <vector>
+
+int
+main(int argc, char** argv)
+{
+    using namespace tgl;
+    util::CliParser cli("hyperparameter_sweep",
+                        "accuracy-complexity trade-off explorer (Fig. 8)");
+    cli.add_flag("sweep", "walks", "which knob: walks | length | dim");
+    cli.add_flag("dataset", "ia-email", "catalog dataset name");
+    cli.add_flag("scale", "0.03", "stand-in scale");
+    cli.add_flag("seed", "42", "random seed");
+
+    try {
+        if (!cli.parse(argc, argv)) {
+            return 0;
+        }
+        const std::string sweep = cli.get_string("sweep");
+        const gen::Dataset dataset = gen::make_dataset(
+            cli.get_string("dataset"), cli.get_double("scale"),
+            static_cast<std::uint64_t>(cli.get_int("seed")));
+
+        std::vector<unsigned> values;
+        if (sweep == "walks") {
+            values = {1, 2, 4, 6, 8, 10, 14, 20};
+        } else if (sweep == "length") {
+            values = {2, 3, 4, 5, 6, 8, 10};
+        } else if (sweep == "dim") {
+            values = {1, 2, 4, 8, 16, 32, 64, 128};
+        } else {
+            util::fatal("--sweep must be walks, length, or dim");
+        }
+
+        std::printf("== sweeping %s on %s ==\n", sweep.c_str(),
+                    dataset.name.c_str());
+        std::printf("%8s %10s %10s %12s %12s\n", sweep.c_str(),
+                    "accuracy", "auc", "walk+w2v(s)", "total(s)");
+
+        for (const unsigned value : values) {
+            core::PipelineConfig config;
+            config.walk.seed =
+                static_cast<std::uint64_t>(cli.get_int("seed"));
+            config.sgns.seed = config.walk.seed;
+            config.classifier.max_epochs = 15;
+            if (sweep == "walks") {
+                config.walk.walks_per_node = value;
+            } else if (sweep == "length") {
+                config.walk.max_length = value;
+            } else {
+                config.sgns.dim = value;
+            }
+            const core::PipelineResult result =
+                core::run_pipeline(dataset, config);
+            std::printf("%8u %10.4f %10.4f %12.3f %12.3f\n", value,
+                        result.task.test_accuracy, result.task.test_auc,
+                        result.times.random_walk + result.times.word2vec,
+                        result.times.total());
+        }
+        std::printf("\npaper's takeaway: accuracy saturates near "
+                    "walks=10, length=6, dim=8 while runtime keeps "
+                    "growing — pick the knee.\n");
+    } catch (const util::Error& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

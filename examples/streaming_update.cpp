@@ -1,0 +1,99 @@
+/// @file
+/// Streaming deployment scenario — the motivation behind the paper's
+/// end-to-end time-breakdown study (SVII-B): "in a real-world
+/// deployment, the graph evolves over time. With this evolution, an
+/// entire pipeline needs to run to account for new nodes/connections."
+///
+/// This example simulates that deployment: a temporal interaction
+/// network arrives as a stream, and at every checkpoint (say, nightly)
+/// the full pipeline re-runs on the graph so far. It reports, per
+/// checkpoint, the phase breakdown and the share of time spent in
+/// classifier training — reproducing the paper's conclusion that
+/// training dominates re-deployment cost, so accelerating it yields
+/// the highest end-to-end benefit.
+///
+/// Example: ./streaming_update --dataset wiki-talk --checkpoints 5
+#include "tgl/tgl.hpp"
+
+#include <cstdio>
+
+int
+main(int argc, char** argv)
+{
+    using namespace tgl;
+    util::CliParser cli("streaming_update",
+                        "periodic full-pipeline re-runs on a growing "
+                        "temporal graph");
+    cli.add_flag("dataset", "ia-email", "catalog link-prediction dataset");
+    cli.add_flag("scale", "0.05", "stand-in scale");
+    cli.add_flag("checkpoints", "5", "number of re-deployment points");
+    cli.add_flag("epochs", "60", "classifier epochs per re-run");
+    cli.add_flag("seed", "42", "random seed");
+
+    try {
+        if (!cli.parse(argc, argv)) {
+            return 0;
+        }
+        const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+        const auto checkpoints =
+            static_cast<std::size_t>(cli.get_int("checkpoints"));
+        if (checkpoints == 0) {
+            util::fatal("--checkpoints must be >= 1");
+        }
+
+        // The full interaction stream, time-ordered.
+        gen::Dataset dataset = gen::make_dataset(
+            cli.get_string("dataset"), cli.get_double("scale"), seed);
+        graph::EdgeList stream = std::move(dataset.edges);
+        stream.sort_by_time();
+
+        core::PipelineConfig config;
+        config.walk.seed = seed;
+        config.sgns.seed = seed;
+        config.sgns.epochs = 12;
+        config.classifier.max_epochs =
+            static_cast<unsigned>(cli.get_int("epochs"));
+
+        std::printf("# streaming deployment on %s stand-in: %zu edges "
+                    "arriving over %zu checkpoints\n",
+                    dataset.name.c_str(), stream.size(), checkpoints);
+        std::printf("%12s %10s %10s %10s %10s %10s %12s %10s\n",
+                    "edges-seen", "auc", "rwalk(s)", "w2v(s)", "prep(s)",
+                    "train(s)", "train-share", "total(s)");
+
+        for (std::size_t checkpoint = 1; checkpoint <= checkpoints;
+             ++checkpoint) {
+            // Prefix of the stream visible at this checkpoint.
+            const std::size_t visible =
+                stream.size() * checkpoint / checkpoints;
+            graph::EdgeList window(std::vector<graph::TemporalEdge>(
+                stream.edges().begin(),
+                stream.edges().begin() +
+                    static_cast<std::ptrdiff_t>(visible)));
+
+            const core::PipelineResult result =
+                core::run_link_prediction_pipeline(window, config);
+            const double train_share =
+                result.times.total() > 0.0
+                    ? result.times.train / result.times.total()
+                    : 0.0;
+            std::printf(
+                "%12zu %10.4f %10.3f %10.3f %10.3f %10.3f %11.1f%% "
+                "%10.3f\n",
+                visible, result.task.test_auc, result.times.random_walk,
+                result.times.word2vec, result.times.data_prep,
+                result.times.train, train_share * 100.0,
+                result.times.total());
+        }
+        std::printf("\n# the paper's deployment takeaway (SVII-B): "
+                    "every phase grows with the stream, and at "
+                    "realistic training budgets (O(100) epochs) the "
+                    "classifier takes the largest share — the first "
+                    "target for optimization. Lower --epochs to see "
+                    "word2vec take over instead.\n");
+    } catch (const util::Error& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

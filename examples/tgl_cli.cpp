@@ -1,0 +1,345 @@
+/// @file
+/// tgl_cli — a multi-command driver exposing each pipeline stage as a
+/// shell command, replacing the artifact repository's collection of
+/// Python helper scripts (preprocess_dataset.py, generate_synthetic.py,
+/// the run scripts) with one self-contained binary.
+///
+/// Commands:
+///   generate  — synthesize a temporal graph and write a .wel file
+///   preprocess— normalize/clean an existing edge list (the
+///               preprocess_dataset.py equivalent)
+///   stats     — print structural statistics of a .wel graph
+///   walk      — generate a temporal walk corpus from a .wel graph
+///   embed     — train node embeddings from a corpus (or a graph)
+///   neighbors — query nearest neighbors in an embedding
+///
+/// Examples:
+///   ./tgl_cli generate --kind ba --nodes 10000 --out g.wel
+///   ./tgl_cli preprocess --input raw.txt --out g.wel
+///   ./tgl_cli stats --input g.wel
+///   ./tgl_cli walk --input g.wel --out corpus.txt
+///   ./tgl_cli embed --input g.wel --out emb.txt
+///   ./tgl_cli neighbors --embeddings emb.txt --node 7 --k 5
+#include "tgl/tgl.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace {
+
+using namespace tgl;
+
+int
+cmd_generate(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli generate",
+                        "synthesize a temporal graph (.wel)");
+    cli.add_flag("kind", "er", "er | ba | rmat | sbm | drifting-sbm");
+    cli.add_flag("nodes", "10000", "number of nodes");
+    cli.add_flag("edges", "100000",
+                 "number of edges (er/rmat/sbm) — ba derives it");
+    cli.add_flag("edges-per-node", "3", "ba attachment parameter");
+    cli.add_flag("communities", "4", "sbm community count");
+    cli.add_flag("timestamps", "uniform", "uniform | arrival | bursty");
+    cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("out", "graph.wel", "output path");
+    cli.add_flag("labels-out", "",
+                 "write 'node label' lines here (sbm kinds only)");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    const std::string kind = cli.get_string("kind");
+    const auto nodes =
+        static_cast<graph::NodeId>(cli.get_int("nodes"));
+    const auto edges =
+        static_cast<graph::EdgeId>(cli.get_int("edges"));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    const auto stamps =
+        gen::parse_timestamp_model(cli.get_string("timestamps"));
+
+    graph::EdgeList result;
+    std::vector<std::uint32_t> labels;
+    if (kind == "er") {
+        result = gen::generate_erdos_renyi(
+            {.num_nodes = nodes, .num_edges = edges,
+             .timestamps = stamps, .seed = seed});
+    } else if (kind == "ba") {
+        result = gen::generate_barabasi_albert(
+            {.num_nodes = nodes,
+             .edges_per_node =
+                 static_cast<unsigned>(cli.get_int("edges-per-node")),
+             .timestamps = stamps,
+             .seed = seed});
+    } else if (kind == "rmat") {
+        unsigned scale = 0;
+        while ((graph::NodeId{1} << scale) < nodes) {
+            ++scale;
+        }
+        result = gen::generate_rmat({.scale = scale,
+                                     .num_edges = edges,
+                                     .timestamps = stamps,
+                                     .seed = seed});
+    } else if (kind == "sbm" || kind == "drifting-sbm") {
+        const auto communities =
+            static_cast<unsigned>(cli.get_int("communities"));
+        gen::LabeledGraph labeled;
+        if (kind == "sbm") {
+            labeled = gen::generate_sbm({.num_nodes = nodes,
+                                         .num_edges = edges,
+                                         .num_communities = communities,
+                                         .timestamps = stamps,
+                                         .seed = seed});
+        } else {
+            labeled = gen::generate_drifting_sbm(
+                {.num_nodes = nodes, .num_edges = edges,
+                 .num_communities = communities, .seed = seed});
+        }
+        result = std::move(labeled.edges);
+        labels = std::move(labeled.labels);
+    } else {
+        util::fatal("unknown --kind (er | ba | rmat | sbm | drifting-sbm)");
+    }
+
+    graph::save_wel_file(cli.get_string("out"), result);
+    std::printf("wrote %zu edges over %u nodes to %s\n", result.size(),
+                result.num_nodes(), cli.get_string("out").c_str());
+    if (const std::string labels_out = cli.get_string("labels-out");
+        !labels_out.empty()) {
+        if (labels.empty()) {
+            util::fatal("--labels-out needs an sbm kind");
+        }
+        std::ofstream out(labels_out);
+        if (!out) {
+            util::fatal("cannot open " + labels_out);
+        }
+        for (graph::NodeId u = 0; u < labels.size(); ++u) {
+            out << u << ' ' << labels[u] << '\n';
+        }
+        std::printf("wrote %zu labels to %s\n", labels.size(),
+                    labels_out.c_str());
+    }
+    return 0;
+}
+
+int
+cmd_preprocess(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli preprocess",
+                        "clean an edge list: strip comments, normalize "
+                        "timestamps to [0,1] (preprocess_dataset.py)");
+    cli.add_flag("input", "", "raw edge list (src dst [time] per line)");
+    cli.add_flag("out", "graph.wel", "output path");
+    cli.add_switch("allow-missing-timestamps",
+                   "use arrival order when the time column is absent");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const graph::EdgeList edges = graph::load_wel_file(
+        cli.get_string("input"),
+        {.normalize_timestamps = true,
+         .allow_missing_timestamps =
+             cli.get_switch("allow-missing-timestamps")});
+    graph::save_wel_file(cli.get_string("out"), edges);
+    std::printf("wrote %zu normalized edges to %s\n", edges.size(),
+                cli.get_string("out").c_str());
+    return 0;
+}
+
+int
+cmd_stats(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli stats", "structural statistics");
+    cli.add_flag("input", "", ".wel edge list");
+    cli.add_switch("symmetrize", "treat edges as undirected");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const graph::EdgeList edges =
+        graph::load_wel_file(cli.get_string("input"));
+    const auto graph = graph::GraphBuilder::build(
+        edges, {.symmetrize = cli.get_switch("symmetrize")});
+    std::printf("%s\n",
+                graph::format_stats(graph::compute_stats(graph)).c_str());
+    return 0;
+}
+
+int
+cmd_walk(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli walk", "generate a temporal walk corpus");
+    cli.add_flag("input", "", ".wel edge list");
+    cli.add_flag("out", "corpus.txt", "corpus output path");
+    cli.add_flag("walks", "10", "K: walks per node");
+    cli.add_flag("length", "6", "N: max walk length");
+    cli.add_flag("transition", "exp",
+                 "uniform | exp | exp-decay | linear");
+    cli.add_flag("start", "node", "node | edge");
+    cli.add_flag("seed", "1", "random seed");
+    cli.add_switch("static", "ignore timestamps (DeepWalk baseline)");
+    cli.add_switch("histogram", "also print the Fig. 4 length table");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const graph::EdgeList edges =
+        graph::load_wel_file(cli.get_string("input"));
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+
+    walk::WalkConfig config;
+    config.walks_per_node = static_cast<unsigned>(cli.get_int("walks"));
+    config.max_length = static_cast<unsigned>(cli.get_int("length"));
+    config.transition =
+        walk::parse_transition(cli.get_string("transition"));
+    config.temporal = !cli.get_switch("static");
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_string("start") == "edge") {
+        config.start = walk::StartKind::kTemporalEdge;
+    } else if (cli.get_string("start") != "node") {
+        util::fatal("--start must be node or edge");
+    }
+
+    const walk::Corpus corpus = walk::generate_walks(graph, config);
+    corpus.save_file(cli.get_string("out"));
+    std::printf("wrote %zu walks (%zu tokens) to %s\n",
+                corpus.num_walks(), corpus.num_tokens(),
+                cli.get_string("out").c_str());
+    if (cli.get_switch("histogram")) {
+        std::printf("%s\n",
+                    walk::format_length_distribution(
+                        walk::length_distribution(corpus)).c_str());
+    }
+    return 0;
+}
+
+int
+cmd_embed(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli embed",
+                        "train skip-gram node embeddings");
+    cli.add_flag("input", "", ".wel graph (walked internally) ...");
+    cli.add_flag("corpus", "", "... or a pre-generated corpus file");
+    cli.add_flag("out", "embeddings.txt", "embedding output path");
+    cli.add_flag("dim", "8", "embedding dimension");
+    cli.add_flag("epochs", "5", "training epochs");
+    cli.add_flag("walks", "10", "walks per node (with --input)");
+    cli.add_flag("length", "6", "walk length (with --input)");
+    cli.add_flag("seed", "1", "random seed");
+    cli.add_switch("batched", "use the batched (GPU-model) trainer");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    walk::Corpus corpus;
+    graph::NodeId num_nodes = 0;
+    if (const std::string corpus_path = cli.get_string("corpus");
+        !corpus_path.empty()) {
+        corpus = walk::Corpus::load_file(corpus_path);
+        for (graph::NodeId node : corpus.tokens()) {
+            num_nodes = std::max(num_nodes, node + 1);
+        }
+    } else {
+        const graph::EdgeList edges =
+            graph::load_wel_file(cli.get_string("input"));
+        const auto graph =
+            graph::GraphBuilder::build(edges, {.symmetrize = true});
+        num_nodes = graph.num_nodes();
+        walk::WalkConfig config;
+        config.walks_per_node =
+            static_cast<unsigned>(cli.get_int("walks"));
+        config.max_length =
+            static_cast<unsigned>(cli.get_int("length"));
+        config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+        corpus = walk::generate_walks(graph, config);
+    }
+
+    embed::SgnsConfig sgns;
+    sgns.dim = static_cast<unsigned>(cli.get_int("dim"));
+    sgns.epochs = static_cast<unsigned>(cli.get_int("epochs"));
+    sgns.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+    embed::TrainStats stats;
+    embed::Embedding embedding;
+    if (cli.get_switch("batched")) {
+        embed::BatchedSgnsConfig batched;
+        batched.sgns = sgns;
+        embedding = embed::train_sgns_batched(corpus, num_nodes, batched,
+                                              &stats);
+    } else {
+        embedding = embed::train_sgns(corpus, num_nodes, sgns, &stats);
+    }
+    embedding.save_file(cli.get_string("out"));
+    std::printf("trained %u-d embeddings for %u nodes (%llu pairs, "
+                "%.2fs) -> %s\n",
+                embedding.dim(), embedding.num_nodes(),
+                static_cast<unsigned long long>(stats.pairs_trained),
+                stats.seconds, cli.get_string("out").c_str());
+    return 0;
+}
+
+int
+cmd_neighbors(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli neighbors",
+                        "nearest nodes by embedding cosine");
+    cli.add_flag("embeddings", "", "embedding file from `embed`");
+    cli.add_flag("node", "0", "query node id");
+    cli.add_flag("k", "10", "neighbors to print");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+    const embed::Embedding embedding =
+        embed::Embedding::load_file(cli.get_string("embeddings"));
+    const auto node = static_cast<graph::NodeId>(cli.get_int("node"));
+    if (node >= embedding.num_nodes()) {
+        util::fatal("node id out of range");
+    }
+    for (const graph::NodeId v : embedding.nearest(
+             node, static_cast<unsigned>(cli.get_int("k")))) {
+        std::printf("%u\t%.4f\n", v, embedding.cosine(node, v));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fputs(
+            "usage: tgl_cli <generate|preprocess|stats|walk|embed|"
+            "neighbors> [flags]\n(each command supports --help)\n",
+            stderr);
+        return 1;
+    }
+    const std::string command = argv[1];
+    // Shift argv so each command parses its own flags.
+    const int sub_argc = argc - 1;
+    const char* const* sub_argv = argv + 1;
+    try {
+        if (command == "generate") {
+            return cmd_generate(sub_argc, sub_argv);
+        }
+        if (command == "preprocess") {
+            return cmd_preprocess(sub_argc, sub_argv);
+        }
+        if (command == "stats") {
+            return cmd_stats(sub_argc, sub_argv);
+        }
+        if (command == "walk") {
+            return cmd_walk(sub_argc, sub_argv);
+        }
+        if (command == "embed") {
+            return cmd_embed(sub_argc, sub_argv);
+        }
+        if (command == "neighbors") {
+            return cmd_neighbors(sub_argc, sub_argv);
+        }
+        std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+        return 1;
+    } catch (const tgl::util::Error& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,202 @@
+#include "core/data_prep.hpp"
+
+#include "rng/random.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tgl::core {
+
+namespace {
+
+/// Sample one negative edge by perturbing a positive's endpoints until
+/// the pair is absent from the graph (Fig. 7, step 3).
+EdgeSample
+sample_negative(const graph::TemporalGraph& graph, const EdgeSample& positive,
+                unsigned max_attempts, rng::Random& random)
+{
+    const graph::NodeId n = graph.num_nodes();
+    EdgeSample negative;
+    negative.label = 0.0f;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        // Alternate which endpoint (or both) is replaced.
+        const std::uint64_t mode = random.next_index(3);
+        negative.src = mode == 1 ? positive.src
+                                 : static_cast<graph::NodeId>(
+                                       random.next_index(n));
+        negative.dst = mode == 0 ? positive.dst
+                                 : static_cast<graph::NodeId>(
+                                       random.next_index(n));
+        if (negative.src != negative.dst &&
+            !graph.has_edge(negative.src, negative.dst)) {
+            return negative;
+        }
+    }
+    // Dense-graph fallback: keep the last candidate even if it collides;
+    // label noise of this kind is rare and harmless.
+    return negative;
+}
+
+void
+append_with_negatives(std::vector<EdgeSample>& out,
+                      const std::vector<EdgeSample>& positives,
+                      const graph::TemporalGraph& graph,
+                      const SplitConfig& config, rng::Random& random)
+{
+    out.reserve(positives.size() *
+                (1 + config.negatives_per_positive));
+    for (const EdgeSample& positive : positives) {
+        out.push_back(positive);
+        for (unsigned k = 0; k < config.negatives_per_positive; ++k) {
+            out.push_back(sample_negative(
+                graph, positive, config.max_negative_attempts, random));
+        }
+    }
+}
+
+} // namespace
+
+LinkSplits
+prepare_link_splits(const graph::EdgeList& edges,
+                    const graph::TemporalGraph& graph,
+                    const SplitConfig& config)
+{
+    if (edges.empty()) {
+        util::fatal("prepare_link_splits: empty edge list");
+    }
+    const double fraction_sum = config.train_fraction +
+                                config.valid_fraction +
+                                config.test_fraction;
+    if (std::abs(fraction_sum - 1.0) > 1e-9) {
+        util::fatal("prepare_link_splits: split fractions must sum to 1");
+    }
+
+    rng::Random random(config.seed);
+
+    // (1) Sort by timestamp.
+    graph::EdgeList sorted = edges;
+    sorted.sort_by_time();
+    const std::size_t m = sorted.size();
+
+    // Test = the most recent test_fraction of edges.
+    const std::size_t num_test = static_cast<std::size_t>(
+        static_cast<double>(m) * config.test_fraction);
+    const std::size_t past_end = m - num_test;
+
+    // (2) Random train/valid sampling from the past edges, sized as
+    // fractions of the *total* edge count like the paper specifies.
+    std::vector<std::uint32_t> past_order(past_end);
+    std::iota(past_order.begin(), past_order.end(), 0u);
+    random.shuffle(past_order);
+    const std::size_t num_train = std::min<std::size_t>(
+        past_end,
+        static_cast<std::size_t>(static_cast<double>(m) *
+                                 config.train_fraction));
+
+    LinkSplits splits;
+    std::vector<EdgeSample> train_pos, valid_pos, test_pos;
+    train_pos.reserve(num_train);
+    valid_pos.reserve(past_end - num_train);
+    for (std::size_t i = 0; i < past_end; ++i) {
+        const graph::TemporalEdge& e = sorted[past_order[i]];
+        EdgeSample sample{e.src, e.dst, 1.0f};
+        if (i < num_train) {
+            train_pos.push_back(sample);
+        } else {
+            valid_pos.push_back(sample);
+        }
+    }
+    test_pos.reserve(num_test);
+    for (std::size_t i = past_end; i < m; ++i) {
+        test_pos.push_back({sorted[i].src, sorted[i].dst, 1.0f});
+    }
+
+    // (3) Negative sampling for every split.
+    append_with_negatives(splits.train, train_pos, graph, config, random);
+    append_with_negatives(splits.valid, valid_pos, graph, config, random);
+    append_with_negatives(splits.test, test_pos, graph, config, random);
+
+    // Shuffle so positives and negatives interleave in batches.
+    random.shuffle(splits.train);
+    random.shuffle(splits.valid);
+    random.shuffle(splits.test);
+    return splits;
+}
+
+NodeSplits
+prepare_node_splits(graph::NodeId num_nodes, const SplitConfig& config)
+{
+    if (num_nodes == 0) {
+        util::fatal("prepare_node_splits: empty node set");
+    }
+    rng::Random random(config.seed);
+    std::vector<graph::NodeId> order(num_nodes);
+    std::iota(order.begin(), order.end(), 0u);
+    random.shuffle(order);
+
+    const auto num_train = static_cast<std::size_t>(
+        static_cast<double>(num_nodes) * config.train_fraction);
+    const auto num_valid = static_cast<std::size_t>(
+        static_cast<double>(num_nodes) * config.valid_fraction);
+
+    NodeSplits splits;
+    splits.train.assign(order.begin(),
+                        order.begin() +
+                            static_cast<std::ptrdiff_t>(num_train));
+    splits.valid.assign(
+        order.begin() + static_cast<std::ptrdiff_t>(num_train),
+        order.begin() + static_cast<std::ptrdiff_t>(num_train + num_valid));
+    splits.test.assign(
+        order.begin() + static_cast<std::ptrdiff_t>(num_train + num_valid),
+        order.end());
+    return splits;
+}
+
+nn::TaskDataset
+make_edge_dataset(const std::vector<EdgeSample>& samples,
+                  const embed::Embedding& embedding)
+{
+    const unsigned d = embedding.dim();
+    nn::TaskDataset dataset;
+    dataset.features.resize(samples.size(), 2 * d);
+    dataset.binary_labels.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const EdgeSample& sample = samples[i];
+        auto row = dataset.features.row(i);
+        const auto fu = embedding.row(sample.src);
+        const auto fv = embedding.row(sample.dst);
+        for (unsigned c = 0; c < d; ++c) {
+            row[c] = fu[c];
+            row[d + c] = fv[c];
+        }
+        dataset.binary_labels.push_back(sample.label);
+    }
+    return dataset;
+}
+
+nn::TaskDataset
+make_node_dataset(const std::vector<graph::NodeId>& nodes,
+                  const std::vector<std::uint32_t>& labels,
+                  const embed::Embedding& embedding)
+{
+    const unsigned d = embedding.dim();
+    nn::TaskDataset dataset;
+    dataset.features.resize(nodes.size(), d);
+    dataset.class_labels.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const graph::NodeId u = nodes[i];
+        TGL_ASSERT(u < labels.size());
+        auto row = dataset.features.row(i);
+        const auto fu = embedding.row(u);
+        for (unsigned c = 0; c < d; ++c) {
+            row[c] = fu[c];
+        }
+        dataset.class_labels.push_back(labels[u]);
+    }
+    return dataset;
+}
+
+} // namespace tgl::core

@@ -1,0 +1,84 @@
+/// @file
+/// Classifier data preparation — Fig. 7 of the paper.
+///
+/// Link prediction: edges are sorted by timestamp; the most recent 20%
+/// become test positives (train on the past, test on the future), and
+/// the remaining edges are randomly split 60/20 (of the total) into
+/// train/validation positives. Each positive gets a negative sampled
+/// by perturbing endpoints until the resulting pair is absent from the
+/// graph. Edge features concatenate the endpoint embeddings,
+/// f(e(u,v)) = [f(u), f(v)].
+///
+/// Node classification: labeled nodes are split 60/20/20 at random; a
+/// node's feature is its embedding (no negative sampling needed).
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/temporal_graph.hpp"
+#include "nn/data_loader.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tgl::core {
+
+/// Split fractions and negative-sampling controls.
+struct SplitConfig
+{
+    double train_fraction = 0.6;
+    double valid_fraction = 0.2;
+    double test_fraction = 0.2;
+    /// Negative edges generated per positive edge.
+    unsigned negatives_per_positive = 1;
+    /// Bail-out attempts per negative before accepting a collision
+    /// (dense graphs can make true negatives scarce).
+    unsigned max_negative_attempts = 64;
+    std::uint64_t seed = 7;
+};
+
+/// One labeled edge example.
+struct EdgeSample
+{
+    graph::NodeId src = 0;
+    graph::NodeId dst = 0;
+    float label = 0.0f; ///< 1 = edge exists, 0 = negative sample
+};
+
+/// Positive + negative edge sets for the three splits.
+struct LinkSplits
+{
+    std::vector<EdgeSample> train;
+    std::vector<EdgeSample> valid;
+    std::vector<EdgeSample> test;
+};
+
+/// Node-index splits for classification.
+struct NodeSplits
+{
+    std::vector<graph::NodeId> train;
+    std::vector<graph::NodeId> valid;
+    std::vector<graph::NodeId> test;
+};
+
+/// Build the Fig. 7 link-prediction splits. @p graph is used for
+/// negative-sample membership checks and must be built from @p edges.
+LinkSplits prepare_link_splits(const graph::EdgeList& edges,
+                               const graph::TemporalGraph& graph,
+                               const SplitConfig& config);
+
+/// Random 60/20/20 node split over [0, num_nodes).
+NodeSplits prepare_node_splits(graph::NodeId num_nodes,
+                               const SplitConfig& config);
+
+/// Materialize edge features: (examples x 2d) rows [f(u), f(v)].
+nn::TaskDataset make_edge_dataset(const std::vector<EdgeSample>& samples,
+                                  const embed::Embedding& embedding);
+
+/// Materialize node features: (examples x d) rows f(u) with labels.
+nn::TaskDataset make_node_dataset(
+    const std::vector<graph::NodeId>& nodes,
+    const std::vector<std::uint32_t>& labels,
+    const embed::Embedding& embedding);
+
+} // namespace tgl::core

@@ -1,0 +1,43 @@
+/// @file
+/// Link property prediction — the extension task of SVIII-B.
+///
+/// The paper shows its framework extends to new tasks by reusing the
+/// walk + word2vec front-end and swapping the data-preparation and
+/// classifier stages; predicting *edge labels* is its worked example.
+/// This module implements that task: each edge carries a property
+/// class, and a classifier over concatenated endpoint embeddings
+/// predicts it. A built-in labeler derives a 2-class temporal property
+/// (old/recent edge) for datasets without explicit edge labels, which
+/// is learnable precisely because temporal walks encode when
+/// neighborhoods form.
+#pragma once
+
+#include "core/link_prediction.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tgl::core {
+
+/// Assign each edge a class label by timestamp quantile: class c for
+/// edges in the c-th of @p num_classes equal-count time buckets.
+std::vector<std::uint32_t>
+label_edges_by_time(const graph::EdgeList& edges,
+                    std::uint32_t num_classes);
+
+/// Train and evaluate a multi-class edge-property classifier.
+///
+/// @param edges       temporal edges
+/// @param edge_labels one class per edge (parallel to @p edges)
+/// @param num_classes |C|
+/// @param embedding   node embeddings from the shared front-end
+/// @param split       split fractions (negative sampling unused)
+/// @param config      classifier hyperparameters
+TaskResult run_link_property_prediction(
+    const graph::EdgeList& edges,
+    const std::vector<std::uint32_t>& edge_labels,
+    std::uint32_t num_classes, const embed::Embedding& embedding,
+    const SplitConfig& split, const ClassifierConfig& config);
+
+} // namespace tgl::core

@@ -1,0 +1,170 @@
+#include "core/metrics.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tgl::core {
+
+double
+binary_accuracy(const nn::Tensor& probabilities,
+                const std::vector<float>& targets)
+{
+    TGL_ASSERT(probabilities.cols() == 1);
+    TGL_ASSERT(probabilities.rows() == targets.size());
+    const std::size_t n = targets.size();
+    if (n == 0) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool predicted = probabilities(i, 0) >= 0.5f;
+        const bool actual = targets[i] >= 0.5f;
+        if (predicted == actual) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double
+roc_auc(const nn::Tensor& probabilities, const std::vector<float>& targets)
+{
+    TGL_ASSERT(probabilities.cols() == 1);
+    TGL_ASSERT(probabilities.rows() == targets.size());
+    const std::size_t n = targets.size();
+
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return probabilities(a, 0) < probabilities(b, 0);
+              });
+
+    // Average ranks over ties, then apply the Mann–Whitney identity.
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && probabilities(order[j + 1], 0) ==
+                                probabilities(order[i], 0)) {
+            ++j;
+        }
+        const double mean_rank =
+            (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) {
+            rank[order[k]] = mean_rank;
+        }
+        i = j + 1;
+    }
+
+    double positive_rank_sum = 0.0;
+    std::size_t positives = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (targets[k] >= 0.5f) {
+            positive_rank_sum += rank[k];
+            ++positives;
+        }
+    }
+    const std::size_t negatives = n - positives;
+    if (positives == 0 || negatives == 0) {
+        return 0.5;
+    }
+    const double u = positive_rank_sum -
+                     static_cast<double>(positives) *
+                         (static_cast<double>(positives) + 1.0) / 2.0;
+    return u / (static_cast<double>(positives) *
+                static_cast<double>(negatives));
+}
+
+namespace {
+
+std::uint32_t
+argmax_row(const nn::Tensor& scores, std::size_t row)
+{
+    const auto r = scores.row(row);
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c < r.size(); ++c) {
+        if (r[c] > r[best]) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+double
+multiclass_accuracy(const nn::Tensor& scores,
+                    const std::vector<std::uint32_t>& targets)
+{
+    TGL_ASSERT(scores.rows() == targets.size());
+    const std::size_t n = targets.size();
+    if (n == 0) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (argmax_row(scores, i) == targets[i]) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+std::vector<std::vector<std::uint64_t>>
+confusion_matrix(const nn::Tensor& scores,
+                 const std::vector<std::uint32_t>& targets,
+                 std::uint32_t num_classes)
+{
+    TGL_ASSERT(scores.rows() == targets.size());
+    std::vector<std::vector<std::uint64_t>> matrix(
+        num_classes, std::vector<std::uint64_t>(num_classes, 0));
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        TGL_ASSERT(targets[i] < num_classes);
+        ++matrix[targets[i]][argmax_row(scores, i)];
+    }
+    return matrix;
+}
+
+double
+macro_f1(const nn::Tensor& scores,
+         const std::vector<std::uint32_t>& targets,
+         std::uint32_t num_classes)
+{
+    const auto matrix = confusion_matrix(scores, targets, num_classes);
+    double f1_sum = 0.0;
+    std::uint32_t counted = 0;
+    for (std::uint32_t c = 0; c < num_classes; ++c) {
+        std::uint64_t tp = matrix[c][c];
+        std::uint64_t fp = 0;
+        std::uint64_t fn = 0;
+        for (std::uint32_t other = 0; other < num_classes; ++other) {
+            if (other != c) {
+                fp += matrix[other][c];
+                fn += matrix[c][other];
+            }
+        }
+        if (tp + fp + fn == 0) {
+            continue; // class absent from both truth and predictions
+        }
+        const double precision =
+            tp + fp == 0 ? 0.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(tp + fp);
+        const double recall =
+            tp + fn == 0 ? 0.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(tp + fn);
+        const double f1 = precision + recall == 0.0
+                              ? 0.0
+                              : 2.0 * precision * recall /
+                                    (precision + recall);
+        f1_sum += f1;
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : f1_sum / counted;
+}
+
+} // namespace tgl::core

@@ -1,0 +1,41 @@
+/// @file
+/// Evaluation metrics for the downstream tasks: binary accuracy and
+/// ROC-AUC for link prediction, multi-class accuracy and macro-F1 for
+/// node classification (the paper reports accuracy in Fig. 8; AUC and
+/// F1 are included for the extension studies).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tgl::core {
+
+/// Fraction of correct binary predictions at threshold 0.5.
+/// @p probabilities is (n x 1); @p targets holds 0/1 labels.
+double binary_accuracy(const nn::Tensor& probabilities,
+                       const std::vector<float>& targets);
+
+/// Area under the ROC curve via the rank statistic (ties averaged).
+/// Returns 0.5 when one class is absent.
+double roc_auc(const nn::Tensor& probabilities,
+               const std::vector<float>& targets);
+
+/// Fraction of rows whose argmax matches the target class.
+/// @p scores is (n x classes) — any monotone score (log-probs fine).
+double multiclass_accuracy(const nn::Tensor& scores,
+                           const std::vector<std::uint32_t>& targets);
+
+/// Per-class confusion matrix, row = truth, column = prediction.
+std::vector<std::vector<std::uint64_t>>
+confusion_matrix(const nn::Tensor& scores,
+                 const std::vector<std::uint32_t>& targets,
+                 std::uint32_t num_classes);
+
+/// Macro-averaged F1 over classes (absent classes skipped).
+double macro_f1(const nn::Tensor& scores,
+                const std::vector<std::uint32_t>& targets,
+                std::uint32_t num_classes);
+
+} // namespace tgl::core

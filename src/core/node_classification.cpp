@@ -1,0 +1,88 @@
+#include "core/node_classification.hpp"
+
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optim.hpp"
+#include "util/timer.hpp"
+
+namespace tgl::core {
+
+TaskResult
+run_node_classification(const NodeSplits& splits,
+                        const std::vector<std::uint32_t>& labels,
+                        std::uint32_t num_classes,
+                        const embed::Embedding& embedding,
+                        const ClassifierConfig& config)
+{
+    TaskResult result;
+    rng::Random random(config.seed);
+
+    const nn::TaskDataset train_set =
+        make_node_dataset(splits.train, labels, embedding);
+    const nn::TaskDataset valid_set =
+        make_node_dataset(splits.valid, labels, embedding);
+    const nn::TaskDataset test_set =
+        make_node_dataset(splits.test, labels, embedding);
+
+    nn::Mlp net =
+        nn::make_node_classifier(embedding.dim(), config.hidden1,
+                                 config.hidden2, num_classes, random);
+    nn::Sgd optimizer(net.parameters(), config.lr, config.momentum,
+                      config.weight_decay);
+    nn::DataLoader loader(train_set, config.batch_size, true,
+                          config.seed ^ 0x22);
+
+    util::Timer train_timer;
+    nn::Tensor batch_features;
+    std::vector<float> batch_binary;
+    std::vector<std::uint32_t> batch_classes;
+
+    for (unsigned epoch = 0; epoch < config.max_epochs; ++epoch) {
+        loader.start_epoch();
+        double epoch_loss = 0.0;
+        for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+            loader.batch(b, batch_features, batch_binary, batch_classes);
+            const nn::Tensor& output = net.forward(batch_features);
+            const nn::LossResult loss = nn::nll_loss(output, batch_classes);
+            epoch_loss += loss.loss;
+            optimizer.zero_grad();
+            net.backward(loss.grad);
+            optimizer.step();
+        }
+        result.final_train_loss =
+            epoch_loss / static_cast<double>(loader.num_batches());
+        result.epochs_run = epoch + 1;
+
+        if (config.target_valid_accuracy < 1.0 && !splits.valid.empty()) {
+            const nn::Tensor& valid_out =
+                net.forward(valid_set.features);
+            result.valid_accuracy = multiclass_accuracy(
+                valid_out, valid_set.class_labels);
+            if (result.valid_accuracy >= config.target_valid_accuracy) {
+                break;
+            }
+        }
+    }
+    result.train_seconds = train_timer.seconds();
+    result.seconds_per_epoch =
+        result.epochs_run == 0
+            ? 0.0
+            : result.train_seconds / result.epochs_run;
+
+    if (!splits.valid.empty()) {
+        const nn::Tensor& valid_out = net.forward(valid_set.features);
+        result.valid_accuracy =
+            multiclass_accuracy(valid_out, valid_set.class_labels);
+    }
+
+    util::Timer test_timer;
+    const nn::Tensor& test_out = net.forward(test_set.features);
+    result.test_accuracy =
+        multiclass_accuracy(test_out, test_set.class_labels);
+    result.test_macro_f1 =
+        macro_f1(test_out, test_set.class_labels, num_classes);
+    result.test_seconds = test_timer.seconds();
+    return result;
+}
+
+} // namespace tgl::core

@@ -1,0 +1,24 @@
+/// @file
+/// The node-classification downstream task (SIV-B): a 3-layer FNN over
+/// node embeddings trained with SGD + negative log likelihood to
+/// predict multi-class node labels.
+#pragma once
+
+#include "core/link_prediction.hpp" // ClassifierConfig, TaskResult
+
+namespace tgl::core {
+
+/// Train and evaluate the node-classification FNN.
+///
+/// @param splits     train/valid/test node-id splits
+/// @param labels     per-node class labels (size = num_nodes)
+/// @param num_classes |C|
+/// @param embedding  node embeddings
+/// @param config     classifier hyperparameters
+TaskResult run_node_classification(const NodeSplits& splits,
+                                   const std::vector<std::uint32_t>& labels,
+                                   std::uint32_t num_classes,
+                                   const embed::Embedding& embedding,
+                                   const ClassifierConfig& config);
+
+} // namespace tgl::core

@@ -1,0 +1,120 @@
+#include "core/pipeline.hpp"
+
+#include "graph/builder.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace tgl::core {
+
+namespace {
+
+/// Shared front-end: build CSR, walk, embed. Fills times/profiles and
+/// returns the embedding plus the built graph (needed for negative
+/// sampling downstream).
+embed::Embedding
+run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
+              graph::TemporalGraph& graph, PipelineResult& result)
+{
+    util::Timer timer;
+    graph::BuildOptions build_options;
+    build_options.symmetrize = config.symmetrize_graph;
+    graph = graph::GraphBuilder::build(edges, build_options);
+    result.times.build_graph = timer.seconds();
+    result.num_nodes = graph.num_nodes();
+    result.num_edges = graph.num_edges();
+
+    timer.reset();
+    const walk::Corpus corpus =
+        walk::generate_walks(graph, config.walk, &result.walk_profile);
+    result.times.random_walk = timer.seconds();
+    result.corpus_walks = corpus.num_walks();
+    result.corpus_tokens = corpus.num_tokens();
+
+    timer.reset();
+    embed::Embedding embedding;
+    if (config.w2v_mode == W2vMode::kHogwild) {
+        embedding = embed::train_sgns(corpus, graph.num_nodes(),
+                                      config.sgns, &result.w2v_stats);
+    } else {
+        embed::BatchedSgnsConfig batched;
+        batched.sgns = config.sgns;
+        batched.batch_size = config.w2v_batch_size;
+        embedding = embed::train_sgns_batched(
+            corpus, graph.num_nodes(), batched, &result.w2v_stats);
+    }
+    result.times.word2vec = timer.seconds();
+    return embedding;
+}
+
+} // namespace
+
+PipelineResult
+run_link_prediction_pipeline(const graph::EdgeList& edges,
+                             const PipelineConfig& config)
+{
+    PipelineResult result;
+    graph::TemporalGraph graph;
+    const embed::Embedding embedding =
+        run_front_end(edges, config, graph, result);
+
+    util::Timer timer;
+    const LinkSplits splits =
+        prepare_link_splits(edges, graph, config.split);
+    result.times.data_prep = timer.seconds();
+
+    result.task = run_link_prediction(splits, embedding, config.classifier);
+    result.times.train = result.task.train_seconds;
+    result.times.train_per_epoch = result.task.seconds_per_epoch;
+    result.times.test = result.task.test_seconds;
+    return result;
+}
+
+PipelineResult
+run_node_classification_pipeline(const graph::EdgeList& edges,
+                                 const std::vector<std::uint32_t>& labels,
+                                 std::uint32_t num_classes,
+                                 const PipelineConfig& config)
+{
+    PipelineResult result;
+    graph::TemporalGraph graph;
+    const embed::Embedding embedding =
+        run_front_end(edges, config, graph, result);
+
+    util::Timer timer;
+    const NodeSplits splits =
+        prepare_node_splits(graph.num_nodes(), config.split);
+    result.times.data_prep = timer.seconds();
+
+    result.task = run_node_classification(splits, labels, num_classes,
+                                          embedding, config.classifier);
+    result.times.train = result.task.train_seconds;
+    result.times.train_per_epoch = result.task.seconds_per_epoch;
+    result.times.test = result.task.test_seconds;
+    return result;
+}
+
+PipelineResult
+run_pipeline(const gen::Dataset& dataset, const PipelineConfig& config)
+{
+    if (dataset.task == gen::Task::kLinkPrediction) {
+        return run_link_prediction_pipeline(dataset.edges, config);
+    }
+    return run_node_classification_pipeline(
+        dataset.edges, dataset.labels, dataset.num_classes, config);
+}
+
+std::string
+format_phase_times(const PhaseTimes& times)
+{
+    return util::strcat(
+        "build ", util::format_fixed(times.build_graph, 3), "s | rwalk ",
+        util::format_fixed(times.random_walk, 3), "s | word2vec ",
+        util::format_fixed(times.word2vec, 3), "s | prep ",
+        util::format_fixed(times.data_prep, 3), "s | train ",
+        util::format_fixed(times.train, 3), "s (",
+        util::format_fixed(times.train_per_epoch, 3), "s/epoch) | test ",
+        util::format_fixed(times.test, 3), "s");
+}
+
+} // namespace tgl::core

@@ -1,0 +1,169 @@
+#include "embed/batched_trainer.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+namespace tgl::embed {
+
+namespace {
+
+/// A single (context, center) training pair with its RNG stream id.
+struct Pair
+{
+    WordId context;
+    WordId center;
+    std::uint64_t stream;
+};
+
+} // namespace
+
+Embedding
+train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
+                   const BatchedSgnsConfig& config, TrainStats* stats)
+{
+    const SgnsConfig& sgns = config.sgns;
+    if (config.batch_size == 0) {
+        util::fatal("train_sgns_batched: batch_size must be >= 1");
+    }
+    if (sgns.epochs == 0 || sgns.window == 0) {
+        util::fatal("train_sgns_batched: epochs and window must be >= 1");
+    }
+    util::Timer timer;
+
+    const Vocab vocab(corpus, sgns.min_count);
+    if (vocab.size() == 0) {
+        util::fatal("train_sgns_batched: empty vocabulary");
+    }
+    const NegativeTable negatives(vocab);
+    SgnsModel model(vocab, sgns);
+
+    const std::size_t num_sentences = corpus.num_walks();
+    const std::uint64_t total_tokens =
+        static_cast<std::uint64_t>(corpus.num_tokens()) * sgns.epochs;
+
+    const unsigned max_team = sgns.num_threads ? sgns.num_threads
+                                               : util::default_threads();
+    struct RankState
+    {
+        std::vector<float> scratch;
+    };
+    std::vector<RankState> ranks(max_team);
+    for (RankState& state : ranks) {
+        state.scratch.resize(sgns.dim);
+    }
+
+    std::uint64_t tokens_done = 0;
+    std::uint64_t pairs_trained = 0;
+    std::vector<Pair> batch_pairs;
+    std::vector<WordId> words;
+
+    for (unsigned epoch = 0; epoch < sgns.epochs; ++epoch) {
+        std::size_t batch_begin = 0;
+        while (batch_begin < num_sentences) {
+            const std::size_t batch_end = std::min(
+                num_sentences, batch_begin + config.batch_size);
+
+            // Host-side batch assembly (the GPU implementation stages
+            // sentence windows the same way before the launch): expand
+            // each sentence into its (context, center) pairs.
+            batch_pairs.clear();
+            for (std::size_t s = batch_begin; s < batch_end; ++s) {
+                const auto sentence = corpus.walk(s);
+                words.clear();
+                for (graph::NodeId node : sentence) {
+                    const WordId w = vocab.word_of(node);
+                    if (w != kNoWord) {
+                        words.push_back(w);
+                    }
+                }
+                rng::Random window_random(rng::mix_seed(
+                    sgns.seed ^ 0xba7cedULL,
+                    static_cast<std::uint64_t>(epoch) * num_sentences + s));
+                const std::size_t len = words.size();
+                for (std::size_t pos = 0; pos < len; ++pos) {
+                    const unsigned shrink = static_cast<unsigned>(
+                        window_random.next_index(sgns.window));
+                    const unsigned effective = sgns.window - shrink;
+                    const std::size_t lo =
+                        pos >= effective ? pos - effective : 0;
+                    const std::size_t hi =
+                        std::min(len, pos + effective + 1);
+                    for (std::size_t c = lo; c < hi; ++c) {
+                        if (c == pos) {
+                            continue;
+                        }
+                        batch_pairs.push_back(
+                            {words[c], words[pos],
+                             static_cast<std::uint64_t>(
+                                 (epoch * num_sentences + s) << 8 |
+                                 (pos & 0xff))});
+                    }
+                }
+                tokens_done += sentence.size();
+            }
+
+            const float progress = static_cast<float>(
+                static_cast<double>(tokens_done) /
+                static_cast<double>(total_tokens));
+            const float alpha = std::max(sgns.alpha * (1.0f - progress),
+                                         sgns.alpha * 1e-4f);
+
+            // Shared-negative mode: one pool per launch, reused by all
+            // pairs (size scaled so each pair still sees sgns.negatives
+            // counter-examples).
+            std::vector<WordId> shared_pool;
+            if (config.shared_negatives) {
+                rng::Random pool_random(rng::mix_seed(
+                    sgns.seed ^ 0x9e9eULL,
+                    static_cast<std::uint64_t>(epoch) * num_sentences +
+                        batch_begin));
+                shared_pool.resize(sgns.negatives);
+                for (WordId& w : shared_pool) {
+                    w = negatives.sample(pool_random);
+                }
+            }
+
+            // One "kernel launch": all pairs of the batch in parallel,
+            // unsynchronized writes (stale reads tolerated), barrier at
+            // the end. With batch_size 1 this degenerates to the prior
+            // implementations' per-sentence launch.
+            util::parallel_for_ranked(
+                0, batch_pairs.size(),
+                [&](std::size_t p, unsigned rank) {
+                    const Pair& pair = batch_pairs[p];
+                    if (config.shared_negatives) {
+                        sgns_update_pair_shared(
+                            model, pair.context, pair.center,
+                            shared_pool, alpha, sgns.vectorized,
+                            ranks[rank].scratch.data());
+                        return;
+                    }
+                    rng::Random random(
+                        rng::mix_seed(sgns.seed, pair.stream + p));
+                    sgns_update_pair(model, pair.context, pair.center,
+                                     negatives, sgns.negatives, alpha,
+                                     sgns.vectorized, random,
+                                     ranks[rank].scratch.data());
+                },
+                {.num_threads = sgns.num_threads, .grain = 8});
+
+            pairs_trained += batch_pairs.size();
+            batch_begin = batch_end;
+        }
+    }
+
+    if (stats != nullptr) {
+        stats->pairs_trained = pairs_trained;
+        stats->tokens_processed = tokens_done;
+        stats->seconds = timer.seconds();
+    }
+    return model.to_embedding(vocab, num_nodes);
+}
+
+} // namespace tgl::embed

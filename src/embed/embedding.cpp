@@ -1,0 +1,111 @@
+#include "embed/embedding.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace tgl::embed {
+
+double
+Embedding::cosine(graph::NodeId u, graph::NodeId v) const
+{
+    TGL_ASSERT(u < num_nodes_ && v < num_nodes_);
+    const auto a = row(u);
+    const auto b = row(v);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (unsigned i = 0; i < dim_; ++i) {
+        dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+        nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+    }
+    if (na <= 0.0 || nb <= 0.0) {
+        return 0.0;
+    }
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<graph::NodeId>
+Embedding::nearest(graph::NodeId u, unsigned k) const
+{
+    std::vector<std::pair<double, graph::NodeId>> scored;
+    scored.reserve(num_nodes_);
+    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+        if (v == u) {
+            continue;
+        }
+        scored.emplace_back(cosine(u, v), v);
+    }
+    const std::size_t keep = std::min<std::size_t>(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                      scored.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                      });
+    std::vector<graph::NodeId> result;
+    result.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+        result.push_back(scored[i].second);
+    }
+    return result;
+}
+
+void
+Embedding::save(std::ostream& out) const
+{
+    out << num_nodes_ << ' ' << dim_ << '\n';
+    for (graph::NodeId u = 0; u < num_nodes_; ++u) {
+        const auto r = row(u);
+        for (unsigned i = 0; i < dim_; ++i) {
+            out << r[i] << (i + 1 == dim_ ? '\n' : ' ');
+        }
+    }
+}
+
+Embedding
+Embedding::load(std::istream& in)
+{
+    graph::NodeId num_nodes = 0;
+    unsigned dim = 0;
+    if (!(in >> num_nodes >> dim)) {
+        util::fatal("Embedding::load: malformed header");
+    }
+    Embedding embedding(num_nodes, dim);
+    for (graph::NodeId u = 0; u < num_nodes; ++u) {
+        auto r = embedding.row(u);
+        for (unsigned i = 0; i < dim; ++i) {
+            if (!(in >> r[i])) {
+                util::fatal(util::strcat("Embedding::load: truncated at row ",
+                                         u));
+            }
+        }
+    }
+    return embedding;
+}
+
+void
+Embedding::save_file(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal(util::strcat("cannot open for writing: ", path));
+    }
+    save(out);
+}
+
+Embedding
+Embedding::load_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        util::fatal(util::strcat("cannot open: ", path));
+    }
+    return load(in);
+}
+
+} // namespace tgl::embed

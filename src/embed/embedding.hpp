@@ -1,0 +1,66 @@
+/// @file
+/// Node embedding matrix: the d-dimensional representation f(u) that
+/// the walk + word2vec front-end produces and the classifiers consume.
+#pragma once
+
+#include "graph/types.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tgl::embed {
+
+/// Row-major (num_nodes x dim) float matrix addressed by node id.
+/// Nodes absent from the training corpus keep zero rows.
+class Embedding
+{
+  public:
+    Embedding() = default;
+
+    /// Zero-initialized matrix.
+    Embedding(graph::NodeId num_nodes, unsigned dim)
+        : num_nodes_(num_nodes), dim_(dim),
+          data_(static_cast<std::size_t>(num_nodes) * dim, 0.0f)
+    {
+    }
+
+    graph::NodeId num_nodes() const { return num_nodes_; }
+    unsigned dim() const { return dim_; }
+
+    /// Embedding vector of node u.
+    std::span<const float>
+    row(graph::NodeId u) const
+    {
+        return {data_.data() + static_cast<std::size_t>(u) * dim_, dim_};
+    }
+
+    std::span<float>
+    row(graph::NodeId u)
+    {
+        return {data_.data() + static_cast<std::size_t>(u) * dim_, dim_};
+    }
+
+    const std::vector<float>& data() const { return data_; }
+
+    /// Cosine similarity of two node embeddings (0 if either is zero).
+    double cosine(graph::NodeId u, graph::NodeId v) const;
+
+    /// The k nodes most cosine-similar to u (excluding u itself).
+    std::vector<graph::NodeId> nearest(graph::NodeId u, unsigned k) const;
+
+    /// Text serialization: header "num_nodes dim", one row per line.
+    void save(std::ostream& out) const;
+    static Embedding load(std::istream& in);
+    void save_file(const std::string& path) const;
+    static Embedding load_file(const std::string& path);
+
+  private:
+    graph::NodeId num_nodes_ = 0;
+    unsigned dim_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace tgl::embed

@@ -1,0 +1,63 @@
+#include "embed/negative_table.hpp"
+
+#include "util/error.hpp"
+
+#include <cmath>
+
+namespace tgl::embed {
+
+NegativeTable::NegativeTable(const Vocab& vocab, NegativeTableKind kind,
+                             std::size_t array_size)
+    : kind_(kind)
+{
+    if (vocab.size() == 0) {
+        util::fatal("NegativeTable: empty vocabulary");
+    }
+    std::vector<double> weights(vocab.size());
+    double total = 0.0;
+    for (WordId w = 0; w < vocab.size(); ++w) {
+        weights[w] = std::pow(static_cast<double>(vocab.count(w)), 0.75);
+        total += weights[w];
+    }
+
+    if (kind_ == NegativeTableKind::kAlias) {
+        alias_ = rng::AliasTable(weights);
+        return;
+    }
+
+    if (array_size < vocab.size()) {
+        util::fatal("NegativeTable: array_size smaller than vocabulary");
+    }
+    // word2vec's InitUnigramTable: fill the array proportionally,
+    // guaranteeing at least the cumulative rounding gives every word
+    // with positive weight a chance.
+    array_.resize(array_size);
+    WordId word = 0;
+    double cumulative = weights[0] / total;
+    for (std::size_t i = 0; i < array_size; ++i) {
+        array_[i] = word;
+        const double position =
+            static_cast<double>(i + 1) / static_cast<double>(array_size);
+        if (position > cumulative && word + 1 < vocab.size()) {
+            ++word;
+            cumulative += weights[word] / total;
+        }
+    }
+}
+
+double
+NegativeTable::probability(WordId w) const
+{
+    if (kind_ == NegativeTableKind::kAlias) {
+        return alias_.outcome_probability(w);
+    }
+    std::size_t hits = 0;
+    for (WordId entry : array_) {
+        if (entry == w) {
+            ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(array_.size());
+}
+
+} // namespace tgl::embed

@@ -1,0 +1,126 @@
+#include "embed/sgns_model.hpp"
+
+#include "util/error.hpp"
+
+namespace tgl::embed {
+
+SgnsModel::SgnsModel(const Vocab& vocab, const SgnsConfig& config)
+    : dim_(config.dim),
+      stride_(config.row_stride == 0 ? config.dim : config.row_stride),
+      vocab_size_(vocab.size())
+{
+    if (dim_ == 0) {
+        util::fatal("SgnsModel: dim must be >= 1");
+    }
+    if (stride_ < dim_) {
+        util::fatal("SgnsModel: row_stride must be >= dim");
+    }
+    input_.assign(vocab_size_ * stride_, 0.0f);
+    output_.assign(vocab_size_ * stride_, 0.0f);
+
+    // word2vec initialization: input uniform in (-0.5/dim, 0.5/dim),
+    // output zero.
+    rng::Random random(config.seed ^ 0x5bd1e995u);
+    for (std::size_t w = 0; w < vocab_size_; ++w) {
+        float* row = input_.data() + w * stride_;
+        for (unsigned i = 0; i < dim_; ++i) {
+            row[i] = (random.next_float() - 0.5f) /
+                     static_cast<float>(dim_);
+        }
+    }
+}
+
+Embedding
+SgnsModel::to_embedding(const Vocab& vocab, graph::NodeId num_nodes) const
+{
+    Embedding embedding(num_nodes, dim_);
+    for (WordId w = 0; w < vocab.size(); ++w) {
+        const graph::NodeId node = vocab.node_of(w);
+        TGL_ASSERT(node < num_nodes);
+        auto out = embedding.row(node);
+        const float* in = input_row(w);
+        for (unsigned i = 0; i < dim_; ++i) {
+            out[i] = in[i];
+        }
+    }
+    return embedding;
+}
+
+void
+sgns_update_pair(SgnsModel& model, WordId context, WordId center,
+                 const NegativeTable& negatives, unsigned num_negatives,
+                 float alpha, bool vectorized, rng::Random& random,
+                 float* scratch)
+{
+    const unsigned dim = model.dim();
+    const bool scalar_only = !vectorized;
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+
+    float* context_row = model.input_row(context);
+    for (unsigned i = 0; i < dim; ++i) {
+        scratch[i] = 0.0f;
+    }
+
+    // Positive target plus `num_negatives` sampled negatives.
+    for (unsigned n = 0; n <= num_negatives; ++n) {
+        WordId target;
+        float label;
+        if (n == 0) {
+            target = center;
+            label = 1.0f;
+        } else {
+            target = negatives.sample(random);
+            if (target == center) {
+                continue;
+            }
+            label = 0.0f;
+        }
+        float* target_row = model.output_row(target);
+        const float score =
+            detail::dot(context_row, target_row, dim, scalar_only);
+        const float gradient = (label - sigmoid(score)) * alpha;
+        detail::axpy(gradient, target_row, scratch, dim, scalar_only);
+        detail::axpy(gradient, context_row, target_row, dim, scalar_only);
+    }
+    detail::axpy(1.0f, scratch, context_row, dim, scalar_only);
+}
+
+void
+sgns_update_pair_shared(SgnsModel& model, WordId context, WordId center,
+                        std::span<const WordId> shared_negatives,
+                        float alpha, bool vectorized, float* scratch)
+{
+    const unsigned dim = model.dim();
+    const bool scalar_only = !vectorized;
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+
+    float* context_row = model.input_row(context);
+    for (unsigned i = 0; i < dim; ++i) {
+        scratch[i] = 0.0f;
+    }
+
+    const std::size_t targets = shared_negatives.size() + 1;
+    for (std::size_t n = 0; n < targets; ++n) {
+        WordId target;
+        float label;
+        if (n == 0) {
+            target = center;
+            label = 1.0f;
+        } else {
+            target = shared_negatives[n - 1];
+            if (target == center) {
+                continue;
+            }
+            label = 0.0f;
+        }
+        float* target_row = model.output_row(target);
+        const float score =
+            detail::dot(context_row, target_row, dim, scalar_only);
+        const float gradient = (label - sigmoid(score)) * alpha;
+        detail::axpy(gradient, target_row, scratch, dim, scalar_only);
+        detail::axpy(gradient, context_row, target_row, dim, scalar_only);
+    }
+    detail::axpy(1.0f, scratch, context_row, dim, scalar_only);
+}
+
+} // namespace tgl::embed

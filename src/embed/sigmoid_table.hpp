@@ -1,0 +1,58 @@
+/// @file
+/// Precomputed logistic sigmoid, word2vec style: the SGNS inner loop
+/// evaluates sigma(w.c) per (pair, negative) and a 1k-entry LUT over
+/// [-6, 6] with saturation is the classic latency fix. The table is a
+/// constexpr-initialized singleton shared by all trainers.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace tgl::embed {
+
+/// Lookup-table sigmoid with clamped tails.
+class SigmoidTable
+{
+  public:
+    static constexpr int kTableSize = 1024;
+    static constexpr float kMaxExp = 6.0f;
+
+    /// Shared instance.
+    static const SigmoidTable&
+    instance()
+    {
+        static const SigmoidTable table;
+        return table;
+    }
+
+    /// sigma(x) with |x| > 6 saturated to 0/1.
+    float
+    operator()(float x) const
+    {
+        if (x >= kMaxExp) {
+            return 1.0f;
+        }
+        if (x <= -kMaxExp) {
+            return 0.0f;
+        }
+        const int index = static_cast<int>(
+            (x + kMaxExp) * (kTableSize / (2.0f * kMaxExp)));
+        return values_[static_cast<std::size_t>(index)];
+    }
+
+  private:
+    SigmoidTable()
+    {
+        for (int i = 0; i < kTableSize; ++i) {
+            const float x =
+                (static_cast<float>(i) / (kTableSize / (2.0f * kMaxExp))) -
+                kMaxExp;
+            values_[static_cast<std::size_t>(i)] =
+                1.0f / (1.0f + std::exp(-x));
+        }
+    }
+
+    std::array<float, kTableSize> values_{};
+};
+
+} // namespace tgl::embed

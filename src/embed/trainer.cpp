@@ -1,0 +1,154 @@
+#include "embed/trainer.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+namespace tgl::embed {
+
+namespace {
+
+/// Process every (center, context) pair of one sentence.
+void
+train_sentence(SgnsModel& model, const Vocab& vocab,
+               const NegativeTable& negatives, const SgnsConfig& config,
+               std::span<const graph::NodeId> sentence, float alpha,
+               rng::Random& random, std::vector<WordId>& words,
+               float* scratch, std::uint64_t& pairs)
+{
+    // Map to word ids, applying min-count filtering and optional
+    // frequent-word subsampling.
+    words.clear();
+    for (graph::NodeId node : sentence) {
+        const WordId w = vocab.word_of(node);
+        if (w == kNoWord) {
+            continue;
+        }
+        if (config.subsample > 0.0) {
+            const double frequency =
+                static_cast<double>(vocab.count(w)) /
+                static_cast<double>(vocab.total_tokens());
+            const double keep =
+                (std::sqrt(frequency / config.subsample) + 1.0) *
+                (config.subsample / frequency);
+            if (keep < 1.0 && !random.next_bernoulli(keep)) {
+                continue;
+            }
+        }
+        words.push_back(w);
+    }
+
+    const std::size_t len = words.size();
+    for (std::size_t pos = 0; pos < len; ++pos) {
+        // word2vec shrinks the window uniformly per position.
+        const unsigned shrink = static_cast<unsigned>(
+            random.next_index(config.window)) ;
+        const unsigned effective = config.window - shrink;
+        const std::size_t lo =
+            pos >= effective ? pos - effective : 0;
+        const std::size_t hi = std::min(len, pos + effective + 1);
+        for (std::size_t c = lo; c < hi; ++c) {
+            if (c == pos) {
+                continue;
+            }
+            sgns_update_pair(model, words[c], words[pos], negatives,
+                             config.negatives, alpha, config.vectorized,
+                             random, scratch);
+            ++pairs;
+        }
+    }
+}
+
+} // namespace
+
+Embedding
+train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
+           const SgnsConfig& config, TrainStats* stats)
+{
+    if (config.epochs == 0) {
+        util::fatal("train_sgns: epochs must be >= 1");
+    }
+    if (config.window == 0) {
+        util::fatal("train_sgns: window must be >= 1");
+    }
+    util::Timer timer;
+
+    const Vocab vocab(corpus, config.min_count);
+    if (vocab.size() == 0) {
+        util::fatal("train_sgns: empty vocabulary (corpus too small or "
+                    "min_count too high)");
+    }
+    const NegativeTable negatives(vocab);
+    SgnsModel model(vocab, config);
+
+    const std::size_t num_sentences = corpus.num_walks();
+    const std::uint64_t total_tokens =
+        static_cast<std::uint64_t>(corpus.num_tokens()) * config.epochs;
+    std::atomic<std::uint64_t> tokens_done{0};
+    std::atomic<std::uint64_t> total_pairs{0};
+
+    const unsigned max_team = config.num_threads ? config.num_threads
+                                                 : util::default_threads();
+    struct RankState
+    {
+        std::vector<WordId> words;
+        std::vector<float> scratch;
+        std::uint64_t pairs = 0;
+        std::uint64_t tokens = 0;
+    };
+    std::vector<RankState> ranks(max_team);
+    for (RankState& state : ranks) {
+        state.scratch.resize(config.dim);
+    }
+
+    for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        util::parallel_for_ranked(
+            0, num_sentences,
+            [&](std::size_t s, unsigned rank) {
+                RankState& state = ranks[rank];
+                const auto sentence = corpus.walk(s);
+
+                // Linear learning-rate decay from the shared progress
+                // counter, refreshed every sentence like word2vec does
+                // every 10k words.
+                const std::uint64_t done =
+                    tokens_done.load(std::memory_order_relaxed);
+                const float progress =
+                    static_cast<float>(static_cast<double>(done) /
+                                       static_cast<double>(total_tokens));
+                const float alpha = std::max(
+                    config.alpha * (1.0f - progress),
+                    config.alpha * 1e-4f);
+
+                rng::Random random(rng::mix_seed(
+                    config.seed,
+                    static_cast<std::uint64_t>(epoch) * num_sentences + s));
+                train_sentence(model, vocab, negatives, config, sentence,
+                               alpha, random, state.words,
+                               state.scratch.data(), state.pairs);
+                state.tokens += sentence.size();
+                tokens_done.fetch_add(sentence.size(),
+                                      std::memory_order_relaxed);
+            },
+            {.num_threads = config.num_threads, .grain = 64});
+    }
+
+    for (RankState& state : ranks) {
+        total_pairs.fetch_add(state.pairs, std::memory_order_relaxed);
+    }
+    if (stats != nullptr) {
+        stats->pairs_trained = total_pairs.load();
+        stats->tokens_processed =
+            tokens_done.load(std::memory_order_relaxed);
+        stats->seconds = timer.seconds();
+    }
+    return model.to_embedding(vocab, num_nodes);
+}
+
+} // namespace tgl::embed

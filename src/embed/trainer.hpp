@@ -1,0 +1,36 @@
+/// @file
+/// Hogwild skip-gram trainer — the paper's CPU word2vec (RW-P2).
+///
+/// Threads sweep disjoint dynamic chunks of sentences and update the
+/// shared model without synchronization; because each update touches
+/// only a handful of rows, collisions are rare and the race-tolerant
+/// scheme converges (Recht et al., NIPS 2011 — and the paper leans on
+/// the same sparsity argument for its batched GPU variant, SV-B).
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "embed/sgns_model.hpp"
+#include "walk/corpus.hpp"
+
+#include <cstdint>
+
+namespace tgl::embed {
+
+/// Execution statistics of one training run.
+struct TrainStats
+{
+    std::uint64_t pairs_trained = 0;
+    std::uint64_t tokens_processed = 0;
+    double seconds = 0.0;
+};
+
+/// Train SGNS embeddings over a walk corpus (Hogwild, multithreaded).
+///
+/// @param corpus     walk sentences
+/// @param num_nodes  node-id space for the returned embedding
+/// @param config     SGNS hyperparameters
+/// @param stats      optional execution statistics
+Embedding train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
+                     const SgnsConfig& config, TrainStats* stats = nullptr);
+
+} // namespace tgl::embed

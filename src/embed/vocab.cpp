@@ -1,0 +1,42 @@
+#include "embed/vocab.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tgl::embed {
+
+Vocab::Vocab(const walk::Corpus& corpus, std::uint64_t min_count)
+{
+    // Raw per-node counts.
+    std::vector<std::uint64_t> raw;
+    for (graph::NodeId node : corpus.tokens()) {
+        if (raw.size() <= node) {
+            raw.resize(static_cast<std::size_t>(node) + 1, 0);
+        }
+        ++raw[node];
+    }
+
+    // Collect surviving nodes and sort by descending count (ties by
+    // node id for determinism).
+    std::vector<graph::NodeId> order;
+    for (graph::NodeId node = 0; node < raw.size(); ++node) {
+        if (raw[node] >= min_count && raw[node] > 0) {
+            order.push_back(node);
+        }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                  return raw[a] != raw[b] ? raw[a] > raw[b] : a < b;
+              });
+
+    nodes_ = std::move(order);
+    counts_.resize(nodes_.size());
+    node_to_word_.assign(raw.size(), kNoWord);
+    for (WordId w = 0; w < nodes_.size(); ++w) {
+        counts_[w] = raw[nodes_[w]];
+        node_to_word_[nodes_[w]] = w;
+        total_tokens_ += counts_[w];
+    }
+}
+
+} // namespace tgl::embed

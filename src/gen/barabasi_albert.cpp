@@ -1,0 +1,94 @@
+#include "gen/barabasi_albert.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace tgl::gen {
+
+graph::EdgeList
+generate_barabasi_albert(const BarabasiAlbertParams& params)
+{
+    const graph::NodeId n = params.num_nodes;
+    const unsigned m = std::max(1u, params.edges_per_node);
+    if (n < m + 1) {
+        util::fatal("barabasi_albert: need num_nodes > edges_per_node");
+    }
+    rng::Random random(params.seed);
+    graph::EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(n) * m);
+
+    // The classic "repeated nodes" construction: sampling uniformly
+    // from this list is sampling proportional to degree.
+    std::vector<graph::NodeId> endpoint_pool;
+    endpoint_pool.reserve(static_cast<std::size_t>(n) * m * 2);
+
+    // Seed clique over the first m+1 vertices so attachment targets exist.
+    for (graph::NodeId u = 0; u <= m; ++u) {
+        for (graph::NodeId v = 0; v < u; ++v) {
+            edges.add(u, v, 0.0);
+            endpoint_pool.push_back(u);
+            endpoint_pool.push_back(v);
+        }
+    }
+
+    for (graph::NodeId u = m + 1; u < n; ++u) {
+        // Attach u to m distinct degree-proportional targets.
+        graph::NodeId targets[64];
+        TGL_ASSERT(m <= 64);
+        unsigned chosen = 0;
+        while (chosen < m) {
+            // Degree-proportional draw, optionally restricted to the
+            // recent tail of the pool (recency-driven attachment).
+            std::size_t lo = 0;
+            if (params.recency_bias > 0.0 &&
+                random.next_bernoulli(params.recency_bias)) {
+                const auto window = static_cast<std::size_t>(
+                    static_cast<double>(endpoint_pool.size()) *
+                    params.recency_window);
+                lo = endpoint_pool.size() - std::max<std::size_t>(
+                                                window, 1);
+            }
+            const graph::NodeId candidate =
+                endpoint_pool[lo + static_cast<std::size_t>(
+                                       random.next_index(
+                                           endpoint_pool.size() - lo))];
+            bool duplicate = candidate == u;
+            for (unsigned i = 0; i < chosen && !duplicate; ++i) {
+                duplicate = targets[i] == candidate;
+            }
+            if (!duplicate) {
+                targets[chosen++] = candidate;
+            }
+        }
+        for (unsigned i = 0; i < m; ++i) {
+            edges.add(u, targets[i], 0.0);
+            endpoint_pool.push_back(u);
+            endpoint_pool.push_back(targets[i]);
+        }
+        // Repeat interactions between already-connected pairs.
+        if (params.repeat_edge_fraction > 0.0 &&
+            random.next_bernoulli(params.repeat_edge_fraction)) {
+            std::size_t lo = 0;
+            if (params.recency_bias > 0.0 &&
+                random.next_bernoulli(params.recency_bias)) {
+                const auto window = static_cast<std::size_t>(
+                    static_cast<double>(edges.size()) *
+                    params.recency_window);
+                lo = edges.size() - std::max<std::size_t>(window, 1);
+            }
+            const std::size_t pick =
+                lo + static_cast<std::size_t>(
+                         random.next_index(edges.size() - lo));
+            const graph::TemporalEdge& old = edges[pick];
+            edges.add(old.src, old.dst, 0.0);
+            endpoint_pool.push_back(old.src);
+            endpoint_pool.push_back(old.dst);
+        }
+    }
+
+    assign_timestamps(edges, params.timestamps, random);
+    return edges;
+}
+
+} // namespace tgl::gen

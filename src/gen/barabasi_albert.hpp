@@ -1,0 +1,45 @@
+/// @file
+/// Barabási–Albert preferential-attachment temporal graph generator.
+///
+/// Produces the power-law degree distribution of the paper's real
+/// link-prediction datasets (ia-email, wiki-talk, stackoverflow); the
+/// paper attributes the 8-10-walk accuracy saturation (Fig. 8b) and the
+/// short-walk dominance (Fig. 4) to exactly this structure, so the
+/// stand-ins must reproduce it.
+#pragma once
+
+#include "gen/timestamps.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+
+namespace tgl::gen {
+
+/// Parameters for the BA process.
+struct BarabasiAlbertParams
+{
+    graph::NodeId num_nodes = 0;
+    /// Edges attached by each arriving node (the classic m parameter).
+    unsigned edges_per_node = 2;
+    /// Extra repeat-interaction edges per node, drawn between existing
+    /// endpoints, modeling repeated emails/replies between known pairs
+    /// (gives multi-edges like real interaction networks).
+    double repeat_edge_fraction = 0.3;
+    /// Probability that an attachment target is drawn from the most
+    /// recent tail of the activity pool instead of the whole history.
+    /// Real interaction networks are recency-driven — future edges
+    /// concentrate among recently active nodes — which is the property
+    /// that makes *temporal* walks outperform static ones on future
+    /// link prediction (CTDNE's core result). 0 disables drift.
+    double recency_bias = 0.6;
+    /// Fraction of the pool counting as "recent" for recency_bias.
+    double recency_window = 0.1;
+    TimestampModel timestamps = TimestampModel::kBursty;
+    std::uint64_t seed = 1;
+};
+
+/// Generate a BA temporal graph. Edges are emitted in attachment order
+/// (node arrival defines time order before the timestamp model runs).
+graph::EdgeList generate_barabasi_albert(const BarabasiAlbertParams& params);
+
+} // namespace tgl::gen

@@ -1,0 +1,50 @@
+/// @file
+/// Named synthetic stand-ins for the paper's real datasets (Table II).
+///
+/// The real temporal networks (ia-email, wiki-talk, stackoverflow,
+/// dblp3, dblp5, brain) cannot be redistributed or downloaded offline,
+/// so the catalog generates structurally matched substitutes: BA
+/// power-law interaction graphs with bursty timestamps for the
+/// link-prediction datasets, and labeled SBMs for the classification
+/// datasets. Node/edge counts default to a laptop-scale fraction of the
+/// originals; pass scale = 1.0 for paper-size graphs.
+#pragma once
+
+#include "gen/sbm.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgl::gen {
+
+/// Which downstream task a dataset serves.
+enum class Task { kLinkPrediction, kNodeClassification };
+
+/// A generated dataset plus its provenance.
+struct Dataset
+{
+    std::string name;
+    Task task = Task::kLinkPrediction;
+    graph::EdgeList edges;
+    std::vector<std::uint32_t> labels; ///< empty for link prediction
+    unsigned num_classes = 0;          ///< 0 for link prediction
+    graph::NodeId paper_num_nodes = 0; ///< size in the paper (Table II)
+    graph::EdgeId paper_num_edges = 0;
+};
+
+/// Names accepted by make_dataset.
+std::vector<std::string> dataset_names();
+
+/// Generate the stand-in for a Table II dataset.
+///
+/// @param name one of dataset_names()
+/// @param scale linear scale on node count relative to the paper's
+///        dataset (default 0.1 keeps everything laptop-fast)
+/// @param seed generator seed
+/// Throws tgl::util::Error for unknown names or scale <= 0.
+Dataset make_dataset(const std::string& name, double scale = 0.1,
+                     std::uint64_t seed = 42);
+
+} // namespace tgl::gen

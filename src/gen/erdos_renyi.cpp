@@ -1,0 +1,31 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "util/error.hpp"
+
+namespace tgl::gen {
+
+graph::EdgeList
+generate_erdos_renyi(const ErdosRenyiParams& params)
+{
+    if (params.num_nodes == 0 && params.num_edges > 0) {
+        util::fatal("erdos_renyi: edges requested on an empty vertex set");
+    }
+    rng::Random random(params.seed);
+    graph::EdgeList edges;
+    edges.reserve(params.num_edges);
+    for (graph::EdgeId i = 0; i < params.num_edges; ++i) {
+        graph::NodeId src, dst;
+        do {
+            src = static_cast<graph::NodeId>(
+                random.next_index(params.num_nodes));
+            dst = static_cast<graph::NodeId>(
+                random.next_index(params.num_nodes));
+        } while (!params.allow_self_loops && src == dst &&
+                 params.num_nodes > 1);
+        edges.add(src, dst, 0.0);
+    }
+    assign_timestamps(edges, params.timestamps, random);
+    return edges;
+}
+
+} // namespace tgl::gen

@@ -1,0 +1,31 @@
+/// @file
+/// Erdős–Rényi temporal graph generator, G(n, m) variant.
+///
+/// This is the generator behind the paper's hardware-study inputs
+/// (synthetic ER graphs of 1M nodes x 100k..200M edges, SVI-C / Table
+/// III), replacing the artifact's Python networkx script.
+#pragma once
+
+#include "gen/timestamps.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+
+namespace tgl::gen {
+
+/// Parameters for G(n, m).
+struct ErdosRenyiParams
+{
+    graph::NodeId num_nodes = 0;
+    graph::EdgeId num_edges = 0;
+    TimestampModel timestamps = TimestampModel::kUniform;
+    bool allow_self_loops = false;
+    std::uint64_t seed = 1;
+};
+
+/// Generate a directed temporal G(n, m): each of m edges picks its
+/// endpoints uniformly at random. Multi-edges may occur (they are valid
+/// temporal interactions). Throws on num_nodes == 0 with edges requested.
+graph::EdgeList generate_erdos_renyi(const ErdosRenyiParams& params);
+
+} // namespace tgl::gen

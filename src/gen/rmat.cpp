@@ -1,0 +1,49 @@
+#include "gen/rmat.hpp"
+
+#include "util/error.hpp"
+
+#include <cmath>
+
+namespace tgl::gen {
+
+graph::EdgeList
+generate_rmat(const RmatParams& params)
+{
+    const double total = params.a + params.b + params.c + params.d;
+    if (std::abs(total - 1.0) > 1e-6) {
+        util::fatal("rmat: quadrant probabilities must sum to 1");
+    }
+    if (params.scale == 0 || params.scale > 31) {
+        util::fatal("rmat: scale must be in [1, 31]");
+    }
+    rng::Random random(params.seed);
+    graph::EdgeList edges;
+    edges.reserve(params.num_edges);
+
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+    for (graph::EdgeId i = 0; i < params.num_edges; ++i) {
+        graph::NodeId src = 0;
+        graph::NodeId dst = 0;
+        for (unsigned bit = 0; bit < params.scale; ++bit) {
+            const double u = random.next_double();
+            src <<= 1;
+            dst <<= 1;
+            if (u < params.a) {
+                // top-left: nothing set
+            } else if (u < ab) {
+                dst |= 1;
+            } else if (u < abc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        edges.add(src, dst, 0.0);
+    }
+    assign_timestamps(edges, params.timestamps, random);
+    return edges;
+}
+
+} // namespace tgl::gen

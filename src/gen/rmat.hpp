@@ -1,0 +1,33 @@
+/// @file
+/// R-MAT (recursive matrix) temporal graph generator.
+///
+/// Kronecker-style generator (Chakrabarti et al., SDM 2004) giving
+/// skewed, community-clustered degree distributions; used for
+/// large-scale scaling runs where BA's sequential attachment is too
+/// slow, and for the ablation comparing degree-distribution effects.
+#pragma once
+
+#include "gen/timestamps.hpp"
+#include "graph/edge_list.hpp"
+
+#include <cstdint>
+
+namespace tgl::gen {
+
+/// Parameters of the recursive quadrant process.
+struct RmatParams
+{
+    /// log2 of the number of nodes.
+    unsigned scale = 10;
+    graph::EdgeId num_edges = 0;
+    /// Quadrant probabilities; must sum to ~1. Defaults are the
+    /// Graph500 constants.
+    double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+    TimestampModel timestamps = TimestampModel::kUniform;
+    std::uint64_t seed = 1;
+};
+
+/// Generate an R-MAT temporal edge list with 2^scale nodes.
+graph::EdgeList generate_rmat(const RmatParams& params);
+
+} // namespace tgl::gen

@@ -1,0 +1,223 @@
+#include "gen/sbm.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace tgl::gen {
+
+LabeledGraph
+generate_sbm(const SbmParams& params)
+{
+    if (params.num_communities == 0) {
+        util::fatal("sbm: need at least one community");
+    }
+    if (params.num_nodes < params.num_communities) {
+        util::fatal("sbm: fewer nodes than communities");
+    }
+    if (params.intra_probability < 0.0 || params.intra_probability > 1.0) {
+        util::fatal("sbm: intra_probability out of [0, 1]");
+    }
+
+    rng::Random random(params.seed);
+    const graph::NodeId n = params.num_nodes;
+    const unsigned k = params.num_communities;
+
+    LabeledGraph result;
+    result.num_classes = k;
+    result.labels.resize(n);
+
+    // Balanced round-robin assignment, then bucket members per community.
+    std::vector<std::vector<graph::NodeId>> members(k);
+    for (graph::NodeId u = 0; u < n; ++u) {
+        const unsigned community = u % k;
+        result.labels[u] = community;
+        members[community].push_back(u);
+    }
+
+    result.edges.reserve(params.num_edges);
+    for (graph::EdgeId i = 0; i < params.num_edges; ++i) {
+        const graph::NodeId src =
+            static_cast<graph::NodeId>(random.next_index(n));
+        const unsigned src_community = src % k;
+        graph::NodeId dst;
+        if (k == 1 || random.next_bernoulli(params.intra_probability)) {
+            const auto& bucket = members[src_community];
+            do {
+                dst = bucket[static_cast<std::size_t>(
+                    random.next_index(bucket.size()))];
+            } while (dst == src && bucket.size() > 1);
+        } else {
+            do {
+                dst = static_cast<graph::NodeId>(random.next_index(n));
+            } while (dst % k == src_community || dst == src);
+        }
+        result.edges.add(src, dst, 0.0);
+    }
+    assign_timestamps(result.edges, params.timestamps, random);
+
+    // Label noise after generation so structure stays clean.
+    if (params.label_noise > 0.0 && k > 1) {
+        for (graph::NodeId u = 0; u < n; ++u) {
+            if (random.next_bernoulli(params.label_noise)) {
+                std::uint32_t flipped;
+                do {
+                    flipped = static_cast<std::uint32_t>(
+                        random.next_index(k));
+                } while (flipped == result.labels[u]);
+                result.labels[u] = flipped;
+            }
+        }
+    }
+    return result;
+}
+
+namespace {
+
+/// Community buckets supporting O(1) member moves and uniform draws.
+class MembershipIndex
+{
+  public:
+    MembershipIndex(const std::vector<std::uint32_t>& initial,
+                    unsigned num_communities)
+        : community_of_(initial), position_(initial.size()),
+          buckets_(num_communities)
+    {
+        for (graph::NodeId u = 0; u < initial.size(); ++u) {
+            position_[u] = buckets_[initial[u]].size();
+            buckets_[initial[u]].push_back(u);
+        }
+    }
+
+    std::uint32_t community(graph::NodeId u) const
+    {
+        return community_of_[u];
+    }
+
+    /// Move node u to @p target (swap-pop from its old bucket).
+    void
+    move(graph::NodeId u, std::uint32_t target)
+    {
+        auto& old_bucket = buckets_[community_of_[u]];
+        const std::size_t pos = position_[u];
+        const graph::NodeId swapped = old_bucket.back();
+        old_bucket[pos] = swapped;
+        position_[swapped] = pos;
+        old_bucket.pop_back();
+
+        community_of_[u] = target;
+        position_[u] = buckets_[target].size();
+        buckets_[target].push_back(u);
+    }
+
+    /// Uniform member of community c (kInvalidNode if empty).
+    graph::NodeId
+    sample(std::uint32_t c, rng::Random& random) const
+    {
+        const auto& bucket = buckets_[c];
+        if (bucket.empty()) {
+            return graph::kInvalidNode;
+        }
+        return bucket[static_cast<std::size_t>(
+            random.next_index(bucket.size()))];
+    }
+
+  private:
+    std::vector<std::uint32_t> community_of_;
+    std::vector<std::size_t> position_;
+    std::vector<std::vector<graph::NodeId>> buckets_;
+};
+
+} // namespace
+
+LabeledGraph
+generate_drifting_sbm(const DriftingSbmParams& params)
+{
+    if (params.num_communities < 2) {
+        util::fatal("drifting_sbm: need at least two communities");
+    }
+    if (params.num_nodes < 2 * params.num_communities) {
+        util::fatal("drifting_sbm: too few nodes for the communities");
+    }
+
+    rng::Random random(params.seed);
+    const graph::NodeId n = params.num_nodes;
+    const unsigned k = params.num_communities;
+
+    // Initial balanced memberships plus one scheduled switch per
+    // drifting node.
+    std::vector<std::uint32_t> initial(n);
+    for (graph::NodeId u = 0; u < n; ++u) {
+        initial[u] = u % k;
+    }
+    struct Switch
+    {
+        double time;
+        graph::NodeId node;
+        std::uint32_t target;
+    };
+    std::vector<Switch> switches;
+    for (graph::NodeId u = 0; u < n; ++u) {
+        if (!random.next_bernoulli(params.switch_fraction)) {
+            continue;
+        }
+        std::uint32_t target;
+        do {
+            target = static_cast<std::uint32_t>(random.next_index(k));
+        } while (target == initial[u]);
+        switches.push_back({random.next_double(), u, target});
+    }
+    std::sort(switches.begin(), switches.end(),
+              [](const Switch& a, const Switch& b) {
+                  return a.time < b.time;
+              });
+
+    MembershipIndex index(initial, k);
+    LabeledGraph result;
+    result.num_classes = k;
+    result.edges.reserve(params.num_edges);
+
+    // Edges arrive at uniformly spaced times; memberships are applied
+    // as the clock passes each switch event.
+    std::size_t next_switch = 0;
+    for (graph::EdgeId i = 0; i < params.num_edges; ++i) {
+        const double t =
+            params.num_edges == 1
+                ? 0.0
+                : static_cast<double>(i) /
+                      static_cast<double>(params.num_edges - 1);
+        while (next_switch < switches.size() &&
+               switches[next_switch].time <= t) {
+            index.move(switches[next_switch].node,
+                       switches[next_switch].target);
+            ++next_switch;
+        }
+        const auto src =
+            static_cast<graph::NodeId>(random.next_index(n));
+        const std::uint32_t src_community = index.community(src);
+        graph::NodeId dst = graph::kInvalidNode;
+        if (random.next_bernoulli(params.intra_probability)) {
+            do {
+                dst = index.sample(src_community, random);
+            } while (dst == src);
+        } else {
+            do {
+                dst = static_cast<graph::NodeId>(random.next_index(n));
+            } while (dst == src ||
+                     index.community(dst) == src_community);
+        }
+        result.edges.add(src, dst, t);
+    }
+
+    // Labels = final membership.
+    result.labels.resize(n);
+    for (graph::NodeId u = 0; u < n; ++u) {
+        result.labels[u] = initial[u];
+    }
+    for (const Switch& s : switches) {
+        result.labels[s.node] = s.target;
+    }
+    return result;
+}
+
+} // namespace tgl::gen

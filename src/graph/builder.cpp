@@ -1,0 +1,62 @@
+#include "graph/builder.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace tgl::graph {
+
+TemporalGraph
+GraphBuilder::build(const EdgeList& input, const BuildOptions& options)
+{
+    // Work on a copy only when a preprocessing option demands it.
+    const EdgeList* edges = &input;
+    EdgeList scratch;
+    if (options.symmetrize || options.remove_self_loops) {
+        scratch = input;
+        if (options.remove_self_loops) {
+            scratch.remove_self_loops();
+        }
+        if (options.symmetrize) {
+            scratch.symmetrize();
+        }
+        edges = &scratch;
+    }
+
+    NodeId num_nodes = edges->num_nodes();
+    num_nodes = std::max(num_nodes, options.min_num_nodes);
+
+    // Pass 1: out-degrees.
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(num_nodes) + 1, 0);
+    for (const TemporalEdge& e : *edges) {
+        TGL_ASSERT(e.src < num_nodes && e.dst < num_nodes);
+        ++offsets[e.src + 1];
+    }
+    // Prefix sum.
+    for (std::size_t u = 1; u < offsets.size(); ++u) {
+        offsets[u] += offsets[u - 1];
+    }
+
+    // Pass 2: scatter.
+    std::vector<Neighbor> neighbors(edges->size());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const TemporalEdge& e : *edges) {
+        neighbors[cursor[e.src]++] = {e.dst, e.time};
+    }
+
+    // Pass 3: time-sort each vertex slice (parallel across vertices).
+    util::parallel_for(0, num_nodes, [&](std::size_t u) {
+        std::stable_sort(neighbors.begin() +
+                             static_cast<std::ptrdiff_t>(offsets[u]),
+                         neighbors.begin() +
+                             static_cast<std::ptrdiff_t>(offsets[u + 1]),
+                         [](const Neighbor& a, const Neighbor& b) {
+                             return a.time < b.time;
+                         });
+    });
+
+    return TemporalGraph(std::move(offsets), std::move(neighbors));
+}
+
+} // namespace tgl::graph

@@ -1,0 +1,34 @@
+/// @file
+/// Edge list -> CSR construction.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/temporal_graph.hpp"
+
+namespace tgl::graph {
+
+/// Options controlling CSR construction.
+struct BuildOptions
+{
+    /// Force a node count larger than max id + 1 (isolated tail nodes).
+    NodeId min_num_nodes = 0;
+    /// Add the reverse of every edge before building (undirected view).
+    bool symmetrize = false;
+    /// Drop self loops before building.
+    bool remove_self_loops = false;
+};
+
+/// Build an immutable CSR temporal graph from an edge list.
+///
+/// Multi-edges are preserved; each vertex's neighbor slice comes out
+/// sorted by timestamp (counting sort over sources, then a per-slice
+/// stable sort by time). Runs in O(|E| + |V|) plus the per-slice sorts.
+class GraphBuilder
+{
+  public:
+    /// One-shot build.
+    static TemporalGraph build(const EdgeList& edges,
+                               const BuildOptions& options = {});
+};
+
+} // namespace tgl::graph

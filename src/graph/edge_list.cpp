@@ -1,0 +1,88 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tgl::graph {
+
+void
+EdgeList::sort_by_time()
+{
+    std::stable_sort(edges_.begin(), edges_.end(),
+                     [](const TemporalEdge& a, const TemporalEdge& b) {
+                         return a.time < b.time;
+                     });
+}
+
+bool
+EdgeList::is_time_sorted() const
+{
+    return std::is_sorted(edges_.begin(), edges_.end(),
+                          [](const TemporalEdge& a, const TemporalEdge& b) {
+                              return a.time < b.time;
+                          });
+}
+
+NodeId
+EdgeList::max_node_id() const
+{
+    if (edges_.empty()) {
+        return kInvalidNode;
+    }
+    NodeId max_id = 0;
+    for (const TemporalEdge& e : edges_) {
+        max_id = std::max({max_id, e.src, e.dst});
+    }
+    return max_id;
+}
+
+NodeId
+EdgeList::num_nodes() const
+{
+    const NodeId max_id = max_node_id();
+    return max_id == kInvalidNode ? 0 : max_id + 1;
+}
+
+std::pair<Timestamp, Timestamp>
+EdgeList::normalize_timestamps()
+{
+    if (edges_.empty()) {
+        return {0.0, 0.0};
+    }
+    Timestamp lo = edges_.front().time;
+    Timestamp hi = edges_.front().time;
+    for (const TemporalEdge& e : edges_) {
+        lo = std::min(lo, e.time);
+        hi = std::max(hi, e.time);
+    }
+    const Timestamp span = hi - lo;
+    for (TemporalEdge& e : edges_) {
+        e.time = span > 0.0 ? (e.time - lo) / span : 0.0;
+    }
+    return {lo, hi};
+}
+
+std::size_t
+EdgeList::remove_self_loops()
+{
+    const std::size_t before = edges_.size();
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [](const TemporalEdge& e) {
+                                    return e.src == e.dst;
+                                }),
+                 edges_.end());
+    return before - edges_.size();
+}
+
+void
+EdgeList::symmetrize()
+{
+    const std::size_t original = edges_.size();
+    edges_.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+        const TemporalEdge e = edges_[i];
+        edges_.push_back({e.dst, e.src, e.time});
+    }
+}
+
+} // namespace tgl::graph

@@ -1,0 +1,73 @@
+/// @file
+/// Mutable temporal edge list — the ingestion format every loader and
+/// generator produces, and the input to the CSR builder and to the
+/// link-prediction data preparation (which needs time-sorted edges,
+/// Fig. 7 of the paper).
+#pragma once
+
+#include "graph/types.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace tgl::graph {
+
+/// A list of timestamped directed edges with bulk operations.
+class EdgeList
+{
+  public:
+    EdgeList() = default;
+    explicit EdgeList(std::vector<TemporalEdge> edges)
+        : edges_(std::move(edges))
+    {
+    }
+
+    /// Append one edge.
+    void
+    add(NodeId src, NodeId dst, Timestamp time)
+    {
+        edges_.push_back({src, dst, time});
+    }
+
+    std::size_t size() const { return edges_.size(); }
+    bool empty() const { return edges_.empty(); }
+    void reserve(std::size_t n) { edges_.reserve(n); }
+
+    const TemporalEdge& operator[](std::size_t i) const { return edges_[i]; }
+    TemporalEdge& operator[](std::size_t i) { return edges_[i]; }
+
+    const std::vector<TemporalEdge>& edges() const { return edges_; }
+    std::vector<TemporalEdge>& edges() { return edges_; }
+
+    auto begin() const { return edges_.begin(); }
+    auto end() const { return edges_.end(); }
+
+    /// Stable sort by timestamp (ties keep input order).
+    void sort_by_time();
+
+    /// True if timestamps are non-decreasing.
+    bool is_time_sorted() const;
+
+    /// Largest node id referenced, or kInvalidNode if empty.
+    NodeId max_node_id() const;
+
+    /// Number of nodes implied by the ids (max id + 1, 0 if empty).
+    NodeId num_nodes() const;
+
+    /// Rescale timestamps linearly onto [0, 1]. A single distinct
+    /// timestamp maps to 0. Returns the original (min, max) span.
+    std::pair<Timestamp, Timestamp> normalize_timestamps();
+
+    /// Remove edges with src == dst. Returns how many were removed.
+    std::size_t remove_self_loops();
+
+    /// Append the reverse of every edge (same timestamp), turning a
+    /// directed list into an undirected one. CTDNE treats interaction
+    /// networks as undirected streams.
+    void symmetrize();
+
+  private:
+    std::vector<TemporalEdge> edges_;
+};
+
+} // namespace tgl::graph

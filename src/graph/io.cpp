@@ -1,0 +1,82 @@
+#include "graph/io.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace tgl::graph {
+
+EdgeList
+load_wel(std::istream& in, const LoadOptions& options)
+{
+    EdgeList edges;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::string_view trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#' ||
+            trimmed.front() == '%') {
+            continue;
+        }
+        const auto fields = util::split(trimmed, " \t,");
+        if (fields.size() < 2 ||
+            (fields.size() < 3 && !options.allow_missing_timestamps)) {
+            util::fatal(util::strcat("edge list line ", line_number,
+                                     ": expected 'src dst time', got '",
+                                     std::string(trimmed), "'"));
+        }
+        const long long src = util::parse_int(fields[0]);
+        const long long dst = util::parse_int(fields[1]);
+        if (src < 0 || dst < 0) {
+            util::fatal(util::strcat("edge list line ", line_number,
+                                     ": negative node id"));
+        }
+        const Timestamp time =
+            fields.size() >= 3
+                ? util::parse_double(fields[2])
+                : static_cast<Timestamp>(edges.size());
+        edges.add(static_cast<NodeId>(src), static_cast<NodeId>(dst), time);
+    }
+    if (options.normalize_timestamps) {
+        edges.normalize_timestamps();
+    }
+    return edges;
+}
+
+EdgeList
+load_wel_file(const std::string& path, const LoadOptions& options)
+{
+    std::ifstream in(path);
+    if (!in) {
+        util::fatal(util::strcat("cannot open edge list file: ", path));
+    }
+    return load_wel(in, options);
+}
+
+void
+save_wel(std::ostream& out, const EdgeList& edges)
+{
+    for (const TemporalEdge& e : edges) {
+        out << e.src << ' ' << e.dst << ' ' << e.time << '\n';
+    }
+}
+
+void
+save_wel_file(const std::string& path, const EdgeList& edges)
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal(util::strcat("cannot open file for writing: ", path));
+    }
+    save_wel(out, edges);
+    if (!out) {
+        util::fatal(util::strcat("write failed: ", path));
+    }
+}
+
+} // namespace tgl::graph

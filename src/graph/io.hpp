@@ -1,0 +1,41 @@
+/// @file
+/// Edge-list file I/O.
+///
+/// The on-disk format is the artifact's `.wel` ("weighted edge list"):
+/// one `src dst timestamp` triple per line, whitespace separated.
+/// Loading reproduces the artifact's preprocess_dataset.py behaviour:
+/// comment lines (# or %) are skipped and timestamps can optionally be
+/// normalized to [0, 1].
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace tgl::graph {
+
+/// Options for edge-list loading.
+struct LoadOptions
+{
+    /// Rescale timestamps onto [0, 1] after loading.
+    bool normalize_timestamps = true;
+    /// Treat a third column as optional (missing -> sequence order).
+    bool allow_missing_timestamps = false;
+};
+
+/// Load a `.wel` edge list from a stream.
+/// Throws tgl::util::Error on malformed lines.
+EdgeList load_wel(std::istream& in, const LoadOptions& options = {});
+
+/// Load a `.wel` edge list from a file path.
+EdgeList load_wel_file(const std::string& path,
+                       const LoadOptions& options = {});
+
+/// Write an edge list in `.wel` format.
+void save_wel(std::ostream& out, const EdgeList& edges);
+
+/// Write an edge list to a file path.
+void save_wel_file(const std::string& path, const EdgeList& edges);
+
+} // namespace tgl::graph

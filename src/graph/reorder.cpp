@@ -1,0 +1,104 @@
+#include "graph/reorder.hpp"
+
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace tgl::graph {
+
+EdgeList
+Reordering::apply(const EdgeList& edges) const
+{
+    EdgeList result;
+    result.reserve(edges.size());
+    for (const TemporalEdge& e : edges) {
+        TGL_ASSERT(e.src < permutation.size() &&
+                   e.dst < permutation.size());
+        result.add(permutation[e.src], permutation[e.dst], e.time);
+    }
+    return result;
+}
+
+std::vector<NodeId>
+Reordering::inverse() const
+{
+    std::vector<NodeId> inv(permutation.size());
+    for (NodeId old_id = 0; old_id < permutation.size(); ++old_id) {
+        inv[permutation[old_id]] = old_id;
+    }
+    return inv;
+}
+
+Reordering
+compute_reordering(const EdgeList& edges, ReorderKind kind)
+{
+    const NodeId n = edges.num_nodes();
+    Reordering result;
+    result.permutation.resize(n);
+    if (n == 0) {
+        return result;
+    }
+
+    // Total (in+out) degree per vertex.
+    std::vector<std::uint64_t> degree(n, 0);
+    for (const TemporalEdge& e : edges) {
+        ++degree[e.src];
+        ++degree[e.dst];
+    }
+
+    switch (kind) {
+      case ReorderKind::kDegreeSort: {
+        std::vector<NodeId> order(n);
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](NodeId a, NodeId b) {
+                             return degree[a] > degree[b];
+                         });
+        for (NodeId rank = 0; rank < n; ++rank) {
+            result.permutation[order[rank]] = rank;
+        }
+        return result;
+      }
+      case ReorderKind::kBfs: {
+        const TemporalGraph graph =
+            GraphBuilder::build(edges, {.symmetrize = true});
+        const NodeId root = static_cast<NodeId>(std::distance(
+            degree.begin(),
+            std::max_element(degree.begin(), degree.end())));
+
+        std::vector<bool> visited(n, false);
+        std::queue<NodeId> frontier;
+        NodeId next_id = 0;
+        auto visit = [&](NodeId u) {
+            if (!visited[u]) {
+                visited[u] = true;
+                result.permutation[u] = next_id++;
+                frontier.push(u);
+            }
+        };
+        visit(root);
+        while (next_id < n) {
+            while (!frontier.empty()) {
+                const NodeId u = frontier.front();
+                frontier.pop();
+                for (const Neighbor& nb : graph.out_neighbors(u)) {
+                    visit(nb.dst);
+                }
+            }
+            // Disconnected component: restart from any unvisited node.
+            for (NodeId u = 0; u < n && frontier.empty(); ++u) {
+                if (!visited[u]) {
+                    visit(u);
+                }
+            }
+        }
+        return result;
+      }
+    }
+    TGL_PANIC("unhandled reorder kind");
+}
+
+} // namespace tgl::graph

@@ -1,0 +1,48 @@
+/// @file
+/// Vertex reordering passes.
+///
+/// The paper's recommendations to compiler/hardware designers (SVIII-A)
+/// include memory-layout optimizations — "compiler-based blocking,
+/// graph partitioning, and tiling can improve memory performance". The
+/// software-level member of that family is vertex reordering: renaming
+/// vertices so hot vertices (hubs) share cache lines and neighbor
+/// accesses gain locality. These passes permute an edge list; the walk
+/// kernel then runs on the reordered CSR unchanged, which is how the
+/// reordering ablation in bench/ablation_baselines measures the effect.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/temporal_graph.hpp"
+
+#include <vector>
+
+namespace tgl::graph {
+
+/// Available orderings.
+enum class ReorderKind
+{
+    /// Descending total degree: hubs get the smallest ids (the classic
+    /// "hub clustering" layout — frequent rows pack together).
+    kDegreeSort,
+    /// Breadth-first discovery order from the highest-degree vertex:
+    /// neighbors get nearby ids (a light-weight RCM-style layout).
+    kBfs,
+};
+
+/// A vertex renaming: result.permutation[old_id] == new_id.
+struct Reordering
+{
+    std::vector<NodeId> permutation;
+
+    /// Apply to an edge list (timestamps untouched; edge order kept).
+    EdgeList apply(const EdgeList& edges) const;
+
+    /// Translate embeddings/labels computed in new-id space back to a
+    /// value indexed by old ids (or vice versa via the inverse).
+    std::vector<NodeId> inverse() const;
+};
+
+/// Compute a reordering for the (symmetrized) structure of @p edges.
+Reordering compute_reordering(const EdgeList& edges, ReorderKind kind);
+
+} // namespace tgl::graph

@@ -1,0 +1,67 @@
+#include "graph/snapshot.hpp"
+
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+
+namespace tgl::graph {
+
+EdgeList
+snapshot_edges(const EdgeList& edges, Timestamp t)
+{
+    EdgeList result;
+    for (const TemporalEdge& e : edges) {
+        if (e.time <= t) {
+            result.add(e.src, e.dst, e.time);
+        }
+    }
+    return result;
+}
+
+EdgeList
+window_edges(const EdgeList& edges, Timestamp t_begin, Timestamp t_end)
+{
+    if (t_begin > t_end) {
+        util::fatal("window_edges: t_begin must be <= t_end");
+    }
+    EdgeList result;
+    for (const TemporalEdge& e : edges) {
+        if (e.time > t_begin && e.time <= t_end) {
+            result.add(e.src, e.dst, e.time);
+        }
+    }
+    return result;
+}
+
+std::vector<TemporalGraph>
+snapshot_sequence(const EdgeList& edges, unsigned count,
+                  const BuildOptions& options)
+{
+    if (count == 0) {
+        util::fatal("snapshot_sequence: count must be >= 1");
+    }
+    Timestamp lo = 0.0, hi = 0.0;
+    if (!edges.empty()) {
+        lo = hi = edges[0].time;
+        for (const TemporalEdge& e : edges) {
+            lo = std::min(lo, e.time);
+            hi = std::max(hi, e.time);
+        }
+    }
+
+    // Fix the node-id space so every snapshot indexes consistently.
+    BuildOptions fixed = options;
+    fixed.min_num_nodes = std::max(fixed.min_num_nodes, edges.num_nodes());
+
+    std::vector<TemporalGraph> snapshots;
+    snapshots.reserve(count);
+    for (unsigned i = 1; i <= count; ++i) {
+        const Timestamp boundary =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(count);
+        snapshots.push_back(
+            GraphBuilder::build(snapshot_edges(edges, boundary), fixed));
+    }
+    return snapshots;
+}
+
+} // namespace tgl::graph

@@ -1,0 +1,36 @@
+/// @file
+/// Temporal snapshot views — Definition III.1's G_t.
+///
+/// The paper's related work (SII-B) contrasts CTDNE's edge-stream model
+/// with snapshot-based temporal learning, where G is processed as a
+/// sequence of static graphs G_t. These helpers materialize those
+/// snapshots from an edge list so snapshot baselines and streaming
+/// deployments (examples/streaming_update) can be built on the same
+/// substrate.
+#pragma once
+
+#include "graph/edge_list.hpp"
+#include "graph/temporal_graph.hpp"
+
+#include <vector>
+
+namespace tgl::graph {
+
+/// Edges with timestamp <= t (the prefix of the stream up to t).
+EdgeList snapshot_edges(const EdgeList& edges, Timestamp t);
+
+/// Edges with timestamp in (t_begin, t_end] — one "delta" window.
+EdgeList window_edges(const EdgeList& edges, Timestamp t_begin,
+                      Timestamp t_end);
+
+/// Split the time range into @p count equal-width windows and return
+/// the cumulative snapshot at each boundary, i.e. the sequence
+/// G_{t_1}, ..., G_{t_count} with t_count = max time. Every snapshot
+/// is a full CSR build (snapshot models re-process each G_t as a
+/// static graph, which is exactly the cost CTDNE avoids).
+std::vector<TemporalGraph> snapshot_sequence(const EdgeList& edges,
+                                             unsigned count,
+                                             const struct BuildOptions&
+                                                 options);
+
+} // namespace tgl::graph

@@ -1,0 +1,88 @@
+#include "graph/stats.hpp"
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tgl::graph {
+
+GraphStats
+compute_stats(const TemporalGraph& graph)
+{
+    GraphStats stats;
+    stats.num_nodes = graph.num_nodes();
+    stats.num_edges = graph.num_edges();
+    stats.min_time = graph.min_time();
+    stats.max_time = graph.max_time();
+    if (stats.num_nodes == 0) {
+        return stats;
+    }
+    stats.avg_out_degree =
+        static_cast<double>(stats.num_edges) / stats.num_nodes;
+
+    for (NodeId u = 0; u < stats.num_nodes; ++u) {
+        const EdgeId degree = graph.out_degree(u);
+        stats.max_out_degree = std::max(stats.max_out_degree, degree);
+        if (degree == 0) {
+            ++stats.num_isolated;
+            continue;
+        }
+        const unsigned bucket =
+            static_cast<unsigned>(std::bit_width(degree) - 1);
+        if (stats.degree_histogram.size() <= bucket) {
+            stats.degree_histogram.resize(bucket + 1, 0);
+        }
+        ++stats.degree_histogram[bucket];
+    }
+
+    // Least-squares fit of log2(count) against bucket index (log2 of
+    // degree); the slope approximates -alpha for power-law graphs.
+    std::size_t points = 0;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < stats.degree_histogram.size(); ++i) {
+        if (stats.degree_histogram[i] == 0) {
+            continue;
+        }
+        const double x = static_cast<double>(i);
+        const double y =
+            std::log2(static_cast<double>(stats.degree_histogram[i]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++points;
+    }
+    if (points >= 3) {
+        const double n = static_cast<double>(points);
+        const double denom = n * sxx - sx * sx;
+        if (denom != 0.0) {
+            stats.degree_powerlaw_slope = (n * sxy - sx * sy) / denom;
+        }
+    }
+    return stats;
+}
+
+std::string
+format_stats(const GraphStats& stats)
+{
+    std::string text = util::strcat(
+        "nodes: ", util::format_count(stats.num_nodes),
+        "\nedges: ", util::format_count(stats.num_edges),
+        "\navg out-degree: ", util::format_fixed(stats.avg_out_degree, 2),
+        "\nmax out-degree: ", stats.max_out_degree,
+        "\nisolated: ", util::format_count(stats.num_isolated),
+        "\ntime range: [", stats.min_time, ", ", stats.max_time, "]",
+        "\npower-law slope: ",
+        util::format_fixed(stats.degree_powerlaw_slope, 2),
+        "\ndegree histogram (log2 buckets):");
+    for (std::size_t i = 0; i < stats.degree_histogram.size(); ++i) {
+        text += util::strcat("\n  [2^", i, ", 2^", i + 1,
+                             "): ", stats.degree_histogram[i]);
+    }
+    return text;
+}
+
+} // namespace tgl::graph

@@ -1,0 +1,40 @@
+/// @file
+/// Structural statistics over temporal graphs, used by the dataset
+/// catalog (to verify stand-ins match the shape of the paper's
+/// datasets) and by the benchmark headers.
+#pragma once
+
+#include "graph/temporal_graph.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgl::graph {
+
+/// Summary statistics of a temporal graph.
+struct GraphStats
+{
+    NodeId num_nodes = 0;
+    EdgeId num_edges = 0;
+    double avg_out_degree = 0.0;
+    EdgeId max_out_degree = 0;
+    NodeId num_isolated = 0;     ///< vertices with out-degree 0
+    Timestamp min_time = 0.0;
+    Timestamp max_time = 0.0;
+    /// log2-bucketed out-degree histogram: bucket i counts vertices
+    /// with out-degree in [2^i, 2^(i+1)), bucket 0 counts degree 1.
+    std::vector<std::uint64_t> degree_histogram;
+    /// Slope of a least-squares line fit to log(count) vs log(degree)
+    /// over the histogram (≈ -alpha for a power-law graph; 0 if the
+    /// graph is too small to fit).
+    double degree_powerlaw_slope = 0.0;
+};
+
+/// Compute statistics (single pass over CSR plus the histogram fit).
+GraphStats compute_stats(const TemporalGraph& graph);
+
+/// Human-readable multi-line rendering.
+std::string format_stats(const GraphStats& stats);
+
+} // namespace tgl::graph

@@ -1,0 +1,109 @@
+#include "graph/temporal_graph.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace tgl::graph {
+
+TemporalGraph::TemporalGraph(std::vector<EdgeId> offsets,
+                             std::vector<Neighbor> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors))
+{
+    TGL_ASSERT(!offsets_.empty());
+    TGL_ASSERT(offsets_.front() == 0);
+    TGL_ASSERT(offsets_.back() == neighbors_.size());
+    if (!neighbors_.empty()) {
+        min_time_ = neighbors_.front().time;
+        max_time_ = neighbors_.front().time;
+        for (const Neighbor& n : neighbors_) {
+            min_time_ = std::min(min_time_, n.time);
+            max_time_ = std::max(max_time_, n.time);
+        }
+    }
+}
+
+std::span<const Neighbor>
+TemporalGraph::temporal_neighbors(NodeId u, Timestamp t, bool strict) const
+{
+    const std::span<const Neighbor> all = out_neighbors(u);
+    const auto by_time = [](const Neighbor& n, Timestamp value) {
+        return n.time < value;
+    };
+    const Neighbor* first;
+    if (strict) {
+        // First edge with time > t.
+        first = std::upper_bound(
+            all.data(), all.data() + all.size(), t,
+            [](Timestamp value, const Neighbor& n) { return value < n.time; });
+    } else {
+        // First edge with time >= t.
+        first = std::lower_bound(all.data(), all.data() + all.size(), t,
+                                 by_time);
+    }
+    return {first, all.data() + all.size()};
+}
+
+std::size_t
+TemporalGraph::temporal_neighbors_linear(
+    NodeId u, Timestamp t, bool strict,
+    std::vector<std::uint32_t>& scratch) const
+{
+    scratch.clear();
+    const std::span<const Neighbor> all = out_neighbors(u);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const bool valid = strict ? all[i].time > t : all[i].time >= t;
+        if (valid) {
+            scratch.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    return scratch.size();
+}
+
+bool
+TemporalGraph::has_edge(NodeId u, NodeId v) const
+{
+    for (const Neighbor& n : out_neighbors(u)) {
+        if (n.dst == v) {
+            return true;
+        }
+    }
+    return false;
+}
+
+EdgeId
+TemporalGraph::max_out_degree() const
+{
+    EdgeId max_degree = 0;
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+        max_degree = std::max(max_degree, out_degree(u));
+    }
+    return max_degree;
+}
+
+bool
+TemporalGraph::check_invariants() const
+{
+    if (offsets_.empty() || offsets_.front() != 0 ||
+        offsets_.back() != neighbors_.size()) {
+        return false;
+    }
+    if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+        return false;
+    }
+    const NodeId n = num_nodes();
+    for (NodeId u = 0; u < n; ++u) {
+        const auto slice = out_neighbors(u);
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+            if (slice[i].dst >= n) {
+                return false;
+            }
+            if (i > 0 && slice[i - 1].time > slice[i].time) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tgl::graph

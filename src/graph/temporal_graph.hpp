@@ -1,0 +1,108 @@
+/// @file
+/// Immutable CSR temporal graph — the random-walk substrate.
+///
+/// Layout follows the paper's GAPBS-derived WGraph (SV-A): one offsets
+/// array and one packed neighbor array whose "weight" field holds the
+/// edge timestamp. Multiple edges between the same (src, dst) pair are
+/// preserved, since repeated temporally-distant interactions carry
+/// signal. Our one structural addition: each vertex's neighbor slice is
+/// sorted by timestamp, so the temporal neighborhood
+///     N_u(t) = { (u, v, t') in E : t' > t }
+/// is a suffix locatable with one binary search (O(log deg) instead of
+/// the paper's O(max-degree) scan; the linear path is kept as a mode
+/// for the ablation bench).
+#pragma once
+
+#include "graph/types.hpp"
+
+#include <span>
+#include <vector>
+
+namespace tgl::graph {
+
+/// Immutable CSR temporal graph. Build via GraphBuilder.
+class TemporalGraph
+{
+  public:
+    TemporalGraph() = default;
+
+    /// Construct from raw CSR arrays; offsets.size() must equal
+    /// num_nodes + 1 and offsets.back() must equal neighbors.size().
+    /// Every neighbor slice must be sorted by timestamp.
+    TemporalGraph(std::vector<EdgeId> offsets,
+                  std::vector<Neighbor> neighbors);
+
+    /// Number of vertices.
+    NodeId
+    num_nodes() const
+    {
+        return offsets_.empty()
+                   ? 0
+                   : static_cast<NodeId>(offsets_.size() - 1);
+    }
+
+    /// Number of directed temporal edges.
+    EdgeId num_edges() const { return neighbors_.size(); }
+
+    /// Out-degree of vertex u.
+    EdgeId
+    out_degree(NodeId u) const
+    {
+        return offsets_[u + 1] - offsets_[u];
+    }
+
+    /// All out-neighbors of u, sorted by timestamp.
+    std::span<const Neighbor>
+    out_neighbors(NodeId u) const
+    {
+        return {neighbors_.data() + offsets_[u],
+                neighbors_.data() + offsets_[u + 1]};
+    }
+
+    /// Temporal neighborhood: out-edges of u with time > t (strict) or
+    /// time >= t. One binary search over the time-sorted slice.
+    std::span<const Neighbor> temporal_neighbors(NodeId u, Timestamp t,
+                                                 bool strict = true) const;
+
+    /// Same set computed with a linear scan over all of u's edges —
+    /// the paper's original O(max-degree) sampleLatent behaviour, kept
+    /// for the neighbor-search ablation. Returns the count of valid
+    /// edges and writes their indices (relative to out_neighbors(u))
+    /// into @p scratch.
+    std::size_t temporal_neighbors_linear(NodeId u, Timestamp t, bool strict,
+                                          std::vector<std::uint32_t>& scratch)
+        const;
+
+    /// True if at least one (u, v, *) edge exists (any timestamp).
+    bool has_edge(NodeId u, NodeId v) const;
+
+    /// Largest out-degree over all vertices.
+    EdgeId max_out_degree() const;
+
+    /// Earliest / latest timestamp in the graph (0,0 if empty).
+    Timestamp min_time() const { return min_time_; }
+    Timestamp max_time() const { return max_time_; }
+
+    /// Total timespan (the r term of Eq. 1).
+    Timestamp
+    time_range() const
+    {
+        return max_time_ - min_time_;
+    }
+
+    /// Raw CSR access for kernels that iterate everything.
+    const std::vector<EdgeId>& offsets() const { return offsets_; }
+    const std::vector<Neighbor>& neighbors() const { return neighbors_; }
+
+    /// Verify all structural invariants (used by tests / after builds):
+    /// offsets monotone, ids in range, slices time-sorted.
+    bool check_invariants() const;
+
+  private:
+    std::vector<EdgeId> offsets_;
+    std::vector<Neighbor> neighbors_;
+    Timestamp min_time_ = 0.0;
+    Timestamp max_time_ = 0.0;
+};
+
+} // namespace tgl::graph

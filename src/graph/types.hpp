@@ -1,0 +1,48 @@
+/// @file
+/// Fundamental graph types shared across tgl.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tgl::graph {
+
+/// Vertex identifier. 32 bits covers the paper's largest graphs
+/// (10M nodes) with headroom while halving CSR memory traffic —
+/// the workload is memory-bound (SVII-B), so this matters.
+using NodeId = std::uint32_t;
+
+/// Edge index / CSR offset type (graphs reach 200M edges).
+using EdgeId = std::uint64_t;
+
+/// Edge timestamp. Stored as double so normalized [0,1] stamps keep
+/// full precision (matches the artifact's preprocess_dataset.py).
+using Timestamp = double;
+
+/// Sentinel for "no vertex".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One timestamped directed edge (u, v, t).
+struct TemporalEdge
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    Timestamp time = 0.0;
+
+    friend bool
+    operator==(const TemporalEdge& a, const TemporalEdge& b)
+    {
+        return a.src == b.src && a.dst == b.dst && a.time == b.time;
+    }
+};
+
+/// CSR neighbor record: destination plus the edge timestamp. This is
+/// the GAPBS WGraph layout with the weight field repurposed to hold the
+/// timestamp (SV-A of the paper).
+struct Neighbor
+{
+    NodeId dst = 0;
+    Timestamp time = 0.0;
+};
+
+} // namespace tgl::graph

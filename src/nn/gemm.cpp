@@ -1,0 +1,121 @@
+#include "nn/gemm.hpp"
+
+#include "util/parallel_for.hpp"
+
+namespace tgl::nn {
+
+namespace {
+
+/// Parallelize over row blocks only when the problem amortizes the
+/// team dispatch (the paper's classifier layers are tiny).
+util::ParallelOptions
+gemm_options(std::size_t m, std::size_t n, std::size_t k)
+{
+    util::ParallelOptions options;
+    if (m * n * k < kParallelFlopThreshold) {
+        options.num_threads = 1;
+    }
+    options.grain = 8;
+    return options;
+}
+
+} // namespace
+
+void
+matmul(const Tensor& a, const Tensor& b, Tensor& c)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    TGL_ASSERT(b.rows() == k);
+    c.resize(m, n);
+
+    // i-k-j order: the inner j loop streams one row of B and one row of
+    // C, vectorizing cleanly and reusing the A element from a register.
+    util::parallel_for(
+        0, m,
+        [&](std::size_t i) {
+            float* c_row = c.data() + i * n;
+            const float* a_row = a.data() + i * k;
+            for (std::size_t l = 0; l < k; ++l) {
+                const float a_val = a_row[l];
+                const float* b_row = b.data() + l * n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    c_row[j] += a_val * b_row[j];
+                }
+            }
+        },
+        gemm_options(m, n, k));
+}
+
+void
+matmul_nt(const Tensor& a, const Tensor& b, Tensor& c)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    TGL_ASSERT(b.cols() == k);
+    c.resize(m, n);
+
+    // Row-by-row dot products; both operands stream contiguously.
+    util::parallel_for(
+        0, m,
+        [&](std::size_t i) {
+            const float* a_row = a.data() + i * k;
+            float* c_row = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float* b_row = b.data() + j * k;
+                float sum = 0.0f;
+                for (std::size_t l = 0; l < k; ++l) {
+                    sum += a_row[l] * b_row[l];
+                }
+                c_row[j] = sum;
+            }
+        },
+        gemm_options(m, n, k));
+}
+
+void
+matmul_tn(const Tensor& a, const Tensor& b, Tensor& c)
+{
+    const std::size_t k = a.rows();
+    const std::size_t m = a.cols();
+    const std::size_t n = b.cols();
+    TGL_ASSERT(b.rows() == k);
+    c.resize(m, n);
+
+    util::parallel_for(
+        0, m,
+        [&](std::size_t i) {
+            float* c_row = c.data() + i * n;
+            for (std::size_t l = 0; l < k; ++l) {
+                const float a_val = a(l, i);
+                const float* b_row = b.data() + l * n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    c_row[j] += a_val * b_row[j];
+                }
+            }
+        },
+        gemm_options(m, n, k));
+}
+
+void
+matmul_naive(const Tensor& a, const Tensor& b, Tensor& c)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    TGL_ASSERT(b.rows() == k);
+    c.resize(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float sum = 0.0f;
+            for (std::size_t l = 0; l < k; ++l) {
+                sum += a(i, l) * b(l, j);
+            }
+            c(i, j) = sum;
+        }
+    }
+}
+
+} // namespace tgl::nn

@@ -1,0 +1,35 @@
+/// @file
+/// SGEMM kernels for the classifier substrate.
+///
+/// The paper finds the classifier phase dominated by GEMM calls on
+/// small, skinny matrices where vendor libraries are poorly tuned
+/// (37.4x worse per-instruction than VGG-sized GEMM, SVII-B, and a
+/// dedicated recommendation to GEMM library designers in SVIII-A).
+/// This module provides a register-blocked, cache-tiled, parallel
+/// implementation tuned for exactly those shapes, plus a naive
+/// reference used for correctness tests and the blocking ablation.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace tgl::nn {
+
+/// C = A (rows m x k) * B (k x n). C is resized to m x n.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A * B^T with A (m x k), B (n x k). C resized to m x n.
+/// This is the forward-pass shape: Y = X * W^T for W stored (out x in).
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T * B with A (k x m), B (k x n). C resized to m x n.
+/// This is the weight-gradient shape: dW = dY^T * X.
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Unblocked, single-threaded triple loop (reference / ablation).
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Minimum total flops before a GEMM goes parallel; below it the
+/// dispatch overhead dominates for the paper's tiny classifier layers.
+inline constexpr std::size_t kParallelFlopThreshold = 1u << 20;
+
+} // namespace tgl::nn

@@ -1,0 +1,18 @@
+/// @file
+/// Parameter initialization schemes.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "rng/random.hpp"
+
+namespace tgl::nn {
+
+/// Xavier/Glorot uniform: U(-s, s) with s = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& weights, std::size_t fan_in,
+                    std::size_t fan_out, rng::Random& random);
+
+/// Kaiming/He normal for ReLU stacks: N(0, sqrt(2 / fan_in)).
+void kaiming_normal(Tensor& weights, std::size_t fan_in,
+                    rng::Random& random);
+
+} // namespace tgl::nn

@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgl::nn {
+
+LossResult
+binary_cross_entropy(const Tensor& probabilities,
+                     const std::vector<float>& targets)
+{
+    TGL_ASSERT(probabilities.cols() == 1);
+    TGL_ASSERT(probabilities.rows() == targets.size());
+    const std::size_t batch = probabilities.rows();
+    TGL_ASSERT(batch > 0);
+
+    LossResult result;
+    result.grad.resize(batch, 1);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    constexpr float kEps = 1e-7f;
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) {
+        const float p =
+            std::clamp(probabilities(i, 0), kEps, 1.0f - kEps);
+        const float y = targets[i];
+        total -= static_cast<double>(y) *
+                     std::log(static_cast<double>(p)) +
+                 (1.0 - static_cast<double>(y)) *
+                     std::log(1.0 - static_cast<double>(p));
+        // d/dp of -[y log p + (1-y) log(1-p)], averaged over the batch.
+        result.grad(i, 0) = (p - y) / (p * (1.0f - p)) * inv_batch;
+    }
+    result.loss = total / static_cast<double>(batch);
+    return result;
+}
+
+LossResult
+nll_loss(const Tensor& log_probs,
+         const std::vector<std::uint32_t>& targets)
+{
+    TGL_ASSERT(log_probs.rows() == targets.size());
+    const std::size_t batch = log_probs.rows();
+    const std::size_t classes = log_probs.cols();
+    TGL_ASSERT(batch > 0);
+
+    LossResult result;
+    result.grad.resize(batch, classes);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < batch; ++i) {
+        const std::uint32_t target = targets[i];
+        TGL_ASSERT(target < classes);
+        total -= static_cast<double>(log_probs(i, target));
+        result.grad(i, target) = -inv_batch;
+    }
+    result.loss = total / static_cast<double>(batch);
+    return result;
+}
+
+} // namespace tgl::nn

@@ -1,0 +1,33 @@
+/// @file
+/// Loss functions of the two downstream tasks (SIV-B): binary
+/// cross-entropy over sigmoid outputs for link prediction (Eq. 4), and
+/// negative log likelihood over log-softmax outputs for multi-class
+/// node classification.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tgl::nn {
+
+/// Loss value plus the gradient w.r.t. the network output.
+struct LossResult
+{
+    double loss = 0.0;       ///< mean over the batch
+    Tensor grad;             ///< dLoss/dOutput, same shape as output
+};
+
+/// Binary cross-entropy. @p probabilities is (batch x 1) sigmoid
+/// output; @p targets holds 0/1 labels. Probabilities are clamped away
+/// from {0,1} for numerical safety.
+LossResult binary_cross_entropy(const Tensor& probabilities,
+                                const std::vector<float>& targets);
+
+/// Negative log likelihood. @p log_probs is (batch x classes)
+/// log-softmax output; @p targets holds class indices.
+LossResult nll_loss(const Tensor& log_probs,
+                    const std::vector<std::uint32_t>& targets);
+
+} // namespace tgl::nn

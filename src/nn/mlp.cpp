@@ -1,0 +1,112 @@
+#include "nn/mlp.hpp"
+
+#include "util/error.hpp"
+
+namespace tgl::nn {
+
+void
+Mlp::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+const Tensor&
+Mlp::forward(const Tensor& input)
+{
+    TGL_ASSERT(!layers_.empty());
+    const Tensor* current = &input;
+    for (auto& layer : layers_) {
+        current = &layer->forward(*current);
+    }
+    return *current;
+}
+
+const Tensor&
+Mlp::backward(const Tensor& grad_output)
+{
+    TGL_ASSERT(!layers_.empty());
+    const Tensor* current = &grad_output;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        current = &layers_[i]->backward(*current);
+    }
+    return *current;
+}
+
+std::vector<Parameter*>
+Mlp::parameters()
+{
+    std::vector<Parameter*> all;
+    for (auto& layer : layers_) {
+        for (Parameter* p : layer->parameters()) {
+            all.push_back(p);
+        }
+    }
+    return all;
+}
+
+std::size_t
+Mlp::num_parameters()
+{
+    std::size_t count = 0;
+    for (Parameter* p : parameters()) {
+        count += p->value.size();
+    }
+    return count;
+}
+
+std::string
+Mlp::describe() const
+{
+    std::string text;
+    for (const auto& layer : layers_) {
+        if (!text.empty()) {
+            text += " -> ";
+        }
+        text += layer->describe();
+    }
+    return text;
+}
+
+Mlp
+make_link_predictor(std::size_t input_dim, std::size_t hidden_dim,
+                    rng::Random& random)
+{
+    Mlp net;
+    net.add(std::make_unique<Linear>(input_dim, hidden_dim, random));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<Linear>(hidden_dim, 1, random));
+    net.add(std::make_unique<Sigmoid>());
+    return net;
+}
+
+Mlp
+make_residual_link_predictor(std::size_t input_dim, std::size_t hidden_dim,
+                             std::size_t num_blocks, rng::Random& random)
+{
+    Mlp net;
+    net.add(std::make_unique<Linear>(input_dim, hidden_dim, random));
+    net.add(std::make_unique<ReLU>());
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        net.add(std::make_unique<ResidualBlock>(hidden_dim, random));
+    }
+    net.add(std::make_unique<Linear>(hidden_dim, 1, random));
+    net.add(std::make_unique<Sigmoid>());
+    return net;
+}
+
+Mlp
+make_node_classifier(std::size_t input_dim, std::size_t hidden1,
+                     std::size_t hidden2, std::size_t num_classes,
+                     rng::Random& random)
+{
+    Mlp net;
+    net.add(std::make_unique<Linear>(input_dim, hidden1, random));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<Linear>(hidden1, hidden2, random));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<Linear>(hidden2, num_classes, random));
+    net.add(std::make_unique<LogSoftmax>());
+    return net;
+}
+
+} // namespace tgl::nn

@@ -1,0 +1,68 @@
+/// @file
+/// Sequential feed-forward network container and the two fixed
+/// architectures of the paper (SIV-B):
+///  * link prediction — 2-layer FNN ending in a sigmoid probability;
+///  * node classification — 3-layer FNN ending in log-softmax over C
+///    classes.
+#pragma once
+
+#include "nn/layers.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tgl::nn {
+
+/// A stack of layers executed in order.
+class Mlp
+{
+  public:
+    Mlp() = default;
+
+    /// Append a layer (takes ownership).
+    void add(std::unique_ptr<Layer> layer);
+
+    /// Forward pass through every layer.
+    const Tensor& forward(const Tensor& input);
+
+    /// Backward pass (reverse order); returns dLoss/dInput.
+    const Tensor& backward(const Tensor& grad_output);
+
+    /// All learnable parameters in layer order.
+    std::vector<Parameter*> parameters();
+
+    /// Number of layers.
+    std::size_t depth() const { return layers_.size(); }
+
+    /// Total learnable scalar count.
+    std::size_t num_parameters();
+
+    /// Multi-line architecture description.
+    std::string describe() const;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// The paper's link-prediction classifier: edge features of width
+/// 2d -> hidden -> 1 sigmoid probability.
+Mlp make_link_predictor(std::size_t input_dim, std::size_t hidden_dim,
+                        rng::Random& random);
+
+/// The paper's node classifier: d -> hidden1 -> hidden2 -> |C|
+/// log-probabilities.
+Mlp make_node_classifier(std::size_t input_dim, std::size_t hidden1,
+                         std::size_t hidden2, std::size_t num_classes,
+                         rng::Random& random);
+
+/// The SVIII-A extension: a residual link predictor — input projection
+/// followed by @p num_blocks ResidualBlocks and a sigmoid head. The
+/// paper observes ~2% link-prediction accuracy over the plain FNN.
+Mlp make_residual_link_predictor(std::size_t input_dim,
+                                 std::size_t hidden_dim,
+                                 std::size_t num_blocks,
+                                 rng::Random& random);
+
+} // namespace tgl::nn

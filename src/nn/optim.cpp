@@ -1,0 +1,53 @@
+#include "nn/optim.hpp"
+
+namespace tgl::nn {
+
+Sgd::Sgd(std::vector<Parameter*> parameters, float lr, float momentum,
+         float weight_decay)
+    : parameters_(std::move(parameters)), lr_(lr), momentum_(momentum),
+      weight_decay_(weight_decay)
+{
+    if (momentum_ > 0.0f) {
+        velocity_.reserve(parameters_.size());
+        for (const Parameter* p : parameters_) {
+            velocity_.emplace_back(p->value.rows(), p->value.cols());
+        }
+    }
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t n = 0; n < parameters_.size(); ++n) {
+        Parameter& p = *parameters_[n];
+        float* value = p.value.data();
+        const float* grad = p.grad.data();
+        const std::size_t count = p.value.size();
+
+        if (momentum_ > 0.0f) {
+            float* velocity = velocity_[n].data();
+            for (std::size_t i = 0; i < count; ++i) {
+                const float g =
+                    grad[i] + weight_decay_ * value[i];
+                velocity[i] = momentum_ * velocity[i] + g;
+                value[i] -= lr_ * velocity[i];
+            }
+        } else {
+            for (std::size_t i = 0; i < count; ++i) {
+                const float g =
+                    grad[i] + weight_decay_ * value[i];
+                value[i] -= lr_ * g;
+            }
+        }
+    }
+}
+
+void
+Sgd::zero_grad()
+{
+    for (Parameter* p : parameters_) {
+        p->grad.zero();
+    }
+}
+
+} // namespace tgl::nn

@@ -1,0 +1,40 @@
+/// @file
+/// Optimizers. The paper trains both classifiers with SGD (SIV-B);
+/// momentum and weight decay are provided for the extension studies.
+#pragma once
+
+#include "nn/layers.hpp"
+
+#include <vector>
+
+namespace tgl::nn {
+
+/// Stochastic gradient descent over a set of parameters.
+class Sgd
+{
+  public:
+    /// @param parameters  borrowed; must outlive the optimizer
+    /// @param lr          learning rate
+    /// @param momentum    classical momentum (0 disables)
+    /// @param weight_decay L2 coefficient (0 disables)
+    Sgd(std::vector<Parameter*> parameters, float lr,
+        float momentum = 0.0f, float weight_decay = 0.0f);
+
+    /// Apply one update from the accumulated gradients.
+    void step();
+
+    /// Clear all gradient accumulators.
+    void zero_grad();
+
+    float lr() const { return lr_; }
+    void set_lr(float lr) { lr_ = lr; }
+
+  private:
+    std::vector<Parameter*> parameters_;
+    std::vector<Tensor> velocity_;
+    float lr_;
+    float momentum_;
+    float weight_decay_;
+};
+
+} // namespace tgl::nn

@@ -1,0 +1,58 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgl::nn {
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::add(const Tensor& other)
+{
+    TGL_ASSERT(same_shape(other));
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += other.data_[i];
+    }
+}
+
+void
+Tensor::axpy(float alpha, const Tensor& other)
+{
+    TGL_ASSERT(same_shape(other));
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += alpha * other.data_[i];
+    }
+}
+
+void
+Tensor::scale(float alpha)
+{
+    for (float& value : data_) {
+        value *= alpha;
+    }
+}
+
+void
+Tensor::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+}
+
+float
+Tensor::max_abs() const
+{
+    float best = 0.0f;
+    for (float value : data_) {
+        best = std::max(best, std::fabs(value));
+    }
+    return best;
+}
+
+} // namespace tgl::nn

@@ -1,0 +1,99 @@
+/// @file
+/// Dense row-major float matrix — the only tensor shape the paper's
+/// classifiers need (batch x features). Deliberately 2-D: the FNNs of
+/// SIV-B are pure matmul + elementwise stacks, and a minimal tensor
+/// keeps the GEMM substrate honest and testable.
+#pragma once
+
+#include "util/error.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tgl::nn {
+
+/// (rows x cols) row-major float matrix.
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /// Zero-initialized matrix.
+    Tensor(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    /// Matrix with given contents (size must equal rows*cols).
+    Tensor(std::size_t rows, std::size_t cols, std::vector<float> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        TGL_ASSERT(data_.size() == rows_ * cols_);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& operator()(std::size_t r, std::size_t c)
+    {
+        TGL_DASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        TGL_DASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /// Row r as a span.
+    std::span<float> row(std::size_t r)
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    std::span<const float> row(std::size_t r) const
+    {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /// Set every element to value.
+    void fill(float value);
+
+    /// Set every element to zero.
+    void zero() { fill(0.0f); }
+
+    /// this += other (shapes must match).
+    void add(const Tensor& other);
+
+    /// this += alpha * other (shapes must match).
+    void axpy(float alpha, const Tensor& other);
+
+    /// this *= alpha.
+    void scale(float alpha);
+
+    /// Shape equality.
+    bool same_shape(const Tensor& other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+    /// Resize (contents become zero).
+    void resize(std::size_t rows, std::size_t cols);
+
+    /// Largest absolute element (0 for empty).
+    float max_abs() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace tgl::nn

@@ -1,0 +1,324 @@
+#include "profiling/comparison_kernels.hpp"
+
+#include "nn/gemm.hpp"
+#include "rng/random.hpp"
+#include "util/env.hpp"
+#include "util/parallel_for.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+namespace tgl::prof {
+
+namespace {
+
+/// Run @p body(i) over [0, n) twice — serial then parallel — and fill
+/// the measured fields of @p metrics (utilization, imbalance, time).
+template <typename Body>
+void
+measure_parallel_kernel(std::size_t n, const Body& body,
+                        ProxyMetrics& metrics)
+{
+    const unsigned threads = util::default_threads();
+
+    util::Timer serial_timer;
+    for (std::size_t i = 0; i < n; ++i) {
+        body(i);
+    }
+    const double serial_seconds =
+        std::max(serial_timer.seconds(), 1e-9);
+
+    std::vector<double> busy(threads, 0.0);
+    util::Timer parallel_timer;
+    util::parallel_for_ranked(
+        0, n,
+        [&](std::size_t i, unsigned rank) {
+            util::Timer item_timer;
+            body(i);
+            busy[rank] += item_timer.seconds();
+        },
+        {});
+    const double parallel_seconds =
+        std::max(parallel_timer.seconds(), 1e-9);
+
+    metrics.seconds = parallel_seconds;
+    const double speedup = serial_seconds / parallel_seconds;
+    metrics.core_utilization =
+        std::min(1.0, speedup / static_cast<double>(threads));
+
+    double busy_total = 0.0;
+    double busy_max = 0.0;
+    unsigned active = 0;
+    for (double b : busy) {
+        if (b > 0.0) {
+            busy_total += b;
+            busy_max = std::max(busy_max, b);
+            ++active;
+        }
+    }
+    metrics.load_imbalance =
+        active == 0 || busy_total == 0.0
+            ? 1.0
+            : busy_max / (busy_total / active);
+}
+
+} // namespace
+
+double
+host_stream_bandwidth()
+{
+    static const double bandwidth = [] {
+        constexpr std::size_t kWords = 1 << 24; // 64 MiB in+out
+        std::vector<float> src(kWords, 1.0f);
+        std::vector<float> dst(kWords, 0.0f);
+        util::Timer timer;
+        for (int rep = 0; rep < 2; ++rep) {
+            std::copy(src.begin(), src.end(), dst.begin());
+            src[0] = dst[kWords - 1]; // defeat dead-code elimination
+        }
+        const double seconds = std::max(timer.seconds(), 1e-9);
+        return 2.0 * 2.0 * static_cast<double>(kWords) * sizeof(float) /
+               seconds;
+    }();
+    return bandwidth;
+}
+
+double
+cache_hit_model(std::size_t working_set_bytes, double reuse_floor)
+{
+    const auto& host = util::host_info();
+    const double ratio = static_cast<double>(working_set_bytes) /
+                         static_cast<double>(host.llc_bytes);
+    if (ratio <= 1.0) {
+        return 1.0;
+    }
+    // Beyond LLC, hits decay toward the kernel's intrinsic reuse floor.
+    const double decay = 1.0 / ratio;
+    return reuse_floor + (1.0 - reuse_floor) * decay;
+}
+
+ProxyMetrics
+run_bfs_kernel(const graph::TemporalGraph& graph, graph::NodeId source)
+{
+    ProxyMetrics metrics;
+    metrics.name = "BFS";
+
+    const graph::NodeId n = graph.num_nodes();
+    std::vector<std::atomic<std::uint8_t>> visited(n);
+    std::vector<graph::NodeId> frontier{source};
+    std::vector<graph::NodeId> next;
+    visited[source].store(1, std::memory_order_relaxed);
+    std::atomic<std::uint64_t> edges_relaxed{0};
+
+    const unsigned threads = util::default_threads();
+    std::vector<double> busy(threads, 0.0);
+
+    util::Timer timer;
+    while (!frontier.empty()) {
+        std::vector<std::vector<graph::NodeId>> local_next(threads);
+        util::parallel_for_ranked(
+            0, frontier.size(),
+            [&](std::size_t f, unsigned rank) {
+                util::Timer item_timer;
+                const graph::NodeId u = frontier[f];
+                std::uint64_t relaxed = 0;
+                for (const graph::Neighbor& nb : graph.out_neighbors(u)) {
+                    ++relaxed;
+                    std::uint8_t expected = 0;
+                    if (visited[nb.dst].compare_exchange_strong(
+                            expected, 1, std::memory_order_relaxed)) {
+                        local_next[rank].push_back(nb.dst);
+                    }
+                }
+                edges_relaxed.fetch_add(relaxed,
+                                        std::memory_order_relaxed);
+                busy[rank] += item_timer.seconds();
+            },
+            {});
+        next.clear();
+        for (auto& bucket : local_next) {
+            next.insert(next.end(), bucket.begin(), bucket.end());
+        }
+        frontier.swap(next);
+    }
+    metrics.seconds = std::max(timer.seconds(), 1e-9);
+
+    double busy_total = 0.0, busy_max = 0.0;
+    unsigned active = 0;
+    for (double b : busy) {
+        if (b > 0.0) {
+            busy_total += b;
+            busy_max = std::max(busy_max, b);
+            ++active;
+        }
+    }
+    metrics.load_imbalance =
+        active == 0 ? 1.0 : busy_max / (busy_total / active);
+    metrics.core_utilization =
+        std::min(1.0, (busy_total / metrics.seconds) /
+                          static_cast<double>(threads));
+
+    // Every neighbor inspection is a dependent access into the visited
+    // bitmap at a data-determined index.
+    metrics.irregularity = 0.8;
+    const std::size_t working_set =
+        n * sizeof(std::uint8_t) +
+        static_cast<std::size_t>(graph.num_edges()) *
+            sizeof(graph::Neighbor);
+    metrics.cache_hit_proxy = cache_hit_model(working_set, 0.2);
+    const double bytes =
+        static_cast<double>(edges_relaxed.load()) *
+        (sizeof(graph::Neighbor) + 1.0);
+    metrics.bandwidth_fraction = std::min(
+        1.0, bytes / metrics.seconds / host_stream_bandwidth());
+    return metrics;
+}
+
+ProxyMetrics
+run_dense_stack_kernel(std::size_t batch,
+                       const std::vector<std::size_t>& widths)
+{
+    ProxyMetrics metrics;
+    metrics.name = "VGG-proxy";
+
+    rng::Random random(99);
+    std::vector<nn::Tensor> weights;
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+        nn::Tensor w(widths[l + 1], widths[l]);
+        for (std::size_t i = 0; i < w.rows(); ++i) {
+            for (std::size_t j = 0; j < w.cols(); ++j) {
+                w(i, j) = random.next_float() - 0.5f;
+            }
+        }
+        weights.push_back(std::move(w));
+    }
+    nn::Tensor input(batch, widths.front());
+    for (std::size_t i = 0; i < input.rows(); ++i) {
+        for (std::size_t j = 0; j < input.cols(); ++j) {
+            input(i, j) = random.next_float();
+        }
+    }
+
+    // Row blocks of the batch are the parallel work items.
+    double flops = 0.0;
+    std::size_t working_set = 0;
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+        flops += 2.0 * static_cast<double>(batch) * widths[l] *
+                 widths[l + 1];
+        working_set += widths[l] * widths[l + 1] * sizeof(float);
+    }
+
+    measure_parallel_kernel(
+        8,
+        [&](std::size_t block) {
+            const std::size_t rows = batch / 8;
+            nn::Tensor slice(rows, widths.front());
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::size_t src = block * rows + r;
+                auto out = slice.row(r);
+                const auto in = input.row(std::min(src, batch - 1));
+                std::copy(in.begin(), in.end(), out.begin());
+            }
+            nn::Tensor current = std::move(slice);
+            nn::Tensor buffer;
+            for (const nn::Tensor& w : weights) {
+                nn::matmul_nt(current, w, buffer);
+                std::swap(current, buffer);
+            }
+        },
+        metrics);
+
+    metrics.irregularity = 0.02; // fully streaming
+    metrics.cache_hit_proxy = cache_hit_model(working_set, 0.6);
+    metrics.bandwidth_fraction = std::min(
+        1.0, (flops / 4.0) * sizeof(float) / metrics.seconds /
+                 host_stream_bandwidth() / 8.0);
+    return metrics;
+}
+
+ProxyMetrics
+run_spmm_kernel(const graph::TemporalGraph& graph, std::size_t feature_dim,
+                std::size_t out_dim)
+{
+    ProxyMetrics metrics;
+    metrics.name = "GCN-proxy";
+
+    const graph::NodeId n = graph.num_nodes();
+    rng::Random random(123);
+    nn::Tensor features(n, feature_dim);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        features.data()[i] = random.next_float();
+    }
+    nn::Tensor aggregated(n, feature_dim);
+    nn::Tensor weight(out_dim, feature_dim);
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+        weight.data()[i] = random.next_float() - 0.5f;
+    }
+
+    // Mean-aggregate neighbors (the SpMM), then project (the GEMM).
+    measure_parallel_kernel(
+        n,
+        [&](std::size_t u) {
+            auto out = aggregated.row(u);
+            std::fill(out.begin(), out.end(), 0.0f);
+            const auto neighbors =
+                graph.out_neighbors(static_cast<graph::NodeId>(u));
+            for (const graph::Neighbor& nb : neighbors) {
+                const auto in = features.row(nb.dst);
+                for (std::size_t c = 0; c < feature_dim; ++c) {
+                    out[c] += in[c];
+                }
+            }
+            if (!neighbors.empty()) {
+                const float inv =
+                    1.0f / static_cast<float>(neighbors.size());
+                for (std::size_t c = 0; c < feature_dim; ++c) {
+                    out[c] *= inv;
+                }
+            }
+        },
+        metrics);
+
+    nn::Tensor projected;
+    util::Timer gemm_timer;
+    nn::matmul_nt(aggregated, weight, projected);
+    metrics.seconds += gemm_timer.seconds();
+
+    // Gathers of whole feature rows: irregular row selection but
+    // streaming within a row.
+    metrics.irregularity = 0.45;
+    const std::size_t working_set =
+        static_cast<std::size_t>(n) * feature_dim * sizeof(float) +
+        static_cast<std::size_t>(graph.num_edges()) *
+            sizeof(graph::Neighbor);
+    metrics.cache_hit_proxy = cache_hit_model(working_set, 0.35);
+    const double bytes =
+        static_cast<double>(graph.num_edges()) *
+        static_cast<double>(feature_dim) * sizeof(float);
+    metrics.bandwidth_fraction = std::min(
+        1.0, bytes / metrics.seconds / host_stream_bandwidth());
+    return metrics;
+}
+
+std::string
+format_proxy_metrics(const ProxyMetrics& metrics)
+{
+    return util::strcat(
+        metrics.name, ": time ", util::format_fixed(metrics.seconds, 3),
+        "s, core-util ",
+        util::format_fixed(metrics.core_utilization * 100.0, 1),
+        "%, imbalance ",
+        util::format_fixed(metrics.load_imbalance, 2), "x, cache-hit ",
+        util::format_fixed(metrics.cache_hit_proxy * 100.0, 1),
+        "%, bw ",
+        util::format_fixed(metrics.bandwidth_fraction * 100.0, 1),
+        "%, irregularity ",
+        util::format_fixed(metrics.irregularity, 2));
+}
+
+} // namespace tgl::prof

@@ -1,0 +1,69 @@
+/// @file
+/// Reference workloads for the Fig. 3 cross-benchmark comparison.
+///
+/// The paper contrasts its pipeline against BFS (pure graph traversal),
+/// VGG (dense deep-learning inference) and GCN (graph convolution) on
+/// GPU hardware counters. We implement the three reference kernels on
+/// the same substrate as the pipeline and report software proxies:
+///  * seconds            — measured wall clock;
+///  * core_utilization   — measured parallel efficiency
+///                         (speedup over serial / team size);
+///  * load_imbalance     — measured max/mean per-thread busy time;
+///  * cache_hit_proxy    — modeled from working set vs cache capacity;
+///  * bandwidth_fraction — bytes actually touched per unit time over
+///                         a stream-copy peak measured on this host;
+///  * irregularity       — fraction of memory accesses whose address
+///                         depends on loaded data (the software
+///                         analogue of the paper's replay ratio).
+#pragma once
+
+#include "graph/temporal_graph.hpp"
+#include "nn/tensor.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgl::prof {
+
+/// Proxy hardware metrics of one kernel run.
+struct ProxyMetrics
+{
+    std::string name;
+    double seconds = 0.0;
+    double core_utilization = 0.0;
+    double load_imbalance = 1.0;
+    double cache_hit_proxy = 0.0;
+    double bandwidth_fraction = 0.0;
+    double irregularity = 0.0;
+};
+
+/// Parallel top-down BFS from @p source; metrics over the traversal.
+ProxyMetrics run_bfs_kernel(const graph::TemporalGraph& graph,
+                            graph::NodeId source);
+
+/// Dense GEMM layer stack sized like a (scaled) VGG classifier head.
+/// @param batch   inference batch
+/// @param widths  layer widths including input, e.g. {2048, 1024, 256}
+ProxyMetrics run_dense_stack_kernel(std::size_t batch,
+                                    const std::vector<std::size_t>& widths);
+
+/// One GCN-style aggregation: H' = normalize(A) * H * W with CSR A.
+ProxyMetrics run_spmm_kernel(const graph::TemporalGraph& graph,
+                             std::size_t feature_dim,
+                             std::size_t out_dim);
+
+/// Measured single-thread stream-copy bandwidth of this host (bytes/s),
+/// used as the denominator of bandwidth_fraction. Cached after the
+/// first call.
+double host_stream_bandwidth();
+
+/// Working-set-vs-cache hit-rate model shared by the kernels:
+/// fully cache-resident sets hit ~1, sets far beyond LLC decay toward
+/// the reuse floor.
+double cache_hit_model(std::size_t working_set_bytes, double reuse_floor);
+
+/// Render one row of the Fig. 3 table.
+std::string format_proxy_metrics(const ProxyMetrics& metrics);
+
+} // namespace tgl::prof

@@ -1,0 +1,129 @@
+#include "profiling/op_counters.hpp"
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace tgl::prof {
+
+namespace {
+
+double
+fraction(std::uint64_t part, std::uint64_t total)
+{
+    return total == 0 ? 0.0
+                      : static_cast<double>(part) /
+                            static_cast<double>(total);
+}
+
+/// Fixed share of stack/SIMD/string/"others" instructions the compiler
+/// adds around the algorithmic work; MICA runs on comparable kernels
+/// report 15-25%, matching Fig. 9's "others" band.
+constexpr double kOtherShare = 0.20;
+
+std::uint64_t
+other_from(std::uint64_t counted)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(counted) * kOtherShare / (1.0 - kOtherShare));
+}
+
+} // namespace
+
+double OpCounts::memory_fraction() const { return fraction(memory, total()); }
+double OpCounts::branch_fraction() const { return fraction(branch, total()); }
+double OpCounts::compute_fraction() const
+{
+    return fraction(compute, total());
+}
+double OpCounts::other_fraction() const { return fraction(other, total()); }
+
+OpCounts
+walk_op_counts(const walk::WalkProfile& profile)
+{
+    OpCounts counts;
+    // Neighbor discovery: every candidate record examined is a load
+    // plus a timestamp comparison (branch).
+    counts.memory = profile.candidates_scanned;
+    counts.branch = profile.candidates_scanned;
+    // Transition sampling (counted live by the kernel).
+    counts.memory += profile.transition_cost.memory_ops;
+    counts.branch += profile.transition_cost.branch_ops;
+    counts.compute += profile.transition_cost.compute_ops;
+    // Per-step bookkeeping: CSR offset loads, clock/current updates,
+    // loop control.
+    counts.memory += profile.steps_taken * 3;
+    counts.compute += profile.steps_taken * 2;
+    counts.branch += profile.steps_taken + profile.walks_started;
+    counts.other = other_from(counts.total());
+    return counts;
+}
+
+OpCounts
+w2v_op_counts(const embed::TrainStats& stats,
+              const embed::SgnsConfig& config)
+{
+    OpCounts counts;
+    const std::uint64_t pairs = stats.pairs_trained;
+    const std::uint64_t d = config.dim;
+    const std::uint64_t targets = config.negatives + 1;
+    // Per (pair, target): dot product (2d loads + 2d flops), two axpy
+    // updates (2d loads + 2d stores + 2d flops each), sigmoid lookup.
+    counts.memory = pairs * targets * (2 * d + 8 * d) +
+                    pairs * 2 * d; // final scratch apply
+    counts.compute = pairs * targets * (2 * d + 4 * d + 4) +
+                     pairs * 2 * d;
+    // Window iteration, negative-table draws, label branch.
+    counts.branch = pairs * (targets + 4);
+    counts.other = other_from(counts.total());
+    return counts;
+}
+
+OpCounts
+classifier_op_counts(std::size_t batch,
+                     const std::vector<std::size_t>& layer_dims,
+                     std::uint64_t passes, bool training)
+{
+    OpCounts counts;
+    for (std::size_t layer = 0; layer + 1 < layer_dims.size(); ++layer) {
+        const std::uint64_t m = batch;
+        const std::uint64_t k = layer_dims[layer];
+        const std::uint64_t n = layer_dims[layer + 1];
+        // Forward GEMM: C(m,n) = A(m,k) * W(n,k)^T. Instruction-level
+        // accounting (the MICA view): each MAC issues one mul+add and,
+        // with register blocking amortizing operand reuse, about half
+        // an operand load on average.
+        std::uint64_t flops = 2 * m * k * n;
+        std::uint64_t loads = m * k * n / 2 + m * n;
+        if (training) {
+            // dX GEMM + dW GEMM + SGD update traffic.
+            flops *= 3;
+            loads = loads * 3 + 2 * n * k;
+        }
+        counts.compute += flops;
+        counts.memory += loads;
+        // Activation: one compare/exp per element.
+        counts.compute += m * n;
+        counts.branch += m * n;
+    }
+    counts.compute *= passes;
+    counts.memory *= passes;
+    counts.branch *= passes;
+    counts.other = other_from(counts.total());
+    return counts;
+}
+
+std::string
+format_op_counts(const std::string& kernel, const OpCounts& counts)
+{
+    return util::strcat(
+        kernel, ": mem ",
+        util::format_fixed(counts.memory_fraction() * 100.0, 1),
+        "% branch ",
+        util::format_fixed(counts.branch_fraction() * 100.0, 1),
+        "% compute ",
+        util::format_fixed(counts.compute_fraction() * 100.0, 1),
+        "% other ",
+        util::format_fixed(counts.other_fraction() * 100.0, 1), "%");
+}
+
+} // namespace tgl::prof

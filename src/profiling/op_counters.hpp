@@ -1,0 +1,68 @@
+/// @file
+/// Software operation accounting — the MICA-Pintool substitution.
+///
+/// The paper classifies dynamic instructions into memory / branch /
+/// compute / other (Fig. 9) with a binary-instrumentation tool. Without
+/// one, tgl derives the same taxonomy at the algorithm level: each
+/// kernel reports the data touches, conditional decisions, and
+/// arithmetic its inner loops actually perform (counted by the kernels
+/// themselves — e.g. walk::TransitionCost — or derived from exact trip
+/// counts), plus a fixed overhead share for the stack/SIMD/"others"
+/// bucket. Absolute counts differ from retired-instruction counts; the
+/// *mix* — which Fig. 9's conclusion rests on — tracks the algorithm.
+#pragma once
+
+#include "embed/sgns_model.hpp"
+#include "embed/trainer.hpp"
+#include "walk/engine.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace tgl::prof {
+
+/// Operation counts in the MICA taxonomy.
+struct OpCounts
+{
+    std::uint64_t memory = 0;
+    std::uint64_t branch = 0;
+    std::uint64_t compute = 0;
+    std::uint64_t other = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return memory + branch + compute + other;
+    }
+
+    double memory_fraction() const;
+    double branch_fraction() const;
+    double compute_fraction() const;
+    double other_fraction() const;
+};
+
+/// Operation mix of a temporal-random-walk run, derived from the
+/// engine's measured profile.
+OpCounts walk_op_counts(const walk::WalkProfile& profile);
+
+/// Operation mix of an SGNS training run, derived from measured pair
+/// counts and the configured dim / negatives.
+OpCounts w2v_op_counts(const embed::TrainStats& stats,
+                       const embed::SgnsConfig& config);
+
+/// Operation mix of classifier training/testing, derived from the
+/// exact GEMM and elementwise trip counts of the layer stack.
+///
+/// @param batch    examples per pass
+/// @param layer_dims  widths including input and output, e.g. {16,16,1}
+/// @param passes   forward(+backward) executions
+/// @param training include backward-pass work
+OpCounts classifier_op_counts(std::size_t batch,
+                              const std::vector<std::size_t>& layer_dims,
+                              std::uint64_t passes, bool training);
+
+/// Render "kernel: mem x% branch y% compute z% other w%".
+std::string format_op_counts(const std::string& kernel,
+                             const OpCounts& counts);
+
+} // namespace tgl::prof

@@ -1,0 +1,51 @@
+#include "profiling/phase_timer.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tgl::prof {
+
+void
+PhaseTimer::add(const std::string& phase, double seconds)
+{
+    for (auto& [name, accumulated] : phases_) {
+        if (name == phase) {
+            accumulated += seconds;
+            return;
+        }
+    }
+    phases_.emplace_back(phase, seconds);
+}
+
+double
+PhaseTimer::seconds(const std::string& phase) const
+{
+    for (const auto& [name, accumulated] : phases_) {
+        if (name == phase) {
+            return accumulated;
+        }
+    }
+    return 0.0;
+}
+
+double
+PhaseTimer::total() const
+{
+    double sum = 0.0;
+    for (const auto& [name, accumulated] : phases_) {
+        sum += accumulated;
+    }
+    return sum;
+}
+
+std::string
+PhaseTimer::format() const
+{
+    std::string text;
+    for (const auto& [name, accumulated] : phases_) {
+        text += name + ": " + util::format_fixed(accumulated, 3) + " s\n";
+    }
+    text += "total: " + util::format_fixed(total(), 3) + " s";
+    return text;
+}
+
+} // namespace tgl::prof

@@ -1,0 +1,61 @@
+/// @file
+/// Named phase timing with hierarchical accumulation, used by the
+/// benchmark drivers to build Table III-style breakdowns.
+#pragma once
+
+#include "util/timer.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tgl::prof {
+
+/// Accumulates wall-clock seconds under string keys, preserving first-
+/// use order.
+class PhaseTimer
+{
+  public:
+    /// Add seconds to a phase (created on first use).
+    void add(const std::string& phase, double seconds);
+
+    /// Time a callable and record it under @p phase; returns its result.
+    template <typename Fn>
+    auto
+    measure(const std::string& phase, Fn&& fn)
+    {
+        util::Timer timer;
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+            add(phase, timer.seconds());
+        } else {
+            auto result = fn();
+            add(phase, timer.seconds());
+            return result;
+        }
+    }
+
+    /// Accumulated seconds for a phase (0 if never recorded).
+    double seconds(const std::string& phase) const;
+
+    /// All phases in first-use order.
+    const std::vector<std::pair<std::string, double>>&
+    phases() const
+    {
+        return phases_;
+    }
+
+    /// Sum of all phases.
+    double total() const;
+
+    /// Render "phase: x.xxx s" lines plus a total.
+    std::string format() const;
+
+    /// Drop all recorded phases.
+    void reset() { phases_.clear(); }
+
+  private:
+    std::vector<std::pair<std::string, double>> phases_;
+};
+
+} // namespace tgl::prof

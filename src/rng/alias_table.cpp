@@ -1,0 +1,82 @@
+#include "rng/alias_table.hpp"
+
+#include "util/error.hpp"
+
+#include <numeric>
+
+namespace tgl::rng {
+
+AliasTable::AliasTable(const std::vector<double>& weights)
+{
+    if (weights.empty()) {
+        util::fatal("AliasTable: empty weight vector");
+    }
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) {
+            util::fatal("AliasTable: negative weight");
+        }
+        total += w;
+    }
+    if (total <= 0.0) {
+        util::fatal("AliasTable: all weights are zero");
+    }
+
+    const std::size_t n = weights.size();
+    probability_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    normalized_.assign(n, 0.0);
+
+    // Scaled probabilities: mean 1. Partition into small (< 1) and
+    // large (>= 1) stacks, pair them off (Vose's stable construction).
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        normalized_[i] = weights[i] / total;
+        scaled[i] = normalized_[i] * static_cast<double>(n);
+    }
+
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0) {
+            small.push_back(static_cast<std::uint32_t>(i));
+        } else {
+            large.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        small.pop_back();
+        const std::uint32_t l = large.back();
+        large.pop_back();
+        probability_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0) {
+            small.push_back(l);
+        } else {
+            large.push_back(l);
+        }
+    }
+    // Numerical leftovers are exactly-1 columns.
+    for (std::uint32_t l : large) {
+        probability_[l] = 1.0;
+        alias_[l] = l;
+    }
+    for (std::uint32_t s : small) {
+        probability_[s] = 1.0;
+        alias_[s] = s;
+    }
+}
+
+double
+AliasTable::outcome_probability(std::uint32_t i) const
+{
+    TGL_ASSERT(i < normalized_.size());
+    return normalized_[i];
+}
+
+} // namespace tgl::rng

@@ -1,0 +1,48 @@
+/// @file
+/// Walker alias method for O(1) draws from a fixed discrete
+/// distribution. Used by the word2vec negative-sampling table (the
+/// unigram^0.75 distribution over the vocabulary) and by the R-MAT
+/// generator's quadrant selection.
+#pragma once
+
+#include "rng/random.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace tgl::rng {
+
+/// Immutable alias table built from non-negative weights.
+class AliasTable
+{
+  public:
+    AliasTable() = default;
+
+    /// Build from weights; at least one weight must be positive.
+    /// Throws tgl::util::Error on an all-zero or empty weight vector.
+    explicit AliasTable(const std::vector<double>& weights);
+
+    /// Number of outcomes.
+    std::size_t size() const { return probability_.size(); }
+
+    /// Draw an outcome index in O(1).
+    std::uint32_t
+    sample(Random& random) const
+    {
+        const std::uint32_t column =
+            static_cast<std::uint32_t>(random.next_index(size()));
+        return random.next_double() < probability_[column]
+                   ? column
+                   : alias_[column];
+    }
+
+    /// Exact probability assigned to outcome i (for tests).
+    double outcome_probability(std::uint32_t i) const;
+
+  private:
+    std::vector<double> probability_;
+    std::vector<std::uint32_t> alias_;
+    std::vector<double> normalized_;
+};
+
+} // namespace tgl::rng

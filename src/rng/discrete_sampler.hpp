@@ -1,0 +1,58 @@
+/// @file
+/// Sampling from discrete weighted distributions.
+///
+/// Two flavors:
+///  * DiscreteSampler — prefix-sum table built once, O(log n) draws;
+///    used when many draws come from one distribution.
+///  * one-shot free functions — a single draw from weights that exist
+///    only transiently (the temporal-walk softmax over a neighbor
+///    suffix, Eq. 1 of the paper), where building a table would cost
+///    more than the draw itself.
+#pragma once
+
+#include "rng/random.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tgl::rng {
+
+/// CDF sampler with O(log n) draws via binary search.
+class DiscreteSampler
+{
+  public:
+    DiscreteSampler() = default;
+
+    /// Build from non-negative weights (at least one positive).
+    explicit DiscreteSampler(const std::vector<double>& weights);
+
+    /// Number of outcomes.
+    std::size_t size() const { return cdf_.size(); }
+
+    /// Draw an outcome index.
+    std::uint32_t sample(Random& random) const;
+
+    /// Exact probability of outcome i (for tests).
+    double outcome_probability(std::uint32_t i) const;
+
+  private:
+    std::vector<double> cdf_; // inclusive prefix sums, last == total
+};
+
+/// One draw from weights[0..n) produced lazily by @p weight_of, using a
+/// single pass (weighted reservoir replacement). Returns n if every
+/// weight is zero.
+std::size_t sample_weighted_one_pass(
+    std::size_t n, const std::function<double(std::size_t)>& weight_of,
+    Random& random);
+
+/// One draw using two passes (total, then threshold scan). Slightly
+/// cheaper per element than the one-pass method when the weight functor
+/// is trivial; kept for the sampling ablation bench. Returns n if every
+/// weight is zero.
+std::size_t sample_weighted_two_pass(
+    std::size_t n, const std::function<double(std::size_t)>& weight_of,
+    Random& random);
+
+} // namespace tgl::rng

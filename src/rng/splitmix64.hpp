@@ -1,0 +1,46 @@
+/// @file
+/// SplitMix64 — a tiny, fast 64-bit PRNG used to seed the main
+/// generators and to derive independent per-thread / per-walk streams.
+///
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014 (public-domain reference implementation by
+/// Sebastiano Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace tgl::rng {
+
+/// Splittable 64-bit generator with a 2^64 period.
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /// Next 64 pseudorandom bits.
+    constexpr std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/// Stateless hash of a seed/stream pair to one 64-bit value. Used to
+/// give every (walk, vertex) pair its own deterministic stream so
+/// multithreaded walk generation is reproducible regardless of how
+/// iterations are scheduled onto threads.
+constexpr std::uint64_t
+mix_seed(std::uint64_t seed, std::uint64_t stream)
+{
+    SplitMix64 mixer(seed ^ (0x9e3779b97f4a7c15ULL + stream * 0xd1b54a32d192ed03ULL));
+    mixer.next();
+    return mixer.next();
+}
+
+} // namespace tgl::rng

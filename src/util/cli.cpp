@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <cstdio>
+
+namespace tgl::util {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+CliParser::add_flag(const std::string& name, const std::string& default_value,
+                    const std::string& help)
+{
+    flags_[name] = Flag{default_value, help, false};
+}
+
+void
+CliParser::add_switch(const std::string& name, const std::string& help)
+{
+    flags_[name] = Flag{"0", help, true};
+}
+
+bool
+CliParser::parse(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(help().c_str(), stdout);
+            return false;
+        }
+        if (!starts_with(arg, "--")) {
+            positional_.emplace_back(arg);
+            continue;
+        }
+        arg.remove_prefix(2);
+        std::string name;
+        std::string value;
+        bool has_value = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+            name = std::string(arg.substr(0, eq));
+            value = std::string(arg.substr(eq + 1));
+            has_value = true;
+        } else {
+            name = std::string(arg);
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            fatal(strcat("unknown flag --", name, " (see --help)"));
+        }
+        if (it->second.is_switch) {
+            it->second.value = has_value ? value : "1";
+        } else if (has_value) {
+            it->second.value = value;
+        } else {
+            if (i + 1 >= argc) {
+                fatal(strcat("flag --", name, " expects a value"));
+            }
+            it->second.value = argv[++i];
+        }
+    }
+    return true;
+}
+
+const CliParser::Flag&
+CliParser::find(const std::string& name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+        fatal(strcat("flag --", name, " was never registered"));
+    }
+    return it->second;
+}
+
+std::string
+CliParser::get_string(const std::string& name) const
+{
+    return find(name).value;
+}
+
+long long
+CliParser::get_int(const std::string& name) const
+{
+    return parse_int(find(name).value);
+}
+
+double
+CliParser::get_double(const std::string& name) const
+{
+    return parse_double(find(name).value);
+}
+
+bool
+CliParser::get_switch(const std::string& name) const
+{
+    const std::string& value = find(name).value;
+    return value == "1" || value == "true" || value == "yes";
+}
+
+std::string
+CliParser::help() const
+{
+    std::string text = program_ + " — " + description_ + "\n\nFlags:\n";
+    for (const auto& [name, flag] : flags_) {
+        text += "  --" + name;
+        if (!flag.is_switch) {
+            text += " <value> (default: " + flag.value + ")";
+        }
+        text += "\n      " + flag.help + "\n";
+    }
+    return text;
+}
+
+} // namespace tgl::util

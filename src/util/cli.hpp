@@ -1,0 +1,68 @@
+/// @file
+/// Tiny command-line flag parser for the examples and benchmark drivers.
+///
+/// Supports `--name value` and `--name=value` forms plus boolean
+/// switches. Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tgl::util {
+
+/// Declarative command-line parser.
+///
+/// Usage:
+/// @code
+///   CliParser cli("my_tool", "does things");
+///   cli.add_flag("walks", "10", "walks per node");
+///   cli.add_switch("verbose", "chatty output");
+///   cli.parse(argc, argv);
+///   int walks = cli.get_int("walks");
+/// @endcode
+class CliParser
+{
+  public:
+    CliParser(std::string program, std::string description);
+
+    /// Register a value flag with a default.
+    void add_flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+    /// Register a boolean switch (defaults to false).
+    void add_switch(const std::string& name, const std::string& help);
+
+    /// Parse argv; throws tgl::util::Error on unknown or malformed flags.
+    /// Returns false if --help was requested (help text already printed).
+    bool parse(int argc, const char* const* argv);
+
+    /// Accessors; throw if the flag was never registered.
+    std::string get_string(const std::string& name) const;
+    long long get_int(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    bool get_switch(const std::string& name) const;
+
+    /// Positional arguments left over after flag parsing.
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /// Render the help text.
+    std::string help() const;
+
+  private:
+    struct Flag
+    {
+        std::string value;
+        std::string help;
+        bool is_switch = false;
+    };
+
+    const Flag& find(const std::string& name) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace tgl::util

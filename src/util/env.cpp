@@ -1,0 +1,67 @@
+#include "util/env.hpp"
+
+#include "util/logging.hpp"
+
+#include <thread>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace tgl::util {
+
+namespace {
+
+#ifdef __linux__
+std::size_t
+sysconf_or(long name, std::size_t fallback)
+{
+    const long value = ::sysconf(name);
+    return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+#endif
+
+HostInfo
+query_host()
+{
+    HostInfo info;
+    const unsigned hw = std::thread::hardware_concurrency();
+    info.hardware_threads = hw == 0 ? 1 : hw;
+#ifdef __linux__
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+    info.l1d_bytes = sysconf_or(_SC_LEVEL1_DCACHE_SIZE, info.l1d_bytes);
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+    info.l2_bytes = sysconf_or(_SC_LEVEL2_CACHE_SIZE, info.l2_bytes);
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+    info.llc_bytes = sysconf_or(_SC_LEVEL3_CACHE_SIZE, info.llc_bytes);
+#endif
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+    info.cache_line_bytes =
+        sysconf_or(_SC_LEVEL1_DCACHE_LINESIZE, info.cache_line_bytes);
+#endif
+#endif
+    return info;
+}
+
+} // namespace
+
+const HostInfo&
+host_info()
+{
+    static const HostInfo info = query_host();
+    return info;
+}
+
+std::string
+host_summary()
+{
+    const HostInfo& info = host_info();
+    return strcat("host: ", info.hardware_threads, " hw threads, L1d ",
+                  info.l1d_bytes / 1024, "KiB, L2 ", info.l2_bytes / 1024,
+                  "KiB, LLC ", info.llc_bytes / 1024, "KiB, line ",
+                  info.cache_line_bytes, "B");
+}
+
+} // namespace tgl::util

@@ -1,0 +1,28 @@
+/// @file
+/// Host environment introspection used by the benchmark harness and the
+/// stall model (thread counts, cache sizes). Values that cannot be
+/// queried fall back to documented defaults so the code runs anywhere.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tgl::util {
+
+/// Static description of the executing machine.
+struct HostInfo
+{
+    unsigned hardware_threads = 1;
+    std::size_t l1d_bytes = 32 * 1024;
+    std::size_t l2_bytes = 512 * 1024;
+    std::size_t llc_bytes = 8 * 1024 * 1024;
+    std::size_t cache_line_bytes = 64;
+};
+
+/// Query (and cache) host information.
+const HostInfo& host_info();
+
+/// One-line human-readable host summary for benchmark headers.
+std::string host_summary();
+
+} // namespace tgl::util

@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tgl::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char*
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kQuiet: return "quiet";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, const std::string& message)
+{
+    if (level < g_level.load(std::memory_order_relaxed)) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[tgl:%s] %s\n", level_tag(level), message.c_str());
+}
+
+} // namespace tgl::util

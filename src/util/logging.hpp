@@ -1,0 +1,59 @@
+/// @file
+/// Minimal leveled logging for tgl.
+///
+/// Modeled after gem5's inform()/warn() message facilities: these report
+/// status to the user and never stop execution. Output goes to stderr so
+/// benchmark result rows on stdout stay machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tgl::util {
+
+/// Severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kQuiet = 3 };
+
+/// Set the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emit a message at the given level (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+/// Status message a user should see during normal operation.
+inline void
+inform(const std::string& message)
+{
+    log_message(LogLevel::kInfo, message);
+}
+
+/// Something looks off but execution can continue.
+inline void
+warn(const std::string& message)
+{
+    log_message(LogLevel::kWarn, message);
+}
+
+/// Developer-facing detail, hidden by default.
+inline void
+debug(const std::string& message)
+{
+    log_message(LogLevel::kDebug, message);
+}
+
+/// Build a string from streamable parts: strcat("n=", 4, " ok").
+template <typename... Args>
+std::string
+strcat(Args&&... args)
+{
+    std::ostringstream oss;
+    if constexpr (sizeof...(args) > 0) {
+        (oss << ... << args);
+    }
+    return oss.str();
+}
+
+} // namespace tgl::util

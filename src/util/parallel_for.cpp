@@ -1,0 +1,31 @@
+#include "util/parallel_for.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace tgl::util {
+
+namespace {
+
+std::atomic<unsigned> g_default_threads{0};
+
+} // namespace
+
+void
+set_default_threads(unsigned num_threads)
+{
+    g_default_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+unsigned
+default_threads()
+{
+    unsigned configured = g_default_threads.load(std::memory_order_relaxed);
+    if (configured != 0) {
+        return configured;
+    }
+    unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+} // namespace tgl::util

@@ -1,0 +1,181 @@
+/// @file
+/// Dynamically scheduled parallel loops over index ranges.
+///
+/// parallel_for mirrors `#pragma omp parallel for schedule(dynamic)`:
+/// team members repeatedly claim the next chunk of iterations from a
+/// shared atomic cursor, so a thread that finishes its chunk early
+/// steals work that a static partition would have given to a slower
+/// peer. This is the load-balancing mechanism the paper relies on for
+/// the temporal random walk kernel, whose per-vertex work varies with
+/// out-degree and timestamp distribution (SVII-B, "Scaling Analysis").
+#pragma once
+
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+namespace tgl::util {
+
+/// Tuning knobs for a parallel loop.
+struct ParallelOptions
+{
+    /// Team size; 0 means the configured default (see set_default_threads).
+    unsigned num_threads = 0;
+    /// Iterations claimed per cursor fetch; 0 picks a heuristic.
+    std::size_t grain = 0;
+};
+
+/// Set the process-wide default team size (0 restores hardware threads).
+void set_default_threads(unsigned num_threads);
+
+/// Current default team size used when ParallelOptions::num_threads == 0.
+unsigned default_threads();
+
+/// Run body(i) for every i in [begin, end) on a dynamically scheduled
+/// team. The body must be safe to invoke concurrently for distinct i.
+template <typename Body>
+void
+parallel_for(std::size_t begin, std::size_t end, const Body& body,
+             ParallelOptions options = {})
+{
+    if (begin >= end) {
+        return;
+    }
+    const std::size_t count = end - begin;
+    unsigned threads = options.num_threads ? options.num_threads
+                                           : default_threads();
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    if (threads <= 1) {
+        for (std::size_t i = begin; i < end; ++i) {
+            body(i);
+        }
+        return;
+    }
+
+    std::size_t grain = options.grain;
+    if (grain == 0) {
+        // Aim for ~8 chunks per thread so stealing can balance load
+        // without the cursor becoming a contention hotspot.
+        grain = std::max<std::size_t>(1, count / (8 * threads));
+    }
+
+    std::atomic<std::size_t> cursor{begin};
+    auto worker = [&](unsigned) {
+        for (;;) {
+            const std::size_t chunk_begin =
+                cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (chunk_begin >= end) {
+                return;
+            }
+            const std::size_t chunk_end = std::min(chunk_begin + grain, end);
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                body(i);
+            }
+        }
+    };
+    ThreadPool::global().run(threads, worker);
+}
+
+/// Like parallel_for, but the body also receives the team rank of the
+/// executing thread (0 <= rank < team size), for per-thread scratch
+/// buffers and profile accumulators. Returns the team size used.
+template <typename Body>
+unsigned
+parallel_for_ranked(std::size_t begin, std::size_t end, const Body& body,
+                    ParallelOptions options = {})
+{
+    if (begin >= end) {
+        return 0;
+    }
+    const std::size_t count = end - begin;
+    unsigned threads = options.num_threads ? options.num_threads
+                                           : default_threads();
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    if (threads <= 1) {
+        for (std::size_t i = begin; i < end; ++i) {
+            body(i, 0u);
+        }
+        return 1;
+    }
+
+    std::size_t grain = options.grain;
+    if (grain == 0) {
+        grain = std::max<std::size_t>(1, count / (8 * threads));
+    }
+
+    std::atomic<std::size_t> cursor{begin};
+    auto worker = [&](unsigned rank) {
+        for (;;) {
+            const std::size_t chunk_begin =
+                cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (chunk_begin >= end) {
+                return;
+            }
+            const std::size_t chunk_end = std::min(chunk_begin + grain, end);
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                body(i, rank);
+            }
+        }
+    };
+    ThreadPool::global().run(threads, worker);
+    return threads;
+}
+
+/// Parallel sum-reduction of body(i) over [begin, end).
+template <typename Body>
+double
+parallel_reduce_sum(std::size_t begin, std::size_t end, const Body& body,
+                    ParallelOptions options = {})
+{
+    if (begin >= end) {
+        return 0.0;
+    }
+    const std::size_t count = end - begin;
+    unsigned threads = options.num_threads ? options.num_threads
+                                           : default_threads();
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    if (threads <= 1) {
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            sum += body(i);
+        }
+        return sum;
+    }
+
+    std::size_t grain = options.grain;
+    if (grain == 0) {
+        grain = std::max<std::size_t>(1, count / (8 * threads));
+    }
+
+    std::atomic<std::size_t> cursor{begin};
+    std::vector<double> partial(threads, 0.0);
+    auto worker = [&](unsigned rank) {
+        double local = 0.0;
+        for (;;) {
+            const std::size_t chunk_begin =
+                cursor.fetch_add(grain, std::memory_order_relaxed);
+            if (chunk_begin >= end) {
+                break;
+            }
+            const std::size_t chunk_end = std::min(chunk_begin + grain, end);
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                local += body(i);
+            }
+        }
+        partial[rank] = local;
+    };
+    ThreadPool::global().run(threads, worker);
+
+    double sum = 0.0;
+    for (double value : partial) {
+        sum += value;
+    }
+    return sum;
+}
+
+} // namespace tgl::util

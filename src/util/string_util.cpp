@@ -1,0 +1,105 @@
+#include "util/string_util.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace tgl::util {
+
+std::string_view
+trim(std::string_view text)
+{
+    std::size_t first = 0;
+    while (first < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[first]))) {
+        ++first;
+    }
+    std::size_t last = text.size();
+    while (last > first &&
+           std::isspace(static_cast<unsigned char>(text[last - 1]))) {
+        --last;
+    }
+    return text.substr(first, last - first);
+}
+
+std::vector<std::string_view>
+split(std::string_view text, std::string_view delims)
+{
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t start = text.find_first_not_of(delims, pos);
+        if (start == std::string_view::npos) {
+            break;
+        }
+        std::size_t stop = text.find_first_of(delims, start);
+        if (stop == std::string_view::npos) {
+            stop = text.size();
+        }
+        fields.push_back(text.substr(start, stop - start));
+        pos = stop;
+    }
+    return fields;
+}
+
+bool
+starts_with(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+long long
+parse_int(std::string_view text)
+{
+    text = trim(text);
+    long long value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        fatal(strcat("malformed integer: '", std::string(text), "'"));
+    }
+    return value;
+}
+
+double
+parse_double(std::string_view text)
+{
+    text = trim(text);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        fatal(strcat("malformed number: '", std::string(text), "'"));
+    }
+    return value;
+}
+
+std::string
+format_fixed(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+format_count(unsigned long long value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead) {
+            out.push_back(',');
+        }
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+} // namespace tgl::util

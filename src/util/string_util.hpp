@@ -1,0 +1,33 @@
+/// @file
+/// Small string helpers used by file parsers and CLI handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgl::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Split on any of the given delimiter characters, dropping empty fields.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view delims = " \t");
+
+/// True if @p text begins with @p prefix.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse a signed integer; throws tgl::util::Error on malformed input.
+long long parse_int(std::string_view text);
+
+/// Parse a double; throws tgl::util::Error on malformed input.
+double parse_double(std::string_view text);
+
+/// Render a double with fixed precision (benchmark table output).
+std::string format_fixed(double value, int precision);
+
+/// Thousands-separated integer rendering, e.g. 1234567 -> "1,234,567".
+std::string format_count(unsigned long long value);
+
+} // namespace tgl::util

@@ -1,0 +1,64 @@
+/// @file
+/// Persistent worker-thread pool.
+///
+/// The paper parallelizes its kernels with dynamically scheduled OpenMP
+/// threads ("work stealing using dynamically scheduled OpenMP threads",
+/// SVII-B). This pool reproduces that execution model: a fixed set of
+/// persistent workers that a caller can dispatch a team of any size
+/// onto. Dynamic load balancing happens one level up, in parallel_for,
+/// where team members self-schedule chunks off a shared atomic cursor.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tgl::util {
+
+/// Fixed-size pool of worker threads supporting fork/join team dispatch.
+///
+/// run(parties, fn) invokes fn(rank) for rank in [0, parties) across the
+/// workers and blocks until every invocation returns. Exceptions thrown
+/// by any team member are captured and the first one is rethrown on the
+/// calling thread after the join.
+class ThreadPool
+{
+  public:
+    /// Create a pool with @p num_threads workers (0 = hardware threads).
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads in the pool.
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// Execute fn(rank) for rank in [0, min(parties, size())), blocking
+    /// until all ranks finish. Not reentrant from inside a team.
+    void run(unsigned parties, const std::function<void(unsigned)>& fn);
+
+    /// Process-wide shared pool, created on first use with one worker
+    /// per hardware thread.
+    static ThreadPool& global();
+
+  private:
+    void worker_loop(unsigned rank);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(unsigned)>* job_ = nullptr;
+    unsigned job_parties_ = 0;
+    unsigned pending_ = 0;
+    std::uint64_t generation_ = 0;
+    std::exception_ptr first_error_;
+    bool shutdown_ = false;
+};
+
+} // namespace tgl::util

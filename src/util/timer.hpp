@@ -1,0 +1,59 @@
+/// @file
+/// Wall-clock timing utilities used by the pipeline phase breakdown
+/// (Table III of the paper) and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tgl::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /// Nanoseconds elapsed since construction or the last reset().
+    std::uint64_t
+    nanoseconds() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start_).count());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Adds elapsed seconds to a target accumulator on scope exit.
+class ScopedAccumulator
+{
+  public:
+    explicit ScopedAccumulator(double& target) : target_(target) {}
+    ~ScopedAccumulator() { target_ += timer_.seconds(); }
+
+    ScopedAccumulator(const ScopedAccumulator&) = delete;
+    ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+  private:
+    double& target_;
+    Timer timer_;
+};
+
+} // namespace tgl::util

@@ -1,0 +1,84 @@
+#include "walk/corpus.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace tgl::walk {
+
+void
+Corpus::append(Corpus&& other)
+{
+    const std::size_t base = tokens_.size();
+    tokens_.insert(tokens_.end(), other.tokens_.begin(),
+                   other.tokens_.end());
+    offsets_.reserve(offsets_.size() + other.num_walks());
+    for (std::size_t i = 1; i < other.offsets_.size(); ++i) {
+        offsets_.push_back(base + other.offsets_[i]);
+    }
+    other.tokens_.clear();
+    other.offsets_.assign(1, 0);
+}
+
+void
+Corpus::save(std::ostream& out) const
+{
+    for (std::size_t i = 0; i < num_walks(); ++i) {
+        const auto w = walk(i);
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            out << w[j] << (j + 1 == w.size() ? '\n' : ' ');
+        }
+    }
+}
+
+Corpus
+Corpus::load(std::istream& in)
+{
+    Corpus corpus;
+    std::string line;
+    std::vector<graph::NodeId> walk;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const auto trimmed = util::trim(line);
+        if (trimmed.empty()) {
+            continue;
+        }
+        walk.clear();
+        for (const auto field : util::split(trimmed)) {
+            const long long value = util::parse_int(field);
+            if (value < 0) {
+                util::fatal(util::strcat("corpus line ", line_number,
+                                         ": negative node id"));
+            }
+            walk.push_back(static_cast<graph::NodeId>(value));
+        }
+        corpus.add_walk(walk);
+    }
+    return corpus;
+}
+
+void
+Corpus::save_file(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal(util::strcat("cannot open for writing: ", path));
+    }
+    save(out);
+}
+
+Corpus
+Corpus::load_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        util::fatal(util::strcat("cannot open: ", path));
+    }
+    return load(in);
+}
+
+} // namespace tgl::walk

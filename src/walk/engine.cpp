@@ -1,0 +1,251 @@
+#include "walk/engine.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace tgl::walk {
+
+namespace {
+
+/// Continue a walk from @p current with clock @p now, appending up to
+/// @p steps_budget more tokens to @p tokens (which already holds
+/// @p count tokens). @p allow_first_nonstrict relaxes the very first
+/// comparison so a walker starting at the earliest timestamp can leave.
+/// Returns the new token count.
+std::size_t
+continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
+              graph::NodeId current, graph::Timestamp now,
+              unsigned steps_budget, bool allow_first_nonstrict,
+              rng::Random& random, graph::NodeId* tokens,
+              std::size_t count, std::vector<std::uint32_t>& scratch,
+              WalkProfile* local_profile)
+{
+    const graph::Timestamp range = graph.time_range();
+    bool first_hop = allow_first_nonstrict;
+    for (unsigned step = 0; step < steps_budget; ++step) {
+        std::span<const graph::Neighbor> candidates;
+        if (!config.temporal) {
+            // Static (DeepWalk) baseline: every out-edge is valid.
+            candidates = graph.out_neighbors(current);
+            if (local_profile != nullptr) {
+                local_profile->candidates_scanned += 1;
+            }
+        } else if (config.linear_neighbor_search) {
+            // Ablation path: the paper's O(max-degree) scan. The valid
+            // edges are still a suffix (slices are time-sorted), so the
+            // scratch indices collapse back into a span.
+            const bool strict = config.strict_time && !first_hop;
+            const std::size_t valid = graph.temporal_neighbors_linear(
+                current, now, strict, scratch);
+            const auto all = graph.out_neighbors(current);
+            if (local_profile != nullptr) {
+                local_profile->candidates_scanned += all.size();
+            }
+            candidates = valid == 0
+                             ? all.subspan(all.size())
+                             : all.subspan(scratch.front());
+        } else {
+            const bool strict = config.strict_time && !first_hop;
+            candidates = graph.temporal_neighbors(current, now, strict);
+            if (local_profile != nullptr) {
+                // Binary search touches ~log2(deg) records.
+                std::uint64_t deg = graph.out_degree(current);
+                std::uint64_t probes = 1;
+                while (deg > 1) {
+                    deg >>= 1;
+                    ++probes;
+                }
+                local_profile->candidates_scanned += probes;
+            }
+        }
+        if (candidates.empty()) {
+            if (local_profile != nullptr) {
+                ++local_profile->dead_ends;
+            }
+            break;
+        }
+        const TransitionKind transition =
+            config.temporal ? config.transition : TransitionKind::kUniform;
+        const std::size_t pick = sample_transition(
+            candidates, now, range, transition, random,
+            local_profile != nullptr ? &local_profile->transition_cost
+                                     : nullptr);
+        TGL_DASSERT(pick < candidates.size());
+        now = candidates[pick].time;
+        current = candidates[pick].dst;
+        tokens[count++] = current;
+        first_hop = false;
+        if (local_profile != nullptr) {
+            ++local_profile->steps_taken;
+        }
+    }
+    return count;
+}
+
+/// Walk a single (k, v) pair (node-start policy) into @p tokens.
+std::size_t
+run_node_start_walk(const graph::TemporalGraph& graph,
+                    const WalkConfig& config, graph::NodeId start,
+                    rng::Random& random, graph::NodeId* tokens,
+                    std::vector<std::uint32_t>& scratch,
+                    WalkProfile* local_profile)
+{
+    std::size_t count = 0;
+    tokens[count++] = start;
+    return continue_walk(graph, config, start, graph.min_time(),
+                         config.max_length,
+                         /*allow_first_nonstrict=*/true, random, tokens,
+                         count, scratch, local_profile);
+}
+
+/// Walk starting on a uniformly sampled temporal edge (CTDNE policy).
+std::size_t
+run_edge_start_walk(const graph::TemporalGraph& graph,
+                    const WalkConfig& config, rng::Random& random,
+                    graph::NodeId* tokens,
+                    std::vector<std::uint32_t>& scratch,
+                    WalkProfile* local_profile)
+{
+    // Pick a flat edge id, recover its source via the offsets array.
+    const graph::EdgeId edge =
+        random.next_index(graph.num_edges());
+    const auto& offsets = graph.offsets();
+    const auto it =
+        std::upper_bound(offsets.begin(), offsets.end(), edge);
+    const auto src = static_cast<graph::NodeId>(
+        std::distance(offsets.begin(), it) - 1);
+    const graph::Neighbor& first = graph.neighbors()[edge];
+
+    std::size_t count = 0;
+    tokens[count++] = src;
+    tokens[count++] = first.dst;
+    if (local_profile != nullptr) {
+        ++local_profile->steps_taken;
+    }
+    if (config.max_length < 2) {
+        return count;
+    }
+    return continue_walk(graph, config, first.dst, first.time,
+                         config.max_length - 1,
+                         /*allow_first_nonstrict=*/false, random, tokens,
+                         count, scratch, local_profile);
+}
+
+} // namespace
+
+Corpus
+generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
+               WalkProfile* profile)
+{
+    if (config.max_length == 0) {
+        util::fatal("generate_walks: max_length must be >= 1");
+    }
+    if (config.max_length > 254) {
+        util::fatal("generate_walks: max_length must be <= 254");
+    }
+    if (config.walks_per_node == 0) {
+        util::fatal("generate_walks: walks_per_node must be >= 1");
+    }
+    if (config.start == StartKind::kTemporalEdge &&
+        graph.num_edges() == 0) {
+        util::fatal("generate_walks: edge-start walks need edges");
+    }
+
+    const graph::NodeId n = graph.num_nodes();
+    const std::size_t tokens_per_walk =
+        static_cast<std::size_t>(config.max_length) + 1;
+
+    // Both policies generate walks_per_node * num_nodes walks so the
+    // corpus budget is comparable across start policies.
+    const std::size_t total_walks =
+        static_cast<std::size_t>(n) * config.walks_per_node;
+
+    Corpus corpus;
+    corpus.reserve(total_walks, total_walks * 3);
+
+    // Process walk slots in blocks: each block is walked in parallel
+    // into a dense scratch buffer, then compacted serially in slot
+    // order, keeping corpus order deterministic and memory bounded.
+    const std::size_t block =
+        std::min<std::size_t>(std::max<std::size_t>(total_walks, 1),
+                              std::size_t{1} << 16);
+    std::vector<graph::NodeId> buffer(block * tokens_per_walk);
+    std::vector<std::uint8_t> lengths(block);
+
+    const unsigned max_team = config.num_threads ? config.num_threads
+                                                 : util::default_threads();
+    std::vector<WalkProfile> rank_profiles(max_team);
+    std::vector<std::vector<std::uint32_t>> rank_scratch(max_team);
+
+    for (std::size_t block_begin = 0; block_begin < total_walks;
+         block_begin += block) {
+        const std::size_t block_end =
+            std::min(total_walks, block_begin + block);
+
+        util::parallel_for_ranked(
+            block_begin, block_end,
+            [&](std::size_t slot_index, unsigned rank) {
+                WalkProfile* local = profile != nullptr
+                                         ? &rank_profiles[rank]
+                                         : nullptr;
+                rng::Random random(
+                    rng::mix_seed(config.seed, slot_index));
+                const std::size_t slot = slot_index - block_begin;
+                graph::NodeId* tokens =
+                    buffer.data() + slot * tokens_per_walk;
+                std::size_t written;
+                if (config.start == StartKind::kEveryNode) {
+                    // Slot (k, v) with v varying fastest: walk k of
+                    // vertex slot_index % n.
+                    const auto v = static_cast<graph::NodeId>(
+                        slot_index % n);
+                    written = run_node_start_walk(
+                        graph, config, v, random, tokens,
+                        rank_scratch[rank], local);
+                } else {
+                    written = run_edge_start_walk(
+                        graph, config, random, tokens,
+                        rank_scratch[rank], local);
+                }
+                lengths[slot] = static_cast<std::uint8_t>(written);
+                if (local != nullptr) {
+                    ++local->walks_started;
+                }
+            },
+            {.num_threads = config.num_threads});
+
+        for (std::size_t slot_index = block_begin;
+             slot_index < block_end; ++slot_index) {
+            const std::size_t slot = slot_index - block_begin;
+            const std::size_t len = lengths[slot];
+            if (len < config.min_walk_tokens) {
+                continue;
+            }
+            corpus.add_walk(
+                {buffer.data() + slot * tokens_per_walk, len});
+        }
+    }
+
+    if (profile != nullptr) {
+        for (const WalkProfile& local : rank_profiles) {
+            profile->walks_started += local.walks_started;
+            profile->steps_taken += local.steps_taken;
+            profile->dead_ends += local.dead_ends;
+            profile->candidates_scanned += local.candidates_scanned;
+            profile->transition_cost.memory_ops +=
+                local.transition_cost.memory_ops;
+            profile->transition_cost.branch_ops +=
+                local.transition_cost.branch_ops;
+            profile->transition_cost.compute_ops +=
+                local.transition_cost.compute_ops;
+        }
+        profile->walks_kept += corpus.num_walks();
+    }
+    return corpus;
+}
+
+} // namespace tgl::walk

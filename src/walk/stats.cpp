@@ -1,0 +1,84 @@
+#include "walk/stats.hpp"
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgl::walk {
+
+LengthDistribution
+length_distribution(const Corpus& corpus)
+{
+    LengthDistribution dist;
+    const std::size_t walks = corpus.num_walks();
+    if (walks == 0) {
+        return dist;
+    }
+
+    double total = 0.0;
+    std::uint64_t short_walks = 0;
+    for (std::size_t i = 0; i < walks; ++i) {
+        const std::size_t len = corpus.walk_length(i);
+        if (dist.counts.size() <= len) {
+            dist.counts.resize(len + 1, 0);
+        }
+        ++dist.counts[len];
+        total += static_cast<double>(len);
+        dist.max_length = std::max(dist.max_length, len);
+        if (len <= 5) {
+            ++short_walks;
+        }
+    }
+    dist.mean_length = total / static_cast<double>(walks);
+    dist.short_walk_fraction =
+        static_cast<double>(short_walks) / static_cast<double>(walks);
+
+    // Fit log(count) over the decaying tail, starting at the mode.
+    std::size_t mode = 1;
+    for (std::size_t l = 1; l < dist.counts.size(); ++l) {
+        if (dist.counts[l] > dist.counts[mode]) {
+            mode = l;
+        }
+    }
+    std::size_t points = 0;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t l = mode; l < dist.counts.size(); ++l) {
+        if (dist.counts[l] == 0) {
+            continue;
+        }
+        const double x = static_cast<double>(l);
+        const double y = std::log(static_cast<double>(dist.counts[l]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++points;
+    }
+    if (points >= 3) {
+        const double np = static_cast<double>(points);
+        const double denom = np * sxx - sx * sx;
+        if (denom != 0.0) {
+            dist.tail_log_slope = (np * sxy - sx * sy) / denom;
+        }
+    }
+    return dist;
+}
+
+std::string
+format_length_distribution(const LengthDistribution& dist)
+{
+    std::string text = util::strcat(
+        "walk length distribution (mean ",
+        util::format_fixed(dist.mean_length, 2), ", <=5 tokens: ",
+        util::format_fixed(dist.short_walk_fraction * 100.0, 1),
+        "%, tail log-slope ",
+        util::format_fixed(dist.tail_log_slope, 3), ")\nlength  count");
+    for (std::size_t l = 1; l < dist.counts.size(); ++l) {
+        text += util::strcat("\n", l, "  ", dist.counts[l]);
+    }
+    return text;
+}
+
+} // namespace tgl::walk

@@ -1,0 +1,35 @@
+/// @file
+/// Walk-length distribution statistics — the data behind Fig. 4 of the
+/// paper (power-law walk lengths: most temporal walks die after 1-5
+/// hops because timestamp constraints exhaust the neighborhood).
+#pragma once
+
+#include "walk/corpus.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tgl::walk {
+
+/// Distribution of walk lengths (token counts) in a corpus.
+struct LengthDistribution
+{
+    /// counts[l] = number of walks with exactly l tokens (index 0 unused).
+    std::vector<std::uint64_t> counts;
+    double mean_length = 0.0;
+    std::size_t max_length = 0;
+    /// Fraction of walks with <= 5 tokens (the paper's "1 to 5" mass).
+    double short_walk_fraction = 0.0;
+    /// Least-squares slope of log(count) vs length over the decaying
+    /// tail; strongly negative means exponential/power-law decay.
+    double tail_log_slope = 0.0;
+};
+
+/// Compute the length distribution of a corpus.
+LengthDistribution length_distribution(const Corpus& corpus);
+
+/// Render as a two-column table (length, count) like Fig. 4's data.
+std::string format_length_distribution(const LengthDistribution& dist);
+
+} // namespace tgl::walk

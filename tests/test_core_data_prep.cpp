@@ -1,0 +1,216 @@
+/// Tests for the Fig. 7 data preparation pipeline.
+#include "core/data_prep.hpp"
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace tgl::core {
+namespace {
+
+struct Prepared
+{
+    graph::EdgeList edges;
+    graph::TemporalGraph graph;
+    LinkSplits splits;
+};
+
+Prepared
+prepare(std::size_t num_edges = 1000, unsigned negatives = 1,
+        std::uint64_t seed = 7)
+{
+    Prepared result;
+    result.edges = gen::generate_erdos_renyi(
+        {.num_nodes = 100, .num_edges = num_edges, .seed = 3});
+    result.graph = graph::GraphBuilder::build(result.edges);
+    SplitConfig config;
+    config.negatives_per_positive = negatives;
+    config.seed = seed;
+    result.splits =
+        prepare_link_splits(result.edges, result.graph, config);
+    return result;
+}
+
+std::size_t
+count_positives(const std::vector<EdgeSample>& samples)
+{
+    return static_cast<std::size_t>(
+        std::count_if(samples.begin(), samples.end(),
+                      [](const EdgeSample& s) { return s.label == 1.0f; }));
+}
+
+TEST(LinkSplits, SplitSizesMatchFractions)
+{
+    const Prepared p = prepare();
+    EXPECT_EQ(count_positives(p.splits.train), 600u);
+    EXPECT_EQ(count_positives(p.splits.valid), 200u);
+    EXPECT_EQ(count_positives(p.splits.test), 200u);
+}
+
+TEST(LinkSplits, OneNegativePerPositiveByDefault)
+{
+    const Prepared p = prepare();
+    EXPECT_EQ(p.splits.train.size(), 1200u);
+    EXPECT_EQ(p.splits.valid.size(), 400u);
+    EXPECT_EQ(p.splits.test.size(), 400u);
+}
+
+TEST(LinkSplits, MultipleNegativesPerPositive)
+{
+    const Prepared p = prepare(1000, 3);
+    EXPECT_EQ(p.splits.train.size(), 2400u); // 600 * (1 + 3)
+}
+
+TEST(LinkSplits, TestPositivesAreTheMostRecentEdges)
+{
+    const Prepared p = prepare();
+    graph::EdgeList sorted = p.edges;
+    sorted.sort_by_time();
+    const double cutoff = sorted[799].time; // last past edge
+
+    // Collect the timestamp for each test positive by looking up the
+    // original edges: every test positive must be at/after the cutoff.
+    std::multiset<std::pair<graph::NodeId, graph::NodeId>> recent;
+    for (std::size_t i = 800; i < sorted.size(); ++i) {
+        recent.insert({sorted[i].src, sorted[i].dst});
+    }
+    for (const EdgeSample& sample : p.splits.test) {
+        if (sample.label != 1.0f) {
+            continue;
+        }
+        const auto it = recent.find({sample.src, sample.dst});
+        ASSERT_NE(it, recent.end())
+            << "test positive " << sample.src << "->" << sample.dst
+            << " is not among the most recent 20% (cutoff " << cutoff
+            << ")";
+        recent.erase(it);
+    }
+}
+
+TEST(LinkSplits, NegativesAreAbsentFromGraph)
+{
+    const Prepared p = prepare();
+    auto check = [&](const std::vector<EdgeSample>& samples) {
+        for (const EdgeSample& sample : samples) {
+            if (sample.label == 0.0f) {
+                EXPECT_FALSE(p.graph.has_edge(sample.src, sample.dst))
+                    << sample.src << "->" << sample.dst;
+            }
+        }
+    };
+    check(p.splits.train);
+    check(p.splits.valid);
+    check(p.splits.test);
+}
+
+TEST(LinkSplits, TrainValidPositivesDisjoint)
+{
+    // Every past edge is used exactly once across train+valid.
+    const Prepared p = prepare();
+    std::multiset<std::pair<graph::NodeId, graph::NodeId>> past;
+    graph::EdgeList sorted = p.edges;
+    sorted.sort_by_time();
+    for (std::size_t i = 0; i < 800; ++i) {
+        past.insert({sorted[i].src, sorted[i].dst});
+    }
+    for (const auto* split : {&p.splits.train, &p.splits.valid}) {
+        for (const EdgeSample& sample : *split) {
+            if (sample.label != 1.0f) {
+                continue;
+            }
+            const auto it = past.find({sample.src, sample.dst});
+            ASSERT_NE(it, past.end());
+            past.erase(it);
+        }
+    }
+    EXPECT_TRUE(past.empty());
+}
+
+TEST(LinkSplits, DeterministicForSeed)
+{
+    const Prepared a = prepare(500, 1, 11);
+    const Prepared b = prepare(500, 1, 11);
+    ASSERT_EQ(a.splits.train.size(), b.splits.train.size());
+    for (std::size_t i = 0; i < a.splits.train.size(); ++i) {
+        EXPECT_EQ(a.splits.train[i].src, b.splits.train[i].src);
+        EXPECT_EQ(a.splits.train[i].dst, b.splits.train[i].dst);
+        EXPECT_EQ(a.splits.train[i].label, b.splits.train[i].label);
+    }
+}
+
+TEST(LinkSplits, BadFractionsThrow)
+{
+    const auto edges = gen::generate_erdos_renyi(
+        {.num_nodes = 10, .num_edges = 50, .seed = 1});
+    const auto graph = graph::GraphBuilder::build(edges);
+    SplitConfig config;
+    config.train_fraction = 0.5; // sums to 0.9
+    EXPECT_THROW(prepare_link_splits(edges, graph, config),
+                 util::Error);
+}
+
+TEST(LinkSplits, EmptyEdgeListThrows)
+{
+    EXPECT_THROW(
+        prepare_link_splits(graph::EdgeList{}, graph::TemporalGraph{},
+                            SplitConfig{}),
+        util::Error);
+}
+
+TEST(NodeSplits, SizesAndCoverage)
+{
+    const NodeSplits splits = prepare_node_splits(100, SplitConfig{});
+    EXPECT_EQ(splits.train.size(), 60u);
+    EXPECT_EQ(splits.valid.size(), 20u);
+    EXPECT_EQ(splits.test.size(), 20u);
+    std::set<graph::NodeId> all;
+    for (const auto* split : {&splits.train, &splits.valid, &splits.test}) {
+        all.insert(split->begin(), split->end());
+    }
+    EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(NodeSplits, ZeroNodesThrows)
+{
+    EXPECT_THROW(prepare_node_splits(0, SplitConfig{}), util::Error);
+}
+
+TEST(EdgeDataset, ConcatenatesEndpointEmbeddings)
+{
+    embed::Embedding embedding(4, 2);
+    embedding.row(1)[0] = 1.0f;
+    embedding.row(1)[1] = 2.0f;
+    embedding.row(3)[0] = 3.0f;
+    embedding.row(3)[1] = 4.0f;
+    const std::vector<EdgeSample> samples = {{1, 3, 1.0f}};
+    const nn::TaskDataset dataset = make_edge_dataset(samples, embedding);
+    ASSERT_EQ(dataset.features.rows(), 1u);
+    ASSERT_EQ(dataset.features.cols(), 4u);
+    EXPECT_FLOAT_EQ(dataset.features(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(dataset.features(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(dataset.features(0, 2), 3.0f);
+    EXPECT_FLOAT_EQ(dataset.features(0, 3), 4.0f);
+    EXPECT_FLOAT_EQ(dataset.binary_labels[0], 1.0f);
+}
+
+TEST(NodeDataset, FeaturesAndLabels)
+{
+    embed::Embedding embedding(3, 2);
+    embedding.row(2)[1] = 5.0f;
+    const std::vector<graph::NodeId> nodes = {2, 0};
+    const std::vector<std::uint32_t> labels = {7, 8, 9};
+    const nn::TaskDataset dataset =
+        make_node_dataset(nodes, labels, embedding);
+    ASSERT_EQ(dataset.features.rows(), 2u);
+    EXPECT_FLOAT_EQ(dataset.features(0, 1), 5.0f);
+    EXPECT_EQ(dataset.class_labels[0], 9u);
+    EXPECT_EQ(dataset.class_labels[1], 7u);
+}
+
+} // namespace
+} // namespace tgl::core

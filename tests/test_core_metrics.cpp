@@ -1,0 +1,118 @@
+/// Tests for the evaluation metrics.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::core {
+namespace {
+
+TEST(BinaryAccuracy, AllCorrect)
+{
+    const nn::Tensor probs(4, 1, {0.9f, 0.1f, 0.8f, 0.2f});
+    EXPECT_DOUBLE_EQ(
+        binary_accuracy(probs, {1.0f, 0.0f, 1.0f, 0.0f}), 1.0);
+}
+
+TEST(BinaryAccuracy, AllWrong)
+{
+    const nn::Tensor probs(2, 1, {0.9f, 0.1f});
+    EXPECT_DOUBLE_EQ(binary_accuracy(probs, {0.0f, 1.0f}), 0.0);
+}
+
+TEST(BinaryAccuracy, ThresholdAtHalf)
+{
+    const nn::Tensor probs(2, 1, {0.5f, 0.4999f});
+    // 0.5 counts as positive.
+    EXPECT_DOUBLE_EQ(binary_accuracy(probs, {1.0f, 0.0f}), 1.0);
+}
+
+TEST(RocAuc, PerfectSeparationIsOne)
+{
+    const nn::Tensor probs(4, 1, {0.9f, 0.8f, 0.2f, 0.1f});
+    EXPECT_DOUBLE_EQ(roc_auc(probs, {1.0f, 1.0f, 0.0f, 0.0f}), 1.0);
+}
+
+TEST(RocAuc, ReversedSeparationIsZero)
+{
+    const nn::Tensor probs(4, 1, {0.9f, 0.8f, 0.2f, 0.1f});
+    EXPECT_DOUBLE_EQ(roc_auc(probs, {0.0f, 0.0f, 1.0f, 1.0f}), 0.0);
+}
+
+TEST(RocAuc, AllTiedScoresGiveHalf)
+{
+    const nn::Tensor probs(4, 1, {0.5f, 0.5f, 0.5f, 0.5f});
+    EXPECT_DOUBLE_EQ(roc_auc(probs, {1.0f, 0.0f, 1.0f, 0.0f}), 0.5);
+}
+
+TEST(RocAuc, KnownPartialOrdering)
+{
+    // Scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+    // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+    const nn::Tensor probs(4, 1, {0.8f, 0.4f, 0.6f, 0.2f});
+    EXPECT_DOUBLE_EQ(roc_auc(probs, {1.0f, 1.0f, 0.0f, 0.0f}), 0.75);
+}
+
+TEST(RocAuc, SingleClassReturnsHalf)
+{
+    const nn::Tensor probs(2, 1, {0.9f, 0.8f});
+    EXPECT_DOUBLE_EQ(roc_auc(probs, {1.0f, 1.0f}), 0.5);
+}
+
+TEST(MulticlassAccuracy, ArgmaxMatching)
+{
+    nn::Tensor scores(3, 3);
+    scores(0, 0) = 1.0f; // predicts 0, target 0 -> correct
+    scores(1, 2) = 1.0f; // predicts 2, target 1 -> wrong
+    scores(2, 1) = 1.0f; // predicts 1, target 1 -> correct
+    EXPECT_NEAR(multiclass_accuracy(scores, {0, 1, 1}), 2.0 / 3.0,
+                1e-12);
+}
+
+TEST(ConfusionMatrix, EntriesLandCorrectly)
+{
+    nn::Tensor scores(4, 2);
+    scores(0, 0) = 1.0f; // pred 0
+    scores(1, 1) = 1.0f; // pred 1
+    scores(2, 1) = 1.0f; // pred 1
+    scores(3, 0) = 1.0f; // pred 0
+    const auto matrix = confusion_matrix(scores, {0, 1, 0, 1}, 2);
+    EXPECT_EQ(matrix[0][0], 1u);
+    EXPECT_EQ(matrix[1][1], 1u);
+    EXPECT_EQ(matrix[0][1], 1u);
+    EXPECT_EQ(matrix[1][0], 1u);
+}
+
+TEST(MacroF1, PerfectIsOne)
+{
+    nn::Tensor scores(4, 2);
+    scores(0, 0) = 1.0f;
+    scores(1, 1) = 1.0f;
+    scores(2, 0) = 1.0f;
+    scores(3, 1) = 1.0f;
+    EXPECT_DOUBLE_EQ(macro_f1(scores, {0, 1, 0, 1}, 2), 1.0);
+}
+
+TEST(MacroF1, KnownImbalancedCase)
+{
+    // 3 examples of class 0, 1 of class 1; predictor always says 0.
+    nn::Tensor scores(4, 2);
+    for (std::size_t r = 0; r < 4; ++r) {
+        scores(r, 0) = 1.0f;
+    }
+    // Class 0: precision 3/4, recall 1 -> f1 = 6/7.
+    // Class 1: precision 0, recall 0 -> f1 = 0.
+    EXPECT_NEAR(macro_f1(scores, {0, 0, 0, 1}, 2),
+                (6.0 / 7.0) / 2.0, 1e-12);
+}
+
+TEST(MacroF1, SkipsAbsentClasses)
+{
+    nn::Tensor scores(2, 3);
+    scores(0, 0) = 1.0f;
+    scores(1, 1) = 1.0f;
+    // Class 2 never appears in truth or predictions -> skipped.
+    EXPECT_DOUBLE_EQ(macro_f1(scores, {0, 1}, 3), 1.0);
+}
+
+} // namespace
+} // namespace tgl::core

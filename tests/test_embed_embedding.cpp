@@ -1,0 +1,166 @@
+/// Tests for the embedding container, similarity ops, and persistence.
+#include "embed/embedding.hpp"
+
+#include "embed/sigmoid_table.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace tgl::embed {
+namespace {
+
+TEST(Embedding, ZeroInitialized)
+{
+    const Embedding embedding(3, 4);
+    EXPECT_EQ(embedding.num_nodes(), 3u);
+    EXPECT_EQ(embedding.dim(), 4u);
+    for (graph::NodeId u = 0; u < 3; ++u) {
+        for (float v : embedding.row(u)) {
+            EXPECT_EQ(v, 0.0f);
+        }
+    }
+}
+
+TEST(Embedding, RowWriteRead)
+{
+    Embedding embedding(2, 3);
+    auto row = embedding.row(1);
+    row[0] = 1.0f;
+    row[2] = -2.0f;
+    EXPECT_FLOAT_EQ(embedding.row(1)[0], 1.0f);
+    EXPECT_FLOAT_EQ(embedding.row(1)[2], -2.0f);
+    EXPECT_FLOAT_EQ(embedding.row(0)[0], 0.0f);
+}
+
+TEST(Embedding, CosineIdenticalVectorsIsOne)
+{
+    Embedding embedding(2, 2);
+    embedding.row(0)[0] = 3.0f;
+    embedding.row(0)[1] = 4.0f;
+    embedding.row(1)[0] = 6.0f;
+    embedding.row(1)[1] = 8.0f;
+    EXPECT_NEAR(embedding.cosine(0, 1), 1.0, 1e-6);
+}
+
+TEST(Embedding, CosineOrthogonalIsZero)
+{
+    Embedding embedding(2, 2);
+    embedding.row(0)[0] = 1.0f;
+    embedding.row(1)[1] = 1.0f;
+    EXPECT_NEAR(embedding.cosine(0, 1), 0.0, 1e-6);
+}
+
+TEST(Embedding, CosineOppositeIsMinusOne)
+{
+    Embedding embedding(2, 2);
+    embedding.row(0)[0] = 1.0f;
+    embedding.row(1)[0] = -2.0f;
+    EXPECT_NEAR(embedding.cosine(0, 1), -1.0, 1e-6);
+}
+
+TEST(Embedding, CosineZeroVectorIsZero)
+{
+    Embedding embedding(2, 2);
+    embedding.row(0)[0] = 1.0f;
+    EXPECT_DOUBLE_EQ(embedding.cosine(0, 1), 0.0);
+}
+
+TEST(Embedding, NearestRanksBySimilarity)
+{
+    Embedding embedding(4, 2);
+    embedding.row(0)[0] = 1.0f;                           // query
+    embedding.row(1)[0] = 1.0f; embedding.row(1)[1] = 0.1f; // closest
+    embedding.row(2)[0] = 0.5f; embedding.row(2)[1] = 1.0f;
+    embedding.row(3)[0] = -1.0f;                          // farthest
+    const auto nearest = embedding.nearest(0, 3);
+    ASSERT_EQ(nearest.size(), 3u);
+    EXPECT_EQ(nearest[0], 1u);
+    EXPECT_EQ(nearest[1], 2u);
+    EXPECT_EQ(nearest[2], 3u);
+}
+
+TEST(Embedding, NearestExcludesSelfAndClampsK)
+{
+    Embedding embedding(3, 2);
+    embedding.row(0)[0] = 1.0f;
+    embedding.row(1)[0] = 1.0f;
+    embedding.row(2)[0] = 1.0f;
+    const auto nearest = embedding.nearest(1, 10);
+    ASSERT_EQ(nearest.size(), 2u);
+    EXPECT_EQ(std::count(nearest.begin(), nearest.end(), 1u), 0);
+}
+
+TEST(Embedding, StreamRoundTrip)
+{
+    Embedding original(3, 2);
+    original.row(0)[0] = 0.25f;
+    original.row(1)[1] = -1.5f;
+    original.row(2)[0] = 3.0f;
+    std::stringstream stream;
+    original.save(stream);
+    const Embedding loaded = Embedding::load(stream);
+    ASSERT_EQ(loaded.num_nodes(), 3u);
+    ASSERT_EQ(loaded.dim(), 2u);
+    for (graph::NodeId u = 0; u < 3; ++u) {
+        for (unsigned c = 0; c < 2; ++c) {
+            EXPECT_FLOAT_EQ(loaded.row(u)[c], original.row(u)[c]);
+        }
+    }
+}
+
+TEST(Embedding, LoadRejectsTruncatedInput)
+{
+    std::istringstream in("2 2\n1.0 2.0\n3.0\n");
+    EXPECT_THROW(Embedding::load(in), util::Error);
+}
+
+TEST(Embedding, LoadRejectsMalformedHeader)
+{
+    std::istringstream in("x y\n");
+    EXPECT_THROW(Embedding::load(in), util::Error);
+}
+
+TEST(Embedding, FileRoundTrip)
+{
+    Embedding original(2, 2);
+    original.row(1)[0] = 7.0f;
+    const std::string path = testing::TempDir() + "/tgl_embedding.txt";
+    original.save_file(path);
+    const Embedding loaded = Embedding::load_file(path);
+    EXPECT_FLOAT_EQ(loaded.row(1)[0], 7.0f);
+}
+
+TEST(SigmoidTable, MatchesExactSigmoid)
+{
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+    for (float x = -5.9f; x < 6.0f; x += 0.37f) {
+        const float exact = 1.0f / (1.0f + std::exp(-x));
+        EXPECT_NEAR(sigmoid(x), exact, 0.01f) << "x=" << x;
+    }
+}
+
+TEST(SigmoidTable, SaturatesTails)
+{
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+    EXPECT_EQ(sigmoid(100.0f), 1.0f);
+    EXPECT_EQ(sigmoid(-100.0f), 0.0f);
+    EXPECT_EQ(sigmoid(6.0f), 1.0f);
+    EXPECT_EQ(sigmoid(-6.0f), 0.0f);
+}
+
+TEST(SigmoidTable, MonotoneNonDecreasing)
+{
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+    float prev = sigmoid(-6.5f);
+    for (float x = -6.0f; x <= 6.5f; x += 0.05f) {
+        const float current = sigmoid(x);
+        EXPECT_GE(current, prev - 1e-6f);
+        prev = current;
+    }
+}
+
+} // namespace
+} // namespace tgl::embed

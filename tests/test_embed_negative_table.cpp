@@ -1,0 +1,105 @@
+/// Tests for the unigram^0.75 negative-sampling table.
+#include "embed/negative_table.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tgl::embed {
+namespace {
+
+walk::Corpus
+corpus_with_counts(const std::vector<std::pair<graph::NodeId, int>>& spec)
+{
+    walk::Corpus corpus;
+    std::vector<graph::NodeId> walk;
+    for (const auto& [node, count] : spec) {
+        for (int i = 0; i < count; ++i) {
+            walk.push_back(node);
+        }
+    }
+    corpus.add_walk(walk);
+    return corpus;
+}
+
+TEST(NegativeTable, AliasProbabilitiesFollowThreeQuarterPower)
+{
+    // counts 16 and 1: weights 16^0.75 = 8 and 1 -> probs 8/9, 1/9.
+    const Vocab vocab(corpus_with_counts({{0, 16}, {1, 1}}));
+    const NegativeTable table(vocab, NegativeTableKind::kAlias);
+    EXPECT_NEAR(table.probability(0), 8.0 / 9.0, 1e-9);
+    EXPECT_NEAR(table.probability(1), 1.0 / 9.0, 1e-9);
+}
+
+TEST(NegativeTable, AliasEmpiricalDistribution)
+{
+    const Vocab vocab(corpus_with_counts({{0, 16}, {1, 1}}));
+    const NegativeTable table(vocab);
+    rng::Random random(1);
+    int zero_draws = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (table.sample(random) == 0) {
+            ++zero_draws;
+        }
+    }
+    EXPECT_NEAR(zero_draws / static_cast<double>(kDraws), 8.0 / 9.0,
+                0.01);
+}
+
+TEST(NegativeTable, ArrayModeApproximatesAlias)
+{
+    const Vocab vocab(
+        corpus_with_counts({{0, 100}, {1, 50}, {2, 10}, {3, 1}}));
+    const NegativeTable alias(vocab, NegativeTableKind::kAlias);
+    const NegativeTable array(vocab, NegativeTableKind::kArray, 1 << 16);
+    for (WordId w = 0; w < 4; ++w) {
+        EXPECT_NEAR(array.probability(w), alias.probability(w), 0.01)
+            << "word " << w;
+    }
+}
+
+TEST(NegativeTable, ArrayEmpiricalDistribution)
+{
+    const Vocab vocab(corpus_with_counts({{0, 81}, {1, 1}}));
+    const NegativeTable table(vocab, NegativeTableKind::kArray, 1 << 14);
+    rng::Random random(2);
+    int zero_draws = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (table.sample(random) == 0) {
+            ++zero_draws;
+        }
+    }
+    // 81^0.75 = 27 -> p0 = 27/28.
+    EXPECT_NEAR(zero_draws / static_cast<double>(kDraws), 27.0 / 28.0,
+                0.01);
+}
+
+TEST(NegativeTable, EmptyVocabThrows)
+{
+    EXPECT_THROW(NegativeTable(Vocab{}), util::Error);
+}
+
+TEST(NegativeTable, ArraySmallerThanVocabThrows)
+{
+    const Vocab vocab(
+        corpus_with_counts({{0, 1}, {1, 1}, {2, 1}, {3, 1}}));
+    EXPECT_THROW(NegativeTable(vocab, NegativeTableKind::kArray, 2),
+                 util::Error);
+}
+
+TEST(NegativeTable, EveryWordReachableInArrayMode)
+{
+    const Vocab vocab(
+        corpus_with_counts({{0, 1000}, {1, 100}, {2, 10}, {3, 1}}));
+    const NegativeTable table(vocab, NegativeTableKind::kArray, 1 << 16);
+    for (WordId w = 0; w < 4; ++w) {
+        EXPECT_GT(table.probability(w), 0.0) << "word " << w;
+    }
+}
+
+} // namespace
+} // namespace tgl::embed

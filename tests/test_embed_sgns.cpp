@@ -1,0 +1,255 @@
+/// Behavioral tests for the SGNS trainers: embeddings must place
+/// co-occurring nodes close and non-co-occurring nodes far, under the
+/// Hogwild trainer, the batched trainer, and every optimization knob.
+#include "embed/batched_trainer.hpp"
+#include "embed/trainer.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::embed {
+namespace {
+
+constexpr graph::NodeId kNumNodes = 20;
+
+/// Corpus with two disjoint "communities" (0-9 and 10-19): sentences
+/// only ever mix nodes within one community.
+walk::Corpus
+two_community_corpus(std::uint64_t seed, std::size_t sentences = 800)
+{
+    rng::Random random(seed);
+    walk::Corpus corpus;
+    std::vector<graph::NodeId> sentence;
+    for (std::size_t s = 0; s < sentences; ++s) {
+        const graph::NodeId base = (s % 2 == 0) ? 0 : 10;
+        sentence.clear();
+        for (int i = 0; i < 6; ++i) {
+            sentence.push_back(
+                base + static_cast<graph::NodeId>(random.next_index(10)));
+        }
+        corpus.add_walk(sentence);
+    }
+    return corpus;
+}
+
+/// Mean intra-community minus inter-community cosine similarity; a
+/// well-trained embedding gives a clearly positive margin.
+double
+separation_margin(const Embedding& embedding)
+{
+    double intra = 0.0, inter = 0.0;
+    int intra_count = 0, inter_count = 0;
+    for (graph::NodeId u = 0; u < kNumNodes; ++u) {
+        for (graph::NodeId v = u + 1; v < kNumNodes; ++v) {
+            const bool same = (u < 10) == (v < 10);
+            const double cos = embedding.cosine(u, v);
+            if (same) {
+                intra += cos;
+                ++intra_count;
+            } else {
+                inter += cos;
+                ++inter_count;
+            }
+        }
+    }
+    return intra / intra_count - inter / inter_count;
+}
+
+SgnsConfig
+fast_config()
+{
+    SgnsConfig config;
+    config.dim = 8;
+    config.window = 3;
+    config.negatives = 4;
+    config.epochs = 8;
+    config.seed = 5;
+    config.num_threads = 2;
+    return config;
+}
+
+TEST(Sgns, HogwildSeparatesCommunities)
+{
+    TrainStats stats;
+    const Embedding embedding = train_sgns(
+        two_community_corpus(1), kNumNodes, fast_config(), &stats);
+    EXPECT_GT(separation_margin(embedding), 0.5);
+    EXPECT_GT(stats.pairs_trained, 0u);
+    EXPECT_GT(stats.tokens_processed, 0u);
+    EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Sgns, BatchedSeparatesCommunities)
+{
+    BatchedSgnsConfig config;
+    config.sgns = fast_config();
+    config.batch_size = 64;
+    TrainStats stats;
+    const Embedding embedding = train_sgns_batched(
+        two_community_corpus(2), kNumNodes, config, &stats);
+    EXPECT_GT(separation_margin(embedding), 0.5);
+    EXPECT_GT(stats.pairs_trained, 0u);
+}
+
+TEST(Sgns, BatchedQualityInsensitiveToBatchSize)
+{
+    // The paper's Fig. 5 claim: batching (stale reads) costs no
+    // accuracy. Compare tiny and huge batches on the same corpus.
+    BatchedSgnsConfig config;
+    config.sgns = fast_config();
+    config.batch_size = 1;
+    const Embedding small_batch = train_sgns_batched(
+        two_community_corpus(3), kNumNodes, config);
+    config.batch_size = 100000;
+    const Embedding large_batch = train_sgns_batched(
+        two_community_corpus(3), kNumNodes, config);
+    EXPECT_GT(separation_margin(small_batch), 0.5);
+    EXPECT_GT(separation_margin(large_batch), 0.5);
+}
+
+TEST(Sgns, PaddedRowsMatchQuality)
+{
+    // Cache-line padding (row_stride 16 at dim 8) changes layout only.
+    SgnsConfig config = fast_config();
+    config.row_stride = 16;
+    const Embedding embedding =
+        train_sgns(two_community_corpus(4), kNumNodes, config);
+    EXPECT_EQ(embedding.dim(), 8u);
+    EXPECT_GT(separation_margin(embedding), 0.5);
+}
+
+TEST(Sgns, ScalarPathMatchesQuality)
+{
+    SgnsConfig config = fast_config();
+    config.vectorized = false;
+    const Embedding embedding =
+        train_sgns(two_community_corpus(5), kNumNodes, config);
+    EXPECT_GT(separation_margin(embedding), 0.5);
+}
+
+TEST(Sgns, EmbeddingDimensionRespected)
+{
+    SgnsConfig config = fast_config();
+    config.dim = 16;
+    config.epochs = 1;
+    const Embedding embedding =
+        train_sgns(two_community_corpus(6), kNumNodes, config);
+    EXPECT_EQ(embedding.dim(), 16u);
+    EXPECT_EQ(embedding.num_nodes(), kNumNodes);
+}
+
+TEST(Sgns, NodesOutsideCorpusGetZeroRows)
+{
+    const Embedding embedding = train_sgns(
+        two_community_corpus(7), kNumNodes + 5, fast_config());
+    for (graph::NodeId u = kNumNodes; u < kNumNodes + 5; ++u) {
+        for (float v : embedding.row(u)) {
+            EXPECT_EQ(v, 0.0f);
+        }
+    }
+}
+
+TEST(Sgns, TrainedRowsAreNonZero)
+{
+    const Embedding embedding =
+        train_sgns(two_community_corpus(8), kNumNodes, fast_config());
+    for (graph::NodeId u = 0; u < kNumNodes; ++u) {
+        double norm = 0.0;
+        for (float v : embedding.row(u)) {
+            norm += static_cast<double>(v) * static_cast<double>(v);
+        }
+        EXPECT_GT(norm, 0.0) << "node " << u;
+    }
+}
+
+TEST(Sgns, MinCountExcludesRareNodes)
+{
+    walk::Corpus corpus = two_community_corpus(9);
+    const graph::NodeId rare[] = {25, 26};
+    corpus.add_walk(rare);
+    SgnsConfig config = fast_config();
+    config.min_count = 3;
+    const Embedding embedding = train_sgns(corpus, 30, config);
+    for (float v : embedding.row(25)) {
+        EXPECT_EQ(v, 0.0f);
+    }
+}
+
+TEST(Sgns, SubsamplingStillTrains)
+{
+    SgnsConfig config = fast_config();
+    config.subsample = 1e-3;
+    config.epochs = 40; // subsampling drops most tokens on tiny corpora
+    TrainStats stats;
+    const Embedding embedding = train_sgns(two_community_corpus(10),
+                                           kNumNodes, config, &stats);
+    EXPECT_GT(stats.pairs_trained, 0u);
+    EXPECT_GT(separation_margin(embedding), 0.2);
+}
+
+TEST(Sgns, SharedNegativesMatchQuality)
+{
+    // The shared-negative-pool optimization must not hurt embedding
+    // quality when batches are small relative to the corpus.
+    BatchedSgnsConfig config;
+    config.sgns = fast_config();
+    config.batch_size = 32;
+    config.shared_negatives = true;
+    TrainStats stats;
+    const Embedding embedding = train_sgns_batched(
+        two_community_corpus(14), kNumNodes, config, &stats);
+    EXPECT_GT(separation_margin(embedding), 0.5);
+    EXPECT_GT(stats.pairs_trained, 0u);
+}
+
+TEST(Sgns, InvalidConfigThrows)
+{
+    const walk::Corpus corpus = two_community_corpus(11);
+    SgnsConfig config = fast_config();
+    config.epochs = 0;
+    EXPECT_THROW(train_sgns(corpus, kNumNodes, config), util::Error);
+    config = fast_config();
+    config.window = 0;
+    EXPECT_THROW(train_sgns(corpus, kNumNodes, config), util::Error);
+    config = fast_config();
+    config.dim = 0;
+    EXPECT_THROW(train_sgns(corpus, kNumNodes, config), util::Error);
+    config = fast_config();
+    config.row_stride = 4; // < dim
+    EXPECT_THROW(train_sgns(corpus, kNumNodes, config), util::Error);
+}
+
+TEST(Sgns, EmptyCorpusThrows)
+{
+    EXPECT_THROW(train_sgns(walk::Corpus{}, 10, fast_config()),
+                 util::Error);
+    BatchedSgnsConfig batched;
+    batched.sgns = fast_config();
+    EXPECT_THROW(train_sgns_batched(walk::Corpus{}, 10, batched),
+                 util::Error);
+}
+
+TEST(Sgns, BatchedZeroBatchSizeThrows)
+{
+    BatchedSgnsConfig config;
+    config.sgns = fast_config();
+    config.batch_size = 0;
+    EXPECT_THROW(
+        train_sgns_batched(two_community_corpus(12), kNumNodes, config),
+        util::Error);
+}
+
+TEST(Sgns, SingleThreadDeterministic)
+{
+    SgnsConfig config = fast_config();
+    config.num_threads = 1;
+    const Embedding a =
+        train_sgns(two_community_corpus(13), kNumNodes, config);
+    const Embedding b =
+        train_sgns(two_community_corpus(13), kNumNodes, config);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+} // namespace
+} // namespace tgl::embed

@@ -1,0 +1,85 @@
+/// Unit tests for the corpus vocabulary.
+#include "embed/vocab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::embed {
+namespace {
+
+walk::Corpus
+sample_corpus()
+{
+    walk::Corpus corpus;
+    const graph::NodeId w1[] = {5, 3, 5};
+    const graph::NodeId w2[] = {3, 5, 9};
+    const graph::NodeId w3[] = {5};
+    corpus.add_walk(w1);
+    corpus.add_walk(w2);
+    corpus.add_walk(w3);
+    return corpus; // counts: 5 -> 4, 3 -> 2, 9 -> 1
+}
+
+TEST(Vocab, CountsAndOrdering)
+{
+    const Vocab vocab(sample_corpus());
+    ASSERT_EQ(vocab.size(), 3u);
+    // Descending frequency order.
+    EXPECT_EQ(vocab.node_of(0), 5u);
+    EXPECT_EQ(vocab.node_of(1), 3u);
+    EXPECT_EQ(vocab.node_of(2), 9u);
+    EXPECT_EQ(vocab.count(0), 4u);
+    EXPECT_EQ(vocab.count(1), 2u);
+    EXPECT_EQ(vocab.count(2), 1u);
+}
+
+TEST(Vocab, ReverseLookup)
+{
+    const Vocab vocab(sample_corpus());
+    EXPECT_EQ(vocab.word_of(5), 0u);
+    EXPECT_EQ(vocab.word_of(3), 1u);
+    EXPECT_EQ(vocab.word_of(9), 2u);
+    EXPECT_EQ(vocab.word_of(4), kNoWord);   // never seen
+    EXPECT_EQ(vocab.word_of(100), kNoWord); // beyond max id
+}
+
+TEST(Vocab, TotalTokens)
+{
+    const Vocab vocab(sample_corpus());
+    EXPECT_EQ(vocab.total_tokens(), 7u);
+}
+
+TEST(Vocab, MinCountFilters)
+{
+    const Vocab vocab(sample_corpus(), 2);
+    EXPECT_EQ(vocab.size(), 2u);
+    EXPECT_EQ(vocab.word_of(9), kNoWord);
+    EXPECT_EQ(vocab.total_tokens(), 6u);
+}
+
+TEST(Vocab, TieBreakByNodeId)
+{
+    walk::Corpus corpus;
+    const graph::NodeId w[] = {7, 2, 7, 2};
+    corpus.add_walk(w);
+    const Vocab vocab(corpus);
+    // Equal counts: lower node id first.
+    EXPECT_EQ(vocab.node_of(0), 2u);
+    EXPECT_EQ(vocab.node_of(1), 7u);
+}
+
+TEST(Vocab, EmptyCorpus)
+{
+    const Vocab vocab(walk::Corpus{});
+    EXPECT_EQ(vocab.size(), 0u);
+    EXPECT_EQ(vocab.total_tokens(), 0u);
+    EXPECT_EQ(vocab.word_of(0), kNoWord);
+}
+
+TEST(Vocab, DefaultConstructedIsEmpty)
+{
+    const Vocab vocab;
+    EXPECT_EQ(vocab.size(), 0u);
+}
+
+} // namespace
+} // namespace tgl::embed

@@ -1,0 +1,379 @@
+/// Unit + property tests for the synthetic graph generators.
+#include "gen/barabasi_albert.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "gen/timestamps.hpp"
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tgl::gen {
+namespace {
+
+void
+expect_normalized_times(const graph::EdgeList& edges)
+{
+    for (const graph::TemporalEdge& e : edges) {
+        EXPECT_GE(e.time, 0.0);
+        EXPECT_LE(e.time, 1.0);
+    }
+}
+
+TEST(ErdosRenyi, ExactCounts)
+{
+    const auto edges = generate_erdos_renyi(
+        {.num_nodes = 100, .num_edges = 1000, .seed = 1});
+    EXPECT_EQ(edges.size(), 1000u);
+    EXPECT_LE(edges.num_nodes(), 100u);
+    expect_normalized_times(edges);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsByDefault)
+{
+    const auto edges = generate_erdos_renyi(
+        {.num_nodes = 20, .num_edges = 2000, .seed = 2});
+    for (const graph::TemporalEdge& e : edges) {
+        EXPECT_NE(e.src, e.dst);
+    }
+}
+
+TEST(ErdosRenyi, DeterministicForSeed)
+{
+    const ErdosRenyiParams params{.num_nodes = 50, .num_edges = 200,
+                                  .seed = 7};
+    const auto a = generate_erdos_renyi(params);
+    const auto b = generate_erdos_renyi(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(ErdosRenyi, EmptyVertexSetWithEdgesThrows)
+{
+    EXPECT_THROW(generate_erdos_renyi({.num_nodes = 0, .num_edges = 5}),
+                 util::Error);
+}
+
+TEST(ErdosRenyi, DegreesRoughlyUniform)
+{
+    const auto edges = generate_erdos_renyi(
+        {.num_nodes = 100, .num_edges = 10000, .seed = 3});
+    const auto graph = graph::GraphBuilder::build(edges);
+    const auto stats = graph::compute_stats(graph);
+    // Mean degree 100; Poisson tail makes degree > 200 essentially
+    // impossible.
+    EXPECT_LT(stats.max_out_degree, 200u);
+    EXPECT_EQ(stats.num_isolated, 0u);
+}
+
+TEST(BarabasiAlbert, CountsAndValidity)
+{
+    const auto edges = generate_barabasi_albert(
+        {.num_nodes = 500, .edges_per_node = 2, .seed = 4});
+    EXPECT_GE(edges.size(), 2u * (500 - 3));
+    EXPECT_EQ(edges.num_nodes(), 500u);
+    expect_normalized_times(edges);
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees)
+{
+    const auto edges = generate_barabasi_albert(
+        {.num_nodes = 2000, .edges_per_node = 2, .seed = 5});
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+    const auto stats = graph::compute_stats(graph);
+    // Hubs should far exceed the mean degree (~4-5).
+    EXPECT_GT(stats.max_out_degree, 30u);
+}
+
+TEST(BarabasiAlbert, TooFewNodesThrows)
+{
+    EXPECT_THROW(
+        generate_barabasi_albert({.num_nodes = 2, .edges_per_node = 3}),
+        util::Error);
+}
+
+TEST(BarabasiAlbert, DeterministicForSeed)
+{
+    const BarabasiAlbertParams params{.num_nodes = 100,
+                                      .edges_per_node = 2,
+                                      .seed = 11};
+    const auto a = generate_barabasi_albert(params);
+    const auto b = generate_barabasi_albert(params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(Rmat, CountsAndIdBounds)
+{
+    const auto edges =
+        generate_rmat({.scale = 8, .num_edges = 5000, .seed = 6});
+    EXPECT_EQ(edges.size(), 5000u);
+    for (const graph::TemporalEdge& e : edges) {
+        EXPECT_LT(e.src, 256u);
+        EXPECT_LT(e.dst, 256u);
+    }
+}
+
+TEST(Rmat, SkewedQuadrantsGiveSkewedDegrees)
+{
+    const auto skewed =
+        generate_rmat({.scale = 10, .num_edges = 20000, .seed = 7});
+    const auto uniform = generate_rmat({.scale = 10,
+                                        .num_edges = 20000,
+                                        .a = 0.25,
+                                        .b = 0.25,
+                                        .c = 0.25,
+                                        .d = 0.25,
+                                        .seed = 7});
+    const auto skewed_stats = graph::compute_stats(
+        graph::GraphBuilder::build(skewed));
+    const auto uniform_stats = graph::compute_stats(
+        graph::GraphBuilder::build(uniform));
+    EXPECT_GT(skewed_stats.max_out_degree,
+              2 * uniform_stats.max_out_degree);
+}
+
+TEST(Rmat, InvalidProbabilitiesThrow)
+{
+    EXPECT_THROW(generate_rmat({.scale = 4,
+                                .num_edges = 10,
+                                .a = 0.9,
+                                .b = 0.9,
+                                .c = 0.1,
+                                .d = 0.1}),
+                 util::Error);
+    EXPECT_THROW(generate_rmat({.scale = 0, .num_edges = 10}),
+                 util::Error);
+}
+
+TEST(Sbm, LabelsAndClassCount)
+{
+    const LabeledGraph result = generate_sbm(
+        {.num_nodes = 300, .num_edges = 3000, .num_communities = 3,
+         .label_noise = 0.0, .seed = 8});
+    EXPECT_EQ(result.num_classes, 3u);
+    ASSERT_EQ(result.labels.size(), 300u);
+    for (std::uint32_t label : result.labels) {
+        EXPECT_LT(label, 3u);
+    }
+    // Balanced round-robin assignment (before noise).
+    std::vector<int> per_class(3, 0);
+    for (std::uint32_t label : result.labels) {
+        ++per_class[label];
+    }
+    EXPECT_EQ(per_class[0], 100);
+    EXPECT_EQ(per_class[1], 100);
+    EXPECT_EQ(per_class[2], 100);
+}
+
+TEST(Sbm, AssortativeStructure)
+{
+    const LabeledGraph result = generate_sbm(
+        {.num_nodes = 400, .num_edges = 8000, .num_communities = 4,
+         .intra_probability = 0.9, .label_noise = 0.0, .seed = 9});
+    std::size_t intra = 0;
+    for (const graph::TemporalEdge& e : result.edges.edges()) {
+        if (e.src % 4 == e.dst % 4) {
+            ++intra;
+        }
+    }
+    const double fraction =
+        static_cast<double>(intra) / result.edges.size();
+    EXPECT_NEAR(fraction, 0.9, 0.03);
+}
+
+TEST(Sbm, LabelNoiseFlipsApproximatelyRequestedFraction)
+{
+    const LabeledGraph result = generate_sbm(
+        {.num_nodes = 2000, .num_edges = 2000, .num_communities = 2,
+         .label_noise = 0.2, .seed = 10});
+    std::size_t flipped = 0;
+    for (graph::NodeId u = 0; u < 2000; ++u) {
+        if (result.labels[u] != u % 2) {
+            ++flipped;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(flipped) / 2000.0, 0.2, 0.04);
+}
+
+TEST(Sbm, InvalidParamsThrow)
+{
+    EXPECT_THROW(generate_sbm({.num_nodes = 10, .num_communities = 0}),
+                 util::Error);
+    EXPECT_THROW(generate_sbm({.num_nodes = 2, .num_communities = 5}),
+                 util::Error);
+    EXPECT_THROW(generate_sbm({.num_nodes = 10,
+                               .num_communities = 2,
+                               .intra_probability = 1.5}),
+                 util::Error);
+}
+
+TEST(DriftingSbm, BasicShapeAndMonotoneTimes)
+{
+    const LabeledGraph result = generate_drifting_sbm(
+        {.num_nodes = 200, .num_edges = 5000, .num_communities = 4,
+         .switch_fraction = 0.5, .seed = 11});
+    EXPECT_EQ(result.num_classes, 4u);
+    EXPECT_EQ(result.labels.size(), 200u);
+    EXPECT_EQ(result.edges.size(), 5000u);
+    EXPECT_TRUE(result.edges.is_time_sorted());
+    for (std::uint32_t label : result.labels) {
+        EXPECT_LT(label, 4u);
+    }
+}
+
+TEST(DriftingSbm, LateEdgesMatchFinalLabels)
+{
+    // Edges near t=1 must be assortative w.r.t. the FINAL labels; the
+    // earliest edges reflect initial (round-robin) memberships instead.
+    const LabeledGraph result = generate_drifting_sbm(
+        {.num_nodes = 400, .num_edges = 20000, .num_communities = 4,
+         .intra_probability = 0.9, .switch_fraction = 0.6, .seed = 12});
+    std::size_t late_intra_final = 0, late_total = 0;
+    std::size_t early_intra_initial = 0, early_total = 0;
+    for (const graph::TemporalEdge& e : result.edges) {
+        if (e.time > 0.95) {
+            ++late_total;
+            if (result.labels[e.src] == result.labels[e.dst]) {
+                ++late_intra_final;
+            }
+        } else if (e.time < 0.05) {
+            ++early_total;
+            if (e.src % 4 == e.dst % 4) {
+                ++early_intra_initial;
+            }
+        }
+    }
+    ASSERT_GT(late_total, 100u);
+    ASSERT_GT(early_total, 100u);
+    EXPECT_GT(static_cast<double>(late_intra_final) / late_total, 0.8);
+    EXPECT_GT(static_cast<double>(early_intra_initial) / early_total,
+              0.8);
+}
+
+TEST(DriftingSbm, SwitchFractionZeroKeepsInitialLabels)
+{
+    const LabeledGraph result = generate_drifting_sbm(
+        {.num_nodes = 100, .num_edges = 1000, .num_communities = 2,
+         .switch_fraction = 0.0, .seed = 13});
+    for (graph::NodeId u = 0; u < 100; ++u) {
+        EXPECT_EQ(result.labels[u], u % 2);
+    }
+}
+
+TEST(DriftingSbm, InvalidParamsThrow)
+{
+    EXPECT_THROW(generate_drifting_sbm({.num_nodes = 100,
+                                        .num_communities = 1}),
+                 util::Error);
+    EXPECT_THROW(generate_drifting_sbm({.num_nodes = 3,
+                                        .num_communities = 4}),
+                 util::Error);
+}
+
+TEST(BarabasiAlbert, RecencyBiasConcentratesLateEdgesOnLateNodes)
+{
+    // With strong recency bias, targets of the last edges should be
+    // recently arrived nodes far more often than under pure BA.
+    BarabasiAlbertParams params{.num_nodes = 2000, .edges_per_node = 2,
+                                .seed = 14};
+    params.recency_bias = 0.0;
+    const auto pure = generate_barabasi_albert(params);
+    params.recency_bias = 0.9;
+    const auto recent = generate_barabasi_albert(params);
+    const auto late_target_fraction = [](const graph::EdgeList& edges) {
+        std::size_t late = 0, total = 0;
+        for (std::size_t i = edges.size() - edges.size() / 10;
+             i < edges.size(); ++i) {
+            ++total;
+            if (edges[i].dst > 1000) {
+                ++late;
+            }
+        }
+        return static_cast<double>(late) / static_cast<double>(total);
+    };
+    EXPECT_GT(late_target_fraction(recent),
+              late_target_fraction(pure) + 0.1);
+}
+
+class TimestampModelTest
+    : public ::testing::TestWithParam<TimestampModel>
+{
+};
+
+TEST_P(TimestampModelTest, NormalizedAndDeterministic)
+{
+    graph::EdgeList edges;
+    for (int i = 0; i < 500; ++i) {
+        edges.add(0, 1, 0.0);
+    }
+    rng::Random r1(21), r2(21);
+    graph::EdgeList copy = edges;
+    assign_timestamps(edges, GetParam(), r1);
+    assign_timestamps(copy, GetParam(), r2);
+    expect_normalized_times(edges);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        EXPECT_DOUBLE_EQ(edges[i].time, copy[i].time);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TimestampModelTest,
+                         ::testing::Values(TimestampModel::kUniform,
+                                           TimestampModel::kArrivalOrder,
+                                           TimestampModel::kBursty));
+
+TEST(Timestamps, ArrivalOrderIsMonotone)
+{
+    graph::EdgeList edges;
+    for (int i = 0; i < 100; ++i) {
+        edges.add(0, 1, 0.0);
+    }
+    rng::Random random(1);
+    assign_timestamps(edges, TimestampModel::kArrivalOrder, random);
+    EXPECT_TRUE(edges.is_time_sorted());
+    EXPECT_DOUBLE_EQ(edges[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(edges[99].time, 1.0);
+}
+
+TEST(Timestamps, BurstyIsMonotoneAndClustered)
+{
+    graph::EdgeList edges;
+    for (int i = 0; i < 2000; ++i) {
+        edges.add(0, 1, 0.0);
+    }
+    rng::Random random(2);
+    assign_timestamps(edges, TimestampModel::kBursty, random);
+    EXPECT_TRUE(edges.is_time_sorted());
+    // Bursts create many tiny gaps: the median gap should be far below
+    // the mean gap.
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < edges.size(); ++i) {
+        gaps.push_back(edges[i].time - edges[i - 1].time);
+    }
+    std::sort(gaps.begin(), gaps.end());
+    const double median = gaps[gaps.size() / 2];
+    const double mean = 1.0 / static_cast<double>(gaps.size());
+    EXPECT_LT(median, mean * 0.75);
+}
+
+TEST(Timestamps, ParseNames)
+{
+    EXPECT_EQ(parse_timestamp_model("uniform"), TimestampModel::kUniform);
+    EXPECT_EQ(parse_timestamp_model("arrival"),
+              TimestampModel::kArrivalOrder);
+    EXPECT_EQ(parse_timestamp_model("bursty"), TimestampModel::kBursty);
+    EXPECT_THROW(parse_timestamp_model("bogus"), util::Error);
+}
+
+} // namespace
+} // namespace tgl::gen

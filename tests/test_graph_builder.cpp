@@ -1,0 +1,205 @@
+/// Unit + property tests for CSR construction and TemporalGraph.
+#include "graph/builder.hpp"
+
+#include "gen/erdos_renyi.hpp"
+#include "graph/temporal_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tgl::graph {
+namespace {
+
+EdgeList
+toy_edges()
+{
+    // Fig. 2-style toy graph: u=0, v=1, x=2, y=3, w=4.
+    EdgeList edges;
+    edges.add(0, 1, 1.0); // u -> v @ 1
+    edges.add(1, 2, 2.0); // v -> x @ 2
+    edges.add(1, 3, 3.0); // v -> y @ 3
+    edges.add(4, 1, 0.5); // w -> v @ 0.5
+    return edges;
+}
+
+TEST(Builder, BasicCsrShape)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    EXPECT_EQ(graph.num_nodes(), 5u);
+    EXPECT_EQ(graph.num_edges(), 4u);
+    EXPECT_EQ(graph.out_degree(0), 1u);
+    EXPECT_EQ(graph.out_degree(1), 2u);
+    EXPECT_EQ(graph.out_degree(2), 0u);
+    EXPECT_EQ(graph.max_out_degree(), 2u);
+}
+
+TEST(Builder, NeighborsSortedByTime)
+{
+    EdgeList edges;
+    edges.add(0, 1, 5.0);
+    edges.add(0, 2, 1.0);
+    edges.add(0, 3, 3.0);
+    const TemporalGraph graph = GraphBuilder::build(edges);
+    const auto neighbors = graph.out_neighbors(0);
+    ASSERT_EQ(neighbors.size(), 3u);
+    EXPECT_EQ(neighbors[0].dst, 2u);
+    EXPECT_EQ(neighbors[1].dst, 3u);
+    EXPECT_EQ(neighbors[2].dst, 1u);
+}
+
+TEST(Builder, MultiEdgesPreserved)
+{
+    EdgeList edges;
+    edges.add(0, 1, 1.0);
+    edges.add(0, 1, 2.0);
+    edges.add(0, 1, 3.0);
+    const TemporalGraph graph = GraphBuilder::build(edges);
+    EXPECT_EQ(graph.num_edges(), 3u);
+    EXPECT_EQ(graph.out_degree(0), 3u);
+}
+
+TEST(Builder, MinNumNodesAddsIsolatedTail)
+{
+    EdgeList edges;
+    edges.add(0, 1, 1.0);
+    const TemporalGraph graph =
+        GraphBuilder::build(edges, {.min_num_nodes = 10});
+    EXPECT_EQ(graph.num_nodes(), 10u);
+    EXPECT_EQ(graph.out_degree(9), 0u);
+}
+
+TEST(Builder, SymmetrizeOption)
+{
+    EdgeList edges;
+    edges.add(0, 1, 1.0);
+    const TemporalGraph graph =
+        GraphBuilder::build(edges, {.symmetrize = true});
+    EXPECT_EQ(graph.num_edges(), 2u);
+    EXPECT_TRUE(graph.has_edge(0, 1));
+    EXPECT_TRUE(graph.has_edge(1, 0));
+}
+
+TEST(Builder, RemoveSelfLoopsOption)
+{
+    EdgeList edges;
+    edges.add(0, 0, 1.0);
+    edges.add(0, 1, 2.0);
+    const TemporalGraph graph =
+        GraphBuilder::build(edges, {.remove_self_loops = true});
+    EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(Builder, EmptyEdgeListYieldsEmptyGraph)
+{
+    const TemporalGraph graph = GraphBuilder::build(EdgeList{});
+    EXPECT_EQ(graph.num_nodes(), 0u);
+    EXPECT_EQ(graph.num_edges(), 0u);
+    EXPECT_TRUE(graph.check_invariants());
+}
+
+TEST(TemporalGraph, TimeRange)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    EXPECT_DOUBLE_EQ(graph.min_time(), 0.5);
+    EXPECT_DOUBLE_EQ(graph.max_time(), 3.0);
+    EXPECT_DOUBLE_EQ(graph.time_range(), 2.5);
+}
+
+TEST(TemporalGraph, TemporalNeighborsStrict)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    // From v=1 at time 2.0 strictly: only y@3 remains.
+    const auto valid = graph.temporal_neighbors(1, 2.0, true);
+    ASSERT_EQ(valid.size(), 1u);
+    EXPECT_EQ(valid[0].dst, 3u);
+}
+
+TEST(TemporalGraph, TemporalNeighborsNonStrict)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    // Non-strict includes the @2 edge itself.
+    const auto valid = graph.temporal_neighbors(1, 2.0, false);
+    ASSERT_EQ(valid.size(), 2u);
+    EXPECT_EQ(valid[0].dst, 2u);
+}
+
+TEST(TemporalGraph, TemporalNeighborsBeforeAllEdges)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    EXPECT_EQ(graph.temporal_neighbors(1, 0.0, true).size(), 2u);
+    EXPECT_EQ(graph.temporal_neighbors(1, 3.0, true).size(), 0u);
+}
+
+TEST(TemporalGraph, LinearNeighborSearchMatchesBinary)
+{
+    const auto edges = gen::generate_erdos_renyi(
+        {.num_nodes = 50, .num_edges = 500, .seed = 3});
+    const TemporalGraph graph = GraphBuilder::build(edges);
+    std::vector<std::uint32_t> scratch;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+        for (double t : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+            for (bool strict : {true, false}) {
+                const auto binary =
+                    graph.temporal_neighbors(u, t, strict);
+                const std::size_t linear =
+                    graph.temporal_neighbors_linear(u, t, strict,
+                                                    scratch);
+                ASSERT_EQ(binary.size(), linear)
+                    << "u=" << u << " t=" << t << " strict=" << strict;
+                if (linear > 0) {
+                    // Valid edges must be the trailing suffix.
+                    EXPECT_EQ(scratch.front(),
+                              graph.out_degree(u) - linear);
+                }
+            }
+        }
+    }
+}
+
+TEST(TemporalGraph, HasEdge)
+{
+    const TemporalGraph graph = GraphBuilder::build(toy_edges());
+    EXPECT_TRUE(graph.has_edge(0, 1));
+    EXPECT_TRUE(graph.has_edge(1, 3));
+    EXPECT_FALSE(graph.has_edge(1, 0));
+    EXPECT_FALSE(graph.has_edge(2, 3));
+}
+
+TEST(TemporalGraph, InvariantsHoldOnToyGraph)
+{
+    EXPECT_TRUE(GraphBuilder::build(toy_edges()).check_invariants());
+}
+
+/// Property test: CSR contains exactly the input multiset of edges.
+class BuilderProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BuilderProperty, CsrMatchesInputMultiset)
+{
+    const auto edges = gen::generate_erdos_renyi(
+        {.num_nodes = 200, .num_edges = 2000, .seed = GetParam()});
+    const TemporalGraph graph = GraphBuilder::build(edges);
+
+    EXPECT_TRUE(graph.check_invariants());
+    EXPECT_EQ(graph.num_edges(), edges.size());
+
+    std::map<std::pair<NodeId, NodeId>, int> expected;
+    for (const TemporalEdge& e : edges) {
+        ++expected[{e.src, e.dst}];
+    }
+    std::map<std::pair<NodeId, NodeId>, int> actual;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+        for (const Neighbor& n : graph.out_neighbors(u)) {
+            ++actual[{u, n.dst}];
+        }
+    }
+    EXPECT_EQ(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+} // namespace
+} // namespace tgl::graph

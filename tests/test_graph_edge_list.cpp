@@ -1,0 +1,138 @@
+/// Unit tests for graph/edge_list.
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::graph {
+namespace {
+
+EdgeList
+sample_list()
+{
+    EdgeList edges;
+    edges.add(0, 1, 3.0);
+    edges.add(1, 2, 1.0);
+    edges.add(2, 0, 2.0);
+    return edges;
+}
+
+TEST(EdgeList, AddAndAccess)
+{
+    const EdgeList edges = sample_list();
+    EXPECT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0].src, 0u);
+    EXPECT_EQ(edges[0].dst, 1u);
+    EXPECT_DOUBLE_EQ(edges[0].time, 3.0);
+}
+
+TEST(EdgeList, SortByTime)
+{
+    EdgeList edges = sample_list();
+    EXPECT_FALSE(edges.is_time_sorted());
+    edges.sort_by_time();
+    EXPECT_TRUE(edges.is_time_sorted());
+    EXPECT_DOUBLE_EQ(edges[0].time, 1.0);
+    EXPECT_DOUBLE_EQ(edges[2].time, 3.0);
+}
+
+TEST(EdgeList, SortIsStableForTies)
+{
+    EdgeList edges;
+    edges.add(0, 1, 1.0);
+    edges.add(0, 2, 1.0);
+    edges.add(0, 3, 1.0);
+    edges.sort_by_time();
+    EXPECT_EQ(edges[0].dst, 1u);
+    EXPECT_EQ(edges[1].dst, 2u);
+    EXPECT_EQ(edges[2].dst, 3u);
+}
+
+TEST(EdgeList, MaxNodeIdAndNumNodes)
+{
+    const EdgeList edges = sample_list();
+    EXPECT_EQ(edges.max_node_id(), 2u);
+    EXPECT_EQ(edges.num_nodes(), 3u);
+}
+
+TEST(EdgeList, EmptyListSentinels)
+{
+    const EdgeList edges;
+    EXPECT_TRUE(edges.empty());
+    EXPECT_EQ(edges.max_node_id(), kInvalidNode);
+    EXPECT_EQ(edges.num_nodes(), 0u);
+    EXPECT_TRUE(edges.is_time_sorted());
+}
+
+TEST(EdgeList, NormalizeTimestampsMapsToUnitInterval)
+{
+    EdgeList edges;
+    edges.add(0, 1, 100.0);
+    edges.add(1, 2, 200.0);
+    edges.add(2, 0, 150.0);
+    const auto [lo, hi] = edges.normalize_timestamps();
+    EXPECT_DOUBLE_EQ(lo, 100.0);
+    EXPECT_DOUBLE_EQ(hi, 200.0);
+    EXPECT_DOUBLE_EQ(edges[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(edges[1].time, 1.0);
+    EXPECT_DOUBLE_EQ(edges[2].time, 0.5);
+}
+
+TEST(EdgeList, NormalizePreservesOrder)
+{
+    EdgeList edges;
+    edges.add(0, 1, 10.0);
+    edges.add(0, 2, 30.0);
+    edges.add(0, 3, 20.0);
+    edges.normalize_timestamps();
+    EXPECT_LT(edges[0].time, edges[2].time);
+    EXPECT_LT(edges[2].time, edges[1].time);
+}
+
+TEST(EdgeList, NormalizeSingleTimestamp)
+{
+    EdgeList edges;
+    edges.add(0, 1, 42.0);
+    edges.add(1, 0, 42.0);
+    edges.normalize_timestamps();
+    EXPECT_DOUBLE_EQ(edges[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(edges[1].time, 0.0);
+}
+
+TEST(EdgeList, RemoveSelfLoops)
+{
+    EdgeList edges;
+    edges.add(0, 0, 1.0);
+    edges.add(0, 1, 2.0);
+    edges.add(1, 1, 3.0);
+    EXPECT_EQ(edges.remove_self_loops(), 2u);
+    EXPECT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0].dst, 1u);
+}
+
+TEST(EdgeList, SymmetrizeAddsReversedEdges)
+{
+    EdgeList edges;
+    edges.add(0, 1, 1.5);
+    edges.add(2, 3, 2.5);
+    edges.symmetrize();
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_EQ(edges[2].src, 1u);
+    EXPECT_EQ(edges[2].dst, 0u);
+    EXPECT_DOUBLE_EQ(edges[2].time, 1.5);
+    EXPECT_EQ(edges[3].src, 3u);
+    EXPECT_EQ(edges[3].dst, 2u);
+}
+
+TEST(EdgeList, RangeBasedIteration)
+{
+    const EdgeList edges = sample_list();
+    std::size_t count = 0;
+    for (const TemporalEdge& e : edges) {
+        (void)e;
+        ++count;
+    }
+    EXPECT_EQ(count, 3u);
+}
+
+} // namespace
+} // namespace tgl::graph

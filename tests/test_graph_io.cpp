@@ -1,0 +1,123 @@
+/// Unit tests for .wel edge-list I/O.
+#include "graph/io.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tgl::graph {
+namespace {
+
+TEST(Io, LoadsBasicTriples)
+{
+    std::istringstream in("0 1 0.0\n1 2 0.5\n2 0 1.0\n");
+    const EdgeList edges = load_wel(in, {.normalize_timestamps = false});
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[1].src, 1u);
+    EXPECT_EQ(edges[1].dst, 2u);
+    EXPECT_DOUBLE_EQ(edges[1].time, 0.5);
+}
+
+TEST(Io, SkipsCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n% matrix-market comment\n\n0 1 1.0\n  \n1 0 2.0\n");
+    const EdgeList edges = load_wel(in, {.normalize_timestamps = false});
+    EXPECT_EQ(edges.size(), 2u);
+}
+
+TEST(Io, NormalizesTimestampsByDefault)
+{
+    std::istringstream in("0 1 100\n1 2 300\n2 0 200\n");
+    const EdgeList edges = load_wel(in);
+    EXPECT_DOUBLE_EQ(edges[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(edges[1].time, 1.0);
+    EXPECT_DOUBLE_EQ(edges[2].time, 0.5);
+}
+
+TEST(Io, AcceptsTabsAndCommas)
+{
+    std::istringstream in("0\t1\t1.0\n1,2,2.0\n");
+    const EdgeList edges = load_wel(in, {.normalize_timestamps = false});
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[1].dst, 2u);
+}
+
+TEST(Io, MissingTimestampRejectedByDefault)
+{
+    std::istringstream in("0 1\n");
+    EXPECT_THROW(load_wel(in), util::Error);
+}
+
+TEST(Io, MissingTimestampUsesSequenceWhenAllowed)
+{
+    std::istringstream in("0 1\n1 2\n2 0\n");
+    const EdgeList edges = load_wel(
+        in, {.normalize_timestamps = true, .allow_missing_timestamps = true});
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_DOUBLE_EQ(edges[0].time, 0.0);
+    EXPECT_DOUBLE_EQ(edges[2].time, 1.0);
+}
+
+TEST(Io, MalformedLineThrows)
+{
+    std::istringstream in("0 x 1.0\n");
+    EXPECT_THROW(load_wel(in), util::Error);
+}
+
+TEST(Io, NegativeNodeIdThrows)
+{
+    std::istringstream in("-1 2 1.0\n");
+    EXPECT_THROW(load_wel(in), util::Error);
+}
+
+TEST(Io, SingleColumnThrows)
+{
+    std::istringstream in("42\n");
+    EXPECT_THROW(load_wel(in), util::Error);
+}
+
+TEST(Io, RoundTripThroughStream)
+{
+    EdgeList original;
+    original.add(0, 1, 0.25);
+    original.add(5, 3, 0.75);
+    std::ostringstream out;
+    save_wel(out, original);
+    std::istringstream in(out.str());
+    const EdgeList loaded = load_wel(in, {.normalize_timestamps = false});
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0], original[0]);
+    EXPECT_EQ(loaded[1], original[1]);
+}
+
+TEST(Io, MissingFileThrows)
+{
+    EXPECT_THROW(load_wel_file("/nonexistent/path/graph.wel"),
+                 util::Error);
+}
+
+TEST(Io, FileRoundTrip)
+{
+    EdgeList original;
+    original.add(1, 2, 0.5);
+    original.add(2, 1, 0.9);
+    const std::string path =
+        testing::TempDir() + "/tgl_io_roundtrip.wel";
+    save_wel_file(path, original);
+    const EdgeList loaded =
+        load_wel_file(path, {.normalize_timestamps = false});
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0], original[0]);
+}
+
+TEST(Io, EmptyStreamGivesEmptyList)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(load_wel(in).empty());
+}
+
+} // namespace
+} // namespace tgl::graph

@@ -1,0 +1,174 @@
+/// Tests for temporal snapshots (Definition III.1's G_t) and the
+/// vertex reordering passes.
+#include "graph/reorder.hpp"
+#include "graph/snapshot.hpp"
+
+#include "gen/barabasi_albert.hpp"
+#include "graph/builder.hpp"
+#include "util/error.hpp"
+#include "walk/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tgl::graph {
+namespace {
+
+EdgeList
+staircase_edges()
+{
+    EdgeList edges;
+    edges.add(0, 1, 0.1);
+    edges.add(1, 2, 0.4);
+    edges.add(2, 3, 0.7);
+    edges.add(3, 0, 1.0);
+    return edges;
+}
+
+TEST(Snapshot, PrefixByTime)
+{
+    const EdgeList edges = staircase_edges();
+    EXPECT_EQ(snapshot_edges(edges, 0.05).size(), 0u);
+    EXPECT_EQ(snapshot_edges(edges, 0.1).size(), 1u); // inclusive
+    EXPECT_EQ(snapshot_edges(edges, 0.5).size(), 2u);
+    EXPECT_EQ(snapshot_edges(edges, 1.0).size(), 4u);
+}
+
+TEST(Snapshot, WindowHalfOpenInterval)
+{
+    const EdgeList edges = staircase_edges();
+    const EdgeList window = window_edges(edges, 0.1, 0.7);
+    ASSERT_EQ(window.size(), 2u); // (0.1, 0.7] -> 0.4, 0.7
+    EXPECT_DOUBLE_EQ(window[0].time, 0.4);
+    EXPECT_DOUBLE_EQ(window[1].time, 0.7);
+}
+
+TEST(Snapshot, WindowRejectsInvertedRange)
+{
+    EXPECT_THROW(window_edges(staircase_edges(), 0.9, 0.1),
+                 util::Error);
+}
+
+TEST(Snapshot, SequenceIsCumulative)
+{
+    const EdgeList edges = staircase_edges();
+    const auto snapshots = snapshot_sequence(edges, 4, BuildOptions{});
+    ASSERT_EQ(snapshots.size(), 4u);
+    EdgeId previous = 0;
+    for (const TemporalGraph& snapshot : snapshots) {
+        EXPECT_GE(snapshot.num_edges(), previous);
+        previous = snapshot.num_edges();
+        // Consistent node-id space across snapshots.
+        EXPECT_EQ(snapshot.num_nodes(), 4u);
+        EXPECT_TRUE(snapshot.check_invariants());
+    }
+    EXPECT_EQ(snapshots.back().num_edges(), edges.size());
+}
+
+TEST(Snapshot, SequenceZeroCountThrows)
+{
+    EXPECT_THROW(snapshot_sequence(staircase_edges(), 0, BuildOptions{}),
+                 util::Error);
+}
+
+TEST(Reorder, PermutationIsBijective)
+{
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 500, .edges_per_node = 3, .seed = 31});
+    for (const ReorderKind kind :
+         {ReorderKind::kDegreeSort, ReorderKind::kBfs}) {
+        const Reordering reordering = compute_reordering(edges, kind);
+        std::set<NodeId> ids(reordering.permutation.begin(),
+                             reordering.permutation.end());
+        EXPECT_EQ(ids.size(), 500u);
+        EXPECT_EQ(*ids.begin(), 0u);
+        EXPECT_EQ(*ids.rbegin(), 499u);
+    }
+}
+
+TEST(Reorder, DegreeSortPutsHubsFirst)
+{
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 500, .edges_per_node = 3, .seed = 32});
+    const Reordering reordering =
+        compute_reordering(edges, ReorderKind::kDegreeSort);
+    const EdgeList renamed = reordering.apply(edges);
+    const auto graph =
+        GraphBuilder::build(renamed, {.symmetrize = true});
+    // New id 0 must hold the maximum degree.
+    const EdgeId top_degree = graph.out_degree(0);
+    for (NodeId u = 1; u < graph.num_nodes(); ++u) {
+        EXPECT_LE(graph.out_degree(u), top_degree);
+    }
+}
+
+TEST(Reorder, ApplyPreservesStructureAndTimestamps)
+{
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 300, .edges_per_node = 2, .seed = 33});
+    const Reordering reordering =
+        compute_reordering(edges, ReorderKind::kBfs);
+    const EdgeList renamed = reordering.apply(edges);
+    ASSERT_EQ(renamed.size(), edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        EXPECT_EQ(renamed[i].src,
+                  reordering.permutation[edges[i].src]);
+        EXPECT_EQ(renamed[i].dst,
+                  reordering.permutation[edges[i].dst]);
+        EXPECT_DOUBLE_EQ(renamed[i].time, edges[i].time);
+    }
+}
+
+TEST(Reorder, InverseRoundTrips)
+{
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 200, .edges_per_node = 2, .seed = 34});
+    const Reordering reordering =
+        compute_reordering(edges, ReorderKind::kDegreeSort);
+    const auto inverse = reordering.inverse();
+    for (NodeId u = 0; u < 200; ++u) {
+        EXPECT_EQ(inverse[reordering.permutation[u]], u);
+    }
+}
+
+TEST(Reorder, WalkCorpusIsIsomorphicAfterReordering)
+{
+    // Reordering must not change walk *structure*: running the same
+    // seeded walks on the renamed graph yields the renamed corpus.
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 200, .edges_per_node = 3, .seed = 35});
+    const Reordering reordering =
+        compute_reordering(edges, ReorderKind::kDegreeSort);
+
+    // Degree-sort renaming changes which vertex owns which RNG stream,
+    // so exact token equality is not expected — but corpus-level
+    // statistics (token count per start vertex class) must agree.
+    walk::WalkConfig config;
+    config.walks_per_node = 2;
+    config.max_length = 6;
+    config.seed = 3;
+    const auto original = walk::generate_walks(
+        GraphBuilder::build(edges, {.symmetrize = true}), config);
+    const auto renamed = walk::generate_walks(
+        GraphBuilder::build(reordering.apply(edges),
+                            {.symmetrize = true}),
+        config);
+    EXPECT_EQ(original.num_walks(), renamed.num_walks());
+    // Same total out-degree structure -> statistically similar token
+    // volume (within 10%).
+    const double ratio = static_cast<double>(original.num_tokens()) /
+                         static_cast<double>(renamed.num_tokens());
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Reorder, EmptyGraph)
+{
+    const Reordering reordering =
+        compute_reordering(EdgeList{}, ReorderKind::kDegreeSort);
+    EXPECT_TRUE(reordering.permutation.empty());
+}
+
+} // namespace
+} // namespace tgl::graph

@@ -1,0 +1,88 @@
+/// Unit tests for graph statistics.
+#include "graph/stats.hpp"
+
+#include "gen/barabasi_albert.hpp"
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::graph {
+namespace {
+
+TEST(Stats, EmptyGraph)
+{
+    const GraphStats stats = compute_stats(TemporalGraph{});
+    EXPECT_EQ(stats.num_nodes, 0u);
+    EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(Stats, CountsAndDegrees)
+{
+    EdgeList edges;
+    edges.add(0, 1, 0.1);
+    edges.add(0, 2, 0.2);
+    edges.add(0, 3, 0.3);
+    edges.add(1, 0, 0.4);
+    const TemporalGraph graph =
+        GraphBuilder::build(edges, {.min_num_nodes = 5});
+    const GraphStats stats = compute_stats(graph);
+    EXPECT_EQ(stats.num_nodes, 5u);
+    EXPECT_EQ(stats.num_edges, 4u);
+    EXPECT_EQ(stats.max_out_degree, 3u);
+    EXPECT_EQ(stats.num_isolated, 3u); // 2, 3, 4 have no out-edges
+    EXPECT_DOUBLE_EQ(stats.avg_out_degree, 0.8);
+}
+
+TEST(Stats, DegreeHistogramBuckets)
+{
+    EdgeList edges;
+    // Node 0: degree 1 -> bucket 0; node 1: degree 2 -> bucket 1;
+    // node 2: degree 5 -> bucket 2.
+    edges.add(0, 1, 0.1);
+    for (int i = 0; i < 2; ++i) {
+        edges.add(1, 0, 0.1 * i);
+    }
+    for (int i = 0; i < 5; ++i) {
+        edges.add(2, 0, 0.1 * i);
+    }
+    const GraphStats stats = compute_stats(GraphBuilder::build(edges));
+    ASSERT_GE(stats.degree_histogram.size(), 3u);
+    EXPECT_EQ(stats.degree_histogram[0], 1u);
+    EXPECT_EQ(stats.degree_histogram[1], 1u);
+    EXPECT_EQ(stats.degree_histogram[2], 1u);
+}
+
+TEST(Stats, TimeRangeReported)
+{
+    EdgeList edges;
+    edges.add(0, 1, 0.25);
+    edges.add(1, 0, 0.75);
+    const GraphStats stats = compute_stats(GraphBuilder::build(edges));
+    EXPECT_DOUBLE_EQ(stats.min_time, 0.25);
+    EXPECT_DOUBLE_EQ(stats.max_time, 0.75);
+}
+
+TEST(Stats, BarabasiAlbertHasNegativePowerLawSlope)
+{
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 5000, .edges_per_node = 3, .seed = 5});
+    const TemporalGraph graph =
+        GraphBuilder::build(edges, {.symmetrize = true});
+    const GraphStats stats = compute_stats(graph);
+    // Power-law graphs: bucket counts fall steeply with degree.
+    EXPECT_LT(stats.degree_powerlaw_slope, -0.5);
+}
+
+TEST(Stats, FormatMentionsKeyFields)
+{
+    EdgeList edges;
+    edges.add(0, 1, 0.0);
+    const std::string text =
+        format_stats(compute_stats(GraphBuilder::build(edges)));
+    EXPECT_NE(text.find("nodes: 2"), std::string::npos);
+    EXPECT_NE(text.find("edges: 1"), std::string::npos);
+    EXPECT_NE(text.find("degree histogram"), std::string::npos);
+}
+
+} // namespace
+} // namespace tgl::graph

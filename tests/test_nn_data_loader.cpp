@@ -1,0 +1,120 @@
+/// Tests for the mini-batch data loader.
+#include "nn/data_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tgl::nn {
+namespace {
+
+TaskDataset
+make_dataset(std::size_t n)
+{
+    TaskDataset dataset;
+    dataset.features.resize(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        dataset.features(i, 0) = static_cast<float>(i);
+        dataset.features(i, 1) = static_cast<float>(i) * 10.0f;
+        dataset.binary_labels.push_back(i % 2 == 0 ? 1.0f : 0.0f);
+        dataset.class_labels.push_back(static_cast<std::uint32_t>(i % 3));
+    }
+    return dataset;
+}
+
+TEST(DataLoader, BatchCountRoundsUp)
+{
+    const TaskDataset dataset = make_dataset(10);
+    EXPECT_EQ(DataLoader(dataset, 4, false, 1).num_batches(), 3u);
+    EXPECT_EQ(DataLoader(dataset, 5, false, 1).num_batches(), 2u);
+    EXPECT_EQ(DataLoader(dataset, 10, false, 1).num_batches(), 1u);
+    EXPECT_EQ(DataLoader(dataset, 16, false, 1).num_batches(), 1u);
+}
+
+TEST(DataLoader, UnshuffledPreservesOrder)
+{
+    const TaskDataset dataset = make_dataset(6);
+    DataLoader loader(dataset, 4, false, 1);
+    Tensor features;
+    std::vector<float> binary;
+    std::vector<std::uint32_t> classes;
+    loader.batch(0, features, binary, classes);
+    ASSERT_EQ(features.rows(), 4u);
+    EXPECT_FLOAT_EQ(features(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(features(3, 0), 3.0f);
+    loader.batch(1, features, binary, classes);
+    ASSERT_EQ(features.rows(), 2u); // short final batch
+    EXPECT_FLOAT_EQ(features(1, 0), 5.0f);
+}
+
+TEST(DataLoader, LabelsTrackFeatures)
+{
+    const TaskDataset dataset = make_dataset(6);
+    DataLoader loader(dataset, 6, true, 7);
+    Tensor features;
+    std::vector<float> binary;
+    std::vector<std::uint32_t> classes;
+    loader.batch(0, features, binary, classes);
+    for (std::size_t i = 0; i < 6; ++i) {
+        const auto original =
+            static_cast<std::size_t>(features(i, 0));
+        EXPECT_FLOAT_EQ(binary[i], original % 2 == 0 ? 1.0f : 0.0f);
+        EXPECT_EQ(classes[i], original % 3);
+        EXPECT_FLOAT_EQ(features(i, 1),
+                        static_cast<float>(original) * 10.0f);
+    }
+}
+
+TEST(DataLoader, ShuffledEpochCoversAllExamplesOnce)
+{
+    const TaskDataset dataset = make_dataset(20);
+    DataLoader loader(dataset, 7, true, 3);
+    std::multiset<int> seen;
+    Tensor features;
+    std::vector<float> binary;
+    std::vector<std::uint32_t> classes;
+    for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+        loader.batch(b, features, binary, classes);
+        for (std::size_t i = 0; i < features.rows(); ++i) {
+            seen.insert(static_cast<int>(features(i, 0)));
+        }
+    }
+    EXPECT_EQ(seen.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(seen.count(i), 1u) << "example " << i;
+    }
+}
+
+TEST(DataLoader, StartEpochReshuffles)
+{
+    const TaskDataset dataset = make_dataset(50);
+    DataLoader loader(dataset, 50, true, 5);
+    Tensor first, second;
+    std::vector<float> binary;
+    std::vector<std::uint32_t> classes;
+    loader.batch(0, first, binary, classes);
+    loader.start_epoch();
+    loader.batch(0, second, binary, classes);
+    bool different = false;
+    for (std::size_t i = 0; i < 50 && !different; ++i) {
+        different = first(i, 0) != second(i, 0);
+    }
+    EXPECT_TRUE(different);
+}
+
+TEST(DataLoader, BinaryOnlyDatasetLeavesClassesEmpty)
+{
+    TaskDataset dataset;
+    dataset.features.resize(3, 1);
+    dataset.binary_labels = {1.0f, 0.0f, 1.0f};
+    DataLoader loader(dataset, 2, false, 1);
+    Tensor features;
+    std::vector<float> binary;
+    std::vector<std::uint32_t> classes;
+    loader.batch(0, features, binary, classes);
+    EXPECT_EQ(binary.size(), 2u);
+    EXPECT_TRUE(classes.empty());
+}
+
+} // namespace
+} // namespace tgl::nn

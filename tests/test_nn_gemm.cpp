@@ -1,0 +1,149 @@
+/// Correctness tests for the GEMM kernels against the naive reference.
+#include "nn/gemm.hpp"
+
+#include "rng/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tgl::nn {
+namespace {
+
+Tensor
+random_tensor(std::size_t rows, std::size_t cols, rng::Random& random)
+{
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = random.next_float() * 2.0f - 1.0f;
+    }
+    return t;
+}
+
+void
+expect_close(const Tensor& a, const Tensor& b, float tol)
+{
+    ASSERT_TRUE(a.same_shape(b));
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_NEAR(a(r, c), b(r, c), tol)
+                << "(" << r << "," << c << ")";
+        }
+    }
+}
+
+Tensor
+transpose(const Tensor& t)
+{
+    Tensor out(t.cols(), t.rows());
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        for (std::size_t c = 0; c < t.cols(); ++c) {
+            out(c, r) = t(r, c);
+        }
+    }
+    return out;
+}
+
+TEST(Gemm, KnownSmallProduct)
+{
+    const Tensor a(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    const Tensor b(2, 2, {5.0f, 6.0f, 7.0f, 8.0f});
+    Tensor c;
+    matmul(a, b, c);
+    EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Gemm, IdentityIsNoop)
+{
+    rng::Random random(1);
+    const Tensor a = random_tensor(4, 4, random);
+    Tensor identity(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        identity(i, i) = 1.0f;
+    }
+    Tensor c;
+    matmul(a, identity, c);
+    expect_close(c, a, 1e-6f);
+}
+
+/// Parameterized shape sweep: matmul / matmul_nt / matmul_tn all agree
+/// with the naive reference.
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmShapes, MatmulMatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    rng::Random random(42);
+    const Tensor a = random_tensor(m, k, random);
+    const Tensor b = random_tensor(k, n, random);
+    Tensor fast, reference;
+    matmul(a, b, fast);
+    matmul_naive(a, b, reference);
+    expect_close(fast, reference, 1e-3f);
+}
+
+TEST_P(GemmShapes, MatmulNtMatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    rng::Random random(43);
+    const Tensor a = random_tensor(m, k, random);
+    const Tensor b = random_tensor(n, k, random); // stored transposed
+    Tensor fast, reference;
+    matmul_nt(a, b, fast);
+    matmul_naive(a, transpose(b), reference);
+    expect_close(fast, reference, 1e-3f);
+}
+
+TEST_P(GemmShapes, MatmulTnMatchesNaive)
+{
+    const auto [m, k, n] = GetParam();
+    rng::Random random(44);
+    const Tensor a = random_tensor(k, m, random); // stored transposed
+    const Tensor b = random_tensor(k, n, random);
+    Tensor fast, reference;
+    matmul_tn(a, b, fast);
+    matmul_naive(transpose(a), b, reference);
+    expect_close(fast, reference, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 8, 1),
+                      std::make_tuple(3, 5, 7), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 8, 1),     // LP output layer
+                      std::make_tuple(256, 16, 16),  // LP hidden layer
+                      std::make_tuple(128, 64, 128),
+                      std::make_tuple(200, 100, 50)));
+
+TEST(Gemm, LargeProblemTriggersParallelPathCorrectly)
+{
+    rng::Random random(45);
+    // 192 * 192 * 192 > kParallelFlopThreshold -> parallel path.
+    const Tensor a = random_tensor(192, 192, random);
+    const Tensor b = random_tensor(192, 192, random);
+    Tensor fast, reference;
+    matmul(a, b, fast);
+    matmul_naive(a, b, reference);
+    expect_close(fast, reference, 1e-2f);
+}
+
+TEST(Gemm, OutputResizedAutomatically)
+{
+    rng::Random random(46);
+    const Tensor a = random_tensor(3, 4, random);
+    const Tensor b = random_tensor(4, 5, random);
+    Tensor c(10, 10); // wrong shape going in
+    matmul(a, b, c);
+    EXPECT_EQ(c.rows(), 3u);
+    EXPECT_EQ(c.cols(), 5u);
+}
+
+} // namespace
+} // namespace tgl::nn

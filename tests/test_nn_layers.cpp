@@ -1,0 +1,287 @@
+/// Finite-difference gradient checks and behavior tests for layers.
+#include "nn/layers.hpp"
+
+#include "rng/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace tgl::nn {
+namespace {
+
+Tensor
+random_tensor(std::size_t rows, std::size_t cols, rng::Random& random)
+{
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t.data()[i] = random.next_float() * 2.0f - 1.0f;
+    }
+    return t;
+}
+
+/// Scalar objective: sum of outputs weighted by a fixed random tensor
+/// (so the upstream gradient is that tensor).
+double
+objective(Layer& layer, const Tensor& input, const Tensor& weights)
+{
+    const Tensor& output = layer.forward(input);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < output.size(); ++i) {
+        sum += static_cast<double>(output.data()[i]) *
+               static_cast<double>(weights.data()[i]);
+    }
+    return sum;
+}
+
+/// Check dObjective/dInput via central differences.
+void
+check_input_gradient(Layer& layer, Tensor input, std::size_t out_rows,
+                     std::size_t out_cols, double tol = 2e-2)
+{
+    rng::Random random(7);
+    const Tensor upstream = random_tensor(out_rows, out_cols, random);
+
+    layer.forward(input);
+    const Tensor analytic = layer.backward(upstream);
+
+    constexpr float kEps = 1e-2f;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        Tensor perturbed = input;
+        perturbed.data()[i] += kEps;
+        const double up = objective(layer, perturbed, upstream);
+        perturbed.data()[i] -= 2 * kEps;
+        const double down = objective(layer, perturbed, upstream);
+        const double numeric =
+            (up - down) / (2.0 * static_cast<double>(kEps));
+        EXPECT_NEAR(analytic.data()[i], numeric, tol)
+            << "input element " << i;
+    }
+}
+
+/// Check dObjective/dParameter via central differences.
+void
+check_parameter_gradients(Layer& layer, const Tensor& input,
+                          std::size_t out_rows, std::size_t out_cols,
+                          double tol = 2e-2)
+{
+    rng::Random random(8);
+    const Tensor upstream = random_tensor(out_rows, out_cols, random);
+
+    for (Parameter* param : layer.parameters()) {
+        param->grad.zero();
+    }
+    layer.forward(input);
+    layer.backward(upstream);
+
+    constexpr float kEps = 1e-2f;
+    for (Parameter* param : layer.parameters()) {
+        for (std::size_t i = 0; i < param->value.size(); ++i) {
+            const float original = param->value.data()[i];
+            param->value.data()[i] = original + kEps;
+            const double up = objective(layer, input, upstream);
+            param->value.data()[i] = original - kEps;
+            const double down = objective(layer, input, upstream);
+            param->value.data()[i] = original;
+            const double numeric =
+            (up - down) / (2.0 * static_cast<double>(kEps));
+            EXPECT_NEAR(param->grad.data()[i], numeric, tol)
+                << param->name << " element " << i;
+        }
+    }
+}
+
+TEST(Linear, ForwardMatchesManualComputation)
+{
+    rng::Random random(1);
+    Linear layer(2, 2, random);
+    auto params = layer.parameters();
+    Parameter& weight = *params[0];
+    Parameter& bias = *params[1];
+    weight.value = Tensor(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    bias.value = Tensor(1, 2, {0.5f, -0.5f});
+
+    const Tensor input(1, 2, {1.0f, 1.0f});
+    const Tensor& output = layer.forward(input);
+    // y = x W^T + b = [1+2, 3+4] + [0.5, -0.5].
+    EXPECT_FLOAT_EQ(output(0, 0), 3.5f);
+    EXPECT_FLOAT_EQ(output(0, 1), 6.5f);
+}
+
+TEST(Linear, InputGradient)
+{
+    rng::Random random(2);
+    Linear layer(3, 2, random);
+    check_input_gradient(layer, random_tensor(4, 3, random), 4, 2);
+}
+
+TEST(Linear, ParameterGradients)
+{
+    rng::Random random(3);
+    Linear layer(3, 2, random);
+    check_parameter_gradients(layer, random_tensor(4, 3, random), 4, 2);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls)
+{
+    rng::Random random(4);
+    Linear layer(2, 2, random);
+    const Tensor input = random_tensor(2, 2, random);
+    const Tensor upstream = random_tensor(2, 2, random);
+    layer.forward(input);
+    layer.backward(upstream);
+    const Tensor once = layer.parameters()[0]->grad;
+    layer.forward(input);
+    layer.backward(upstream);
+    const Tensor twice = layer.parameters()[0]->grad;
+    for (std::size_t i = 0; i < once.size(); ++i) {
+        EXPECT_NEAR(twice.data()[i], 2.0f * once.data()[i], 1e-4f);
+    }
+}
+
+TEST(Linear, Describe)
+{
+    rng::Random random(5);
+    Linear layer(8, 16, random);
+    EXPECT_EQ(layer.describe(), "Linear(8 -> 16)");
+}
+
+TEST(ReLU, ForwardClampsNegatives)
+{
+    ReLU layer;
+    const Tensor input(1, 4, {-1.0f, 0.0f, 2.0f, -3.0f});
+    const Tensor& output = layer.forward(input);
+    EXPECT_FLOAT_EQ(output(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(output(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(output(0, 2), 2.0f);
+    EXPECT_FLOAT_EQ(output(0, 3), 0.0f);
+}
+
+TEST(ReLU, BackwardMasksNegatives)
+{
+    ReLU layer;
+    const Tensor input(1, 3, {-1.0f, 1.0f, 2.0f});
+    layer.forward(input);
+    const Tensor upstream(1, 3, {5.0f, 5.0f, 5.0f});
+    const Tensor& grad = layer.backward(upstream);
+    EXPECT_FLOAT_EQ(grad(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad(0, 1), 5.0f);
+    EXPECT_FLOAT_EQ(grad(0, 2), 5.0f);
+}
+
+TEST(Sigmoid, ForwardValues)
+{
+    Sigmoid layer;
+    const Tensor input(1, 3, {0.0f, 100.0f, -100.0f});
+    const Tensor& output = layer.forward(input);
+    EXPECT_NEAR(output(0, 0), 0.5f, 1e-6f);
+    EXPECT_NEAR(output(0, 1), 1.0f, 1e-6f);
+    EXPECT_NEAR(output(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(Sigmoid, InputGradient)
+{
+    rng::Random random(6);
+    Sigmoid layer;
+    check_input_gradient(layer, random_tensor(3, 4, random), 3, 4);
+}
+
+TEST(ResidualBlock, IdentityAtInitialization)
+{
+    // Zero-init of the branch output projection makes the block the
+    // identity on non-negative inputs (the post-ReLU regime it sits in).
+    rng::Random random(20);
+    ResidualBlock block(4, random);
+    Tensor input(2, 4, {0.5f, 1.0f, 0.0f, 2.0f,
+                        3.0f, 0.1f, 0.2f, 0.0f});
+    const Tensor& output = block.forward(input);
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_FLOAT_EQ(output(r, c), input(r, c));
+        }
+    }
+}
+
+TEST(ResidualBlock, InputGradient)
+{
+    rng::Random random(21);
+    ResidualBlock block(3, random);
+    // Break the zero-init so the branch contributes to the gradient.
+    for (Parameter* p : block.parameters()) {
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            p->value.data()[i] += 0.1f * static_cast<float>(i % 5) - 0.2f;
+        }
+    }
+    check_input_gradient(block, random_tensor(4, 3, random), 4, 3,
+                         5e-2);
+}
+
+TEST(ResidualBlock, ParameterGradients)
+{
+    rng::Random random(22);
+    ResidualBlock block(3, random);
+    for (Parameter* p : block.parameters()) {
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            p->value.data()[i] += 0.07f * static_cast<float>(i % 3);
+        }
+    }
+    check_parameter_gradients(block, random_tensor(4, 3, random), 4, 3,
+                              5e-2);
+}
+
+TEST(ResidualBlock, HasFourParameters)
+{
+    rng::Random random(23);
+    ResidualBlock block(8, random);
+    EXPECT_EQ(block.parameters().size(), 4u);
+    EXPECT_EQ(block.describe(), "ResidualBlock(8)");
+}
+
+TEST(LogSoftmax, RowsAreLogDistributions)
+{
+    LogSoftmax layer;
+    rng::Random random(9);
+    const Tensor input = random_tensor(5, 7, random);
+    const Tensor& output = layer.forward(input);
+    for (std::size_t r = 0; r < output.rows(); ++r) {
+        double sum = 0.0;
+        for (float v : output.row(r)) {
+            EXPECT_LE(v, 0.0f + 1e-6f);
+            sum += std::exp(static_cast<double>(v));
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(LogSoftmax, InvariantToRowShift)
+{
+    LogSoftmax a, b;
+    const Tensor x(1, 3, {1.0f, 2.0f, 3.0f});
+    const Tensor shifted(1, 3, {101.0f, 102.0f, 103.0f});
+    const Tensor& ya = a.forward(x);
+    const Tensor& yb = b.forward(shifted);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(ya(0, c), yb(0, c), 1e-4f);
+    }
+}
+
+TEST(LogSoftmax, InputGradient)
+{
+    rng::Random random(10);
+    LogSoftmax layer;
+    check_input_gradient(layer, random_tensor(3, 5, random), 3, 5);
+}
+
+TEST(LogSoftmax, HandlesExtremeValuesWithoutOverflow)
+{
+    LogSoftmax layer;
+    const Tensor input(1, 2, {1000.0f, -1000.0f});
+    const Tensor& output = layer.forward(input);
+    EXPECT_TRUE(std::isfinite(output(0, 0)));
+    EXPECT_TRUE(std::isfinite(output(0, 1)));
+    EXPECT_NEAR(output(0, 0), 0.0f, 1e-4f);
+}
+
+} // namespace
+} // namespace tgl::nn

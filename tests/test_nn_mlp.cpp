@@ -1,0 +1,180 @@
+/// Tests for the MLP container and the paper's two architectures.
+#include "nn/mlp.hpp"
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::nn {
+namespace {
+
+TEST(Mlp, LinkPredictorArchitecture)
+{
+    rng::Random random(1);
+    Mlp net = make_link_predictor(16, 8, random);
+    EXPECT_EQ(net.depth(), 4u); // Linear, ReLU, Linear, Sigmoid
+    // 16*8 + 8 weights+bias, 8*1 + 1.
+    EXPECT_EQ(net.num_parameters(), 16u * 8 + 8 + 8 + 1);
+    EXPECT_EQ(net.describe(),
+              "Linear(16 -> 8) -> ReLU -> Linear(8 -> 1) -> Sigmoid");
+}
+
+TEST(Mlp, NodeClassifierArchitecture)
+{
+    rng::Random random(2);
+    Mlp net = make_node_classifier(8, 32, 16, 5, random);
+    EXPECT_EQ(net.depth(), 6u);
+    EXPECT_EQ(net.num_parameters(),
+              8u * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5);
+}
+
+TEST(Mlp, ForwardShapes)
+{
+    rng::Random random(3);
+    Mlp net = make_link_predictor(4, 8, random);
+    const Tensor input(10, 4);
+    const Tensor& output = net.forward(input);
+    EXPECT_EQ(output.rows(), 10u);
+    EXPECT_EQ(output.cols(), 1u);
+    // Sigmoid output is a probability.
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_GE(output(r, 0), 0.0f);
+        EXPECT_LE(output(r, 0), 1.0f);
+    }
+}
+
+TEST(Mlp, LearnsXor)
+{
+    // XOR is not linearly separable: passing this requires the hidden
+    // layer + nonlinearity to actually work end to end.
+    rng::Random random(4);
+    Mlp net = make_link_predictor(2, 8, random);
+    Sgd optimizer(net.parameters(), 0.5f, 0.9f);
+
+    const Tensor inputs(4, 2, {0.0f, 0.0f, 0.0f, 1.0f,
+                               1.0f, 0.0f, 1.0f, 1.0f});
+    const std::vector<float> targets = {0.0f, 1.0f, 1.0f, 0.0f};
+
+    double final_loss = 1e9;
+    for (int epoch = 0; epoch < 2000; ++epoch) {
+        const Tensor& output = net.forward(inputs);
+        const LossResult loss = binary_cross_entropy(output, targets);
+        final_loss = loss.loss;
+        optimizer.zero_grad();
+        net.backward(loss.grad);
+        optimizer.step();
+    }
+    EXPECT_LT(final_loss, 0.1);
+
+    const Tensor& output = net.forward(inputs);
+    EXPECT_LT(output(0, 0), 0.5f);
+    EXPECT_GT(output(1, 0), 0.5f);
+    EXPECT_GT(output(2, 0), 0.5f);
+    EXPECT_LT(output(3, 0), 0.5f);
+}
+
+TEST(Mlp, ClassifierLearnsSeparableClasses)
+{
+    rng::Random random(5);
+    Mlp net = make_node_classifier(2, 16, 8, 3, random);
+    Sgd optimizer(net.parameters(), 0.2f, 0.9f);
+
+    // Three well-separated clusters.
+    rng::Random data_random(6);
+    constexpr int kPerClass = 30;
+    Tensor inputs(3 * kPerClass, 2);
+    std::vector<std::uint32_t> targets;
+    const float centers[3][2] = {{0, 0}, {4, 0}, {0, 4}};
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < kPerClass; ++i) {
+            const std::size_t row = c * kPerClass + i;
+            inputs(row, 0) =
+                centers[c][0] +
+                static_cast<float>(data_random.next_gaussian()) * 0.3f;
+            inputs(row, 1) =
+                centers[c][1] +
+                static_cast<float>(data_random.next_gaussian()) * 0.3f;
+            targets.push_back(c);
+        }
+    }
+
+    for (int epoch = 0; epoch < 300; ++epoch) {
+        const Tensor& output = net.forward(inputs);
+        const LossResult loss = nll_loss(output, targets);
+        optimizer.zero_grad();
+        net.backward(loss.grad);
+        optimizer.step();
+    }
+
+    const Tensor& output = net.forward(inputs);
+    int correct = 0;
+    for (std::size_t r = 0; r < output.rows(); ++r) {
+        std::uint32_t best = 0;
+        for (std::uint32_t c = 1; c < 3; ++c) {
+            if (output(r, c) > output(r, best)) {
+                best = c;
+            }
+        }
+        if (best == targets[r]) {
+            ++correct;
+        }
+    }
+    EXPECT_GT(correct, 85); // out of 90
+}
+
+TEST(Mlp, ResidualLinkPredictorArchitecture)
+{
+    rng::Random random(8);
+    Mlp net = make_residual_link_predictor(16, 8, 3, random);
+    // Linear, ReLU, 3 blocks, Linear, Sigmoid.
+    EXPECT_EQ(net.depth(), 7u);
+    EXPECT_EQ(net.num_parameters(),
+              16u * 8 + 8 + 3 * (8 * 8 + 8 + 8 * 8 + 8) + 8 + 1);
+}
+
+TEST(Mlp, ResidualPredictorLearnsXor)
+{
+    rng::Random random(9);
+    Mlp net = make_residual_link_predictor(2, 8, 2, random);
+    // Deeper stack: gentler learning rate than the plain-FNN XOR test.
+    Sgd optimizer(net.parameters(), 0.2f, 0.9f);
+    const Tensor inputs(4, 2, {0.0f, 0.0f, 0.0f, 1.0f,
+                               1.0f, 0.0f, 1.0f, 1.0f});
+    const std::vector<float> targets = {0.0f, 1.0f, 1.0f, 0.0f};
+    double final_loss = 1e9;
+    for (int epoch = 0; epoch < 4000; ++epoch) {
+        const Tensor& output = net.forward(inputs);
+        const LossResult loss = binary_cross_entropy(output, targets);
+        final_loss = loss.loss;
+        optimizer.zero_grad();
+        net.backward(loss.grad);
+        optimizer.step();
+    }
+    EXPECT_LT(final_loss, 0.1);
+}
+
+TEST(Mlp, BackwardReturnsInputGradientShape)
+{
+    rng::Random random(7);
+    Mlp net = make_link_predictor(6, 4, random);
+    const Tensor input(5, 6);
+    net.forward(input);
+    const Tensor upstream(5, 1);
+    const Tensor& grad = net.backward(upstream);
+    EXPECT_EQ(grad.rows(), 5u);
+    EXPECT_EQ(grad.cols(), 6u);
+}
+
+TEST(Mlp, DifferentSeedsGiveDifferentInitialOutputs)
+{
+    rng::Random r1(10), r2(11);
+    Mlp a = make_link_predictor(4, 4, r1);
+    Mlp b = make_link_predictor(4, 4, r2);
+    Tensor input(1, 4);
+    input.fill(1.0f);
+    EXPECT_NE(a.forward(input)(0, 0), b.forward(input)(0, 0));
+}
+
+} // namespace
+} // namespace tgl::nn

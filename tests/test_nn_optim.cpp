@@ -1,0 +1,108 @@
+/// Tests for the SGD optimizer.
+#include "nn/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tgl::nn {
+namespace {
+
+Parameter
+scalar_parameter(float value)
+{
+    Parameter p;
+    p.name = "scalar";
+    p.value = Tensor(1, 1, {value});
+    p.grad = Tensor(1, 1);
+    return p;
+}
+
+TEST(Sgd, PlainStepSubtractsLrTimesGrad)
+{
+    Parameter p = scalar_parameter(1.0f);
+    Sgd optimizer({&p}, 0.1f);
+    p.grad(0, 0) = 2.0f;
+    optimizer.step();
+    EXPECT_FLOAT_EQ(p.value(0, 0), 0.8f);
+}
+
+TEST(Sgd, ZeroGradClearsAccumulator)
+{
+    Parameter p = scalar_parameter(1.0f);
+    Sgd optimizer({&p}, 0.1f);
+    p.grad(0, 0) = 5.0f;
+    optimizer.zero_grad();
+    EXPECT_FLOAT_EQ(p.grad(0, 0), 0.0f);
+    optimizer.step();
+    EXPECT_FLOAT_EQ(p.value(0, 0), 1.0f);
+}
+
+TEST(Sgd, MinimizesQuadratic)
+{
+    // f(x) = (x - 3)^2; df/dx = 2(x - 3).
+    Parameter p = scalar_parameter(0.0f);
+    Sgd optimizer({&p}, 0.1f);
+    for (int i = 0; i < 200; ++i) {
+        optimizer.zero_grad();
+        p.grad(0, 0) = 2.0f * (p.value(0, 0) - 3.0f);
+        optimizer.step();
+    }
+    EXPECT_NEAR(p.value(0, 0), 3.0f, 1e-4f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent)
+{
+    // Same quadratic, fewer iterations: momentum must get closer than
+    // plain SGD at an equally small learning rate.
+    Parameter plain = scalar_parameter(0.0f);
+    Parameter momentum = scalar_parameter(0.0f);
+    Sgd plain_opt({&plain}, 0.01f);
+    Sgd momentum_opt({&momentum}, 0.01f, 0.9f);
+    for (int i = 0; i < 40; ++i) {
+        plain_opt.zero_grad();
+        plain.grad(0, 0) = 2.0f * (plain.value(0, 0) - 3.0f);
+        plain_opt.step();
+        momentum_opt.zero_grad();
+        momentum.grad(0, 0) = 2.0f * (momentum.value(0, 0) - 3.0f);
+        momentum_opt.step();
+    }
+    EXPECT_LT(std::fabs(momentum.value(0, 0) - 3.0f),
+              std::fabs(plain.value(0, 0) - 3.0f));
+}
+
+TEST(Sgd, WeightDecayShrinksParameters)
+{
+    Parameter p = scalar_parameter(1.0f);
+    Sgd optimizer({&p}, 0.1f, 0.0f, 0.5f);
+    p.grad(0, 0) = 0.0f;
+    optimizer.step();
+    // value -= lr * (grad + wd * value) = 1 - 0.1 * 0.5 = 0.95.
+    EXPECT_FLOAT_EQ(p.value(0, 0), 0.95f);
+}
+
+TEST(Sgd, MultipleParametersUpdated)
+{
+    Parameter a = scalar_parameter(1.0f);
+    Parameter b = scalar_parameter(2.0f);
+    Sgd optimizer({&a, &b}, 1.0f);
+    a.grad(0, 0) = 0.5f;
+    b.grad(0, 0) = -0.5f;
+    optimizer.step();
+    EXPECT_FLOAT_EQ(a.value(0, 0), 0.5f);
+    EXPECT_FLOAT_EQ(b.value(0, 0), 2.5f);
+}
+
+TEST(Sgd, SetLrTakesEffect)
+{
+    Parameter p = scalar_parameter(1.0f);
+    Sgd optimizer({&p}, 0.1f);
+    optimizer.set_lr(1.0f);
+    EXPECT_FLOAT_EQ(optimizer.lr(), 1.0f);
+    p.grad(0, 0) = 1.0f;
+    optimizer.step();
+    EXPECT_FLOAT_EQ(p.value(0, 0), 0.0f);
+}
+
+} // namespace
+} // namespace tgl::nn

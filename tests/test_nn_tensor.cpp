@@ -1,0 +1,108 @@
+/// Unit tests for the Tensor container.
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::nn {
+namespace {
+
+TEST(Tensor, ShapeAndZeroInit)
+{
+    const Tensor t(2, 3);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_FALSE(t.empty());
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_EQ(t(r, c), 0.0f);
+        }
+    }
+}
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    const Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(Tensor, ElementWriteRead)
+{
+    Tensor t(2, 2);
+    t(0, 1) = 5.0f;
+    t(1, 0) = -3.0f;
+    EXPECT_FLOAT_EQ(t(0, 1), 5.0f);
+    EXPECT_FLOAT_EQ(t(1, 0), -3.0f);
+    EXPECT_FLOAT_EQ(t(0, 0), 0.0f);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor t(2, 3);
+    t(1, 2) = 9.0f;
+    EXPECT_FLOAT_EQ(t.data()[5], 9.0f);
+    EXPECT_FLOAT_EQ(t.row(1)[2], 9.0f);
+}
+
+TEST(Tensor, ConstructFromData)
+{
+    const Tensor t(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(t(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(t(1, 1), 4.0f);
+}
+
+TEST(Tensor, FillAndZero)
+{
+    Tensor t(2, 2);
+    t.fill(7.0f);
+    EXPECT_FLOAT_EQ(t(1, 1), 7.0f);
+    t.zero();
+    EXPECT_FLOAT_EQ(t(1, 1), 0.0f);
+}
+
+TEST(Tensor, AddAndAxpy)
+{
+    Tensor a(1, 3, {1.0f, 2.0f, 3.0f});
+    const Tensor b(1, 3, {10.0f, 20.0f, 30.0f});
+    a.add(b);
+    EXPECT_FLOAT_EQ(a(0, 2), 33.0f);
+    a.axpy(0.5f, b);
+    EXPECT_FLOAT_EQ(a(0, 0), 16.0f);
+}
+
+TEST(Tensor, Scale)
+{
+    Tensor t(1, 2, {2.0f, -4.0f});
+    t.scale(0.5f);
+    EXPECT_FLOAT_EQ(t(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(t(0, 1), -2.0f);
+}
+
+TEST(Tensor, SameShape)
+{
+    const Tensor a(2, 3);
+    const Tensor b(2, 3);
+    const Tensor c(3, 2);
+    EXPECT_TRUE(a.same_shape(b));
+    EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, ResizeZeroesContents)
+{
+    Tensor t(1, 1);
+    t(0, 0) = 5.0f;
+    t.resize(2, 2);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_FLOAT_EQ(t(0, 0), 0.0f);
+}
+
+TEST(Tensor, MaxAbs)
+{
+    const Tensor t(1, 3, {1.0f, -5.0f, 3.0f});
+    EXPECT_FLOAT_EQ(t.max_abs(), 5.0f);
+    EXPECT_FLOAT_EQ(Tensor{}.max_abs(), 0.0f);
+}
+
+} // namespace
+} // namespace tgl::nn

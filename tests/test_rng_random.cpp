@@ -1,0 +1,204 @@
+/// Unit + statistical tests for the PRNG stack.
+#include "rng/random.hpp"
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace tgl::rng {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed)
+{
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge)
+{
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) {
+            ++same;
+        }
+    }
+    EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream)
+{
+    Xoshiro256 a(7);
+    Xoshiro256 b(7);
+    b.jump();
+    std::set<std::uint64_t> from_a;
+    for (int i = 0; i < 1000; ++i) {
+        from_a.insert(a());
+    }
+    int collisions = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (from_a.count(b())) {
+            ++collisions;
+        }
+    }
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(SplitMix, MixSeedSpreadsStreams)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+        seeds.insert(mix_seed(123, stream));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Random, NextIndexStaysInBounds)
+{
+    Random random(5);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(random.next_index(7), 7u);
+    }
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(random.next_index(1), 0u);
+    }
+}
+
+TEST(Random, NextIndexIsRoughlyUniform)
+{
+    Random random(11);
+    constexpr int kBuckets = 10;
+    constexpr int kDraws = 100000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[random.next_index(kBuckets)];
+    }
+    // Chi-square with 9 dof; 99.9% critical value ~27.9.
+    double chi2 = 0.0;
+    const double expected = static_cast<double>(kDraws) / kBuckets;
+    for (int count : counts) {
+        const double diff = count - expected;
+        chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Random, NextIntCoversInclusiveRange)
+{
+    Random random(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = random.next_int(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Random, NextDoubleInHalfOpenUnit)
+{
+    Random random(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = random.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, NextDoubleMeanNearHalf)
+{
+    Random random(13);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        sum += random.next_double();
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Random random(17);
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (random.next_bernoulli(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Random, GaussianMomentsMatch)
+{
+    Random random(19);
+    double sum = 0.0, sum_sq = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double v = random.next_gaussian();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Random, ExponentialMeanMatchesRate)
+{
+    Random random(23);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double v = random.next_exponential(2.0);
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(Random, ShufflePreservesElements)
+{
+    Random random(29);
+    std::vector<int> values(100);
+    std::iota(values.begin(), values.end(), 0);
+    auto shuffled = values;
+    random.shuffle(shuffled);
+    EXPECT_NE(shuffled, values); // astronomically unlikely to be equal
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(Random, SampleWithoutReplacementIsDistinctAndBounded)
+{
+    Random random(31);
+    const auto sample = random.sample_without_replacement(100, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::uint64_t v : sample) {
+        EXPECT_LT(v, 100u);
+    }
+}
+
+TEST(Random, SampleWithoutReplacementFullSet)
+{
+    Random random(37);
+    const auto sample = random.sample_without_replacement(10, 10);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+} // namespace
+} // namespace tgl::rng

@@ -1,0 +1,196 @@
+/// Statistical tests for the alias table and discrete samplers.
+#include "rng/alias_table.hpp"
+#include "rng/discrete_sampler.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tgl::rng {
+namespace {
+
+/// Chi-square goodness-of-fit of empirical draws vs expected weights.
+double
+chi_square(const std::vector<int>& counts,
+           const std::vector<double>& weights, int draws)
+{
+    double total_weight = 0.0;
+    for (double w : weights) {
+        total_weight += w;
+    }
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double expected = draws * weights[i] / total_weight;
+        if (expected < 1e-12) {
+            EXPECT_EQ(counts[i], 0);
+            continue;
+        }
+        const double diff = counts[i] - expected;
+        chi2 += diff * diff / expected;
+    }
+    return chi2;
+}
+
+TEST(AliasTable, UniformWeights)
+{
+    const std::vector<double> weights(8, 1.0);
+    AliasTable table(weights);
+    Random random(1);
+    std::vector<int> counts(8, 0);
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[table.sample(random)];
+    }
+    // 7 dof, 99.9% critical ~24.3.
+    EXPECT_LT(chi_square(counts, weights, kDraws), 24.3);
+}
+
+TEST(AliasTable, SkewedWeights)
+{
+    const std::vector<double> weights = {1.0, 2.0, 4.0, 8.0, 16.0};
+    AliasTable table(weights);
+    Random random(2);
+    std::vector<int> counts(5, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[table.sample(random)];
+    }
+    // 4 dof, 99.9% critical ~18.5.
+    EXPECT_LT(chi_square(counts, weights, kDraws), 18.5);
+}
+
+TEST(AliasTable, ZeroWeightNeverDrawn)
+{
+    const std::vector<double> weights = {1.0, 0.0, 1.0};
+    AliasTable table(weights);
+    Random random(3);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_NE(table.sample(random), 1u);
+    }
+}
+
+TEST(AliasTable, SingleOutcome)
+{
+    AliasTable table(std::vector<double>{5.0});
+    Random random(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(table.sample(random), 0u);
+    }
+}
+
+TEST(AliasTable, OutcomeProbabilityNormalized)
+{
+    const std::vector<double> weights = {3.0, 1.0};
+    AliasTable table(weights);
+    EXPECT_NEAR(table.outcome_probability(0), 0.75, 1e-12);
+    EXPECT_NEAR(table.outcome_probability(1), 0.25, 1e-12);
+}
+
+TEST(AliasTable, RejectsInvalidWeights)
+{
+    EXPECT_THROW(AliasTable(std::vector<double>{}), util::Error);
+    EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), util::Error);
+    EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), util::Error);
+}
+
+TEST(DiscreteSampler, MatchesWeights)
+{
+    const std::vector<double> weights = {0.5, 1.5, 3.0, 1.0};
+    DiscreteSampler sampler(weights);
+    Random random(5);
+    std::vector<int> counts(4, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[sampler.sample(random)];
+    }
+    // 3 dof, 99.9% critical ~16.3.
+    EXPECT_LT(chi_square(counts, weights, kDraws), 16.3);
+}
+
+TEST(DiscreteSampler, OutcomeProbability)
+{
+    DiscreteSampler sampler(std::vector<double>{1.0, 3.0});
+    EXPECT_NEAR(sampler.outcome_probability(0), 0.25, 1e-12);
+    EXPECT_NEAR(sampler.outcome_probability(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights)
+{
+    EXPECT_THROW(DiscreteSampler(std::vector<double>{}), util::Error);
+    EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0}), util::Error);
+    EXPECT_THROW(DiscreteSampler(std::vector<double>{-2.0, 1.0}), util::Error);
+}
+
+TEST(OnePassSampler, MatchesWeights)
+{
+    const std::vector<double> weights = {2.0, 1.0, 1.0};
+    Random random(6);
+    std::vector<int> counts(3, 0);
+    constexpr int kDraws = 90000;
+    for (int i = 0; i < kDraws; ++i) {
+        const std::size_t pick = sample_weighted_one_pass(
+            3, [&](std::size_t j) { return weights[j]; }, random);
+        ASSERT_LT(pick, 3u);
+        ++counts[pick];
+    }
+    EXPECT_LT(chi_square(counts, weights, kDraws), 13.8); // 2 dof 99.9%
+}
+
+TEST(OnePassSampler, AllZeroReturnsN)
+{
+    Random random(7);
+    EXPECT_EQ(sample_weighted_one_pass(
+                  4, [](std::size_t) { return 0.0; }, random),
+              4u);
+}
+
+TEST(TwoPassSampler, MatchesWeights)
+{
+    const std::vector<double> weights = {1.0, 1.0, 2.0};
+    Random random(8);
+    std::vector<int> counts(3, 0);
+    constexpr int kDraws = 90000;
+    for (int i = 0; i < kDraws; ++i) {
+        const std::size_t pick = sample_weighted_two_pass(
+            3, [&](std::size_t j) { return weights[j]; }, random);
+        ASSERT_LT(pick, 3u);
+        ++counts[pick];
+    }
+    EXPECT_LT(chi_square(counts, weights, kDraws), 13.8);
+}
+
+TEST(TwoPassSampler, AllZeroReturnsN)
+{
+    Random random(9);
+    EXPECT_EQ(sample_weighted_two_pass(
+                  5, [](std::size_t) { return 0.0; }, random),
+              5u);
+}
+
+TEST(Samplers, OnePassAndTwoPassAgreeInDistribution)
+{
+    // Same weights, different algorithms: verify both land near the
+    // analytic probabilities independently.
+    const std::vector<double> weights = {1.0, 4.0};
+    Random r1(10), r2(11);
+    int one_pass_zero = 0, two_pass_zero = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (sample_weighted_one_pass(
+                2, [&](std::size_t j) { return weights[j]; }, r1) == 0) {
+            ++one_pass_zero;
+        }
+        if (sample_weighted_two_pass(
+                2, [&](std::size_t j) { return weights[j]; }, r2) == 0) {
+            ++two_pass_zero;
+        }
+    }
+    EXPECT_NEAR(one_pass_zero / static_cast<double>(kDraws), 0.2, 0.01);
+    EXPECT_NEAR(two_pass_zero / static_cast<double>(kDraws), 0.2, 0.01);
+}
+
+} // namespace
+} // namespace tgl::rng

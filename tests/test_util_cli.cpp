@@ -1,0 +1,107 @@
+/// Unit tests for util/cli.
+#include "util/cli.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::util {
+namespace {
+
+CliParser
+make_parser()
+{
+    CliParser cli("tool", "test tool");
+    cli.add_flag("walks", "10", "walks per node");
+    cli.add_flag("name", "default", "dataset name");
+    cli.add_flag("scale", "0.5", "scale factor");
+    cli.add_switch("verbose", "chatty");
+    return cli;
+}
+
+TEST(Cli, DefaultsApply)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_int("walks"), 10);
+    EXPECT_EQ(cli.get_string("name"), "default");
+    EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.5);
+    EXPECT_FALSE(cli.get_switch("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--walks", "20", "--name", "wiki-talk"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    EXPECT_EQ(cli.get_int("walks"), 20);
+    EXPECT_EQ(cli.get_string("name"), "wiki-talk");
+}
+
+TEST(Cli, EqualsSeparatedValues)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--walks=7", "--scale=2.5"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.get_int("walks"), 7);
+    EXPECT_DOUBLE_EQ(cli.get_double("scale"), 2.5);
+}
+
+TEST(Cli, SwitchForms)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--verbose"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_switch("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--bogus", "1"};
+    EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--walks"};
+    EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, UnregisteredAccessThrows)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_THROW(cli.get_string("nope"), Error);
+}
+
+TEST(Cli, PositionalArgumentsCollected)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "input.wel", "--walks", "3", "extra"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.wel");
+    EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, HelpReturnsFalse)
+{
+    CliParser cli = make_parser();
+    const char* argv[] = {"tool", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpTextListsFlags)
+{
+    CliParser cli = make_parser();
+    const std::string help = cli.help();
+    EXPECT_NE(help.find("--walks"), std::string::npos);
+    EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+} // namespace
+} // namespace tgl::util

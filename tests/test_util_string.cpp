@@ -1,0 +1,119 @@
+/// Unit tests for util/string_util.
+#include "util/string_util.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hello  "), "hello");
+    EXPECT_EQ(trim("\t\nhello\r "), "hello");
+}
+
+TEST(Trim, EmptyAndAllWhitespace)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   \t  "), "");
+}
+
+TEST(Trim, NoWhitespaceIsIdentity)
+{
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Split, BasicWhitespace)
+{
+    const auto fields = split("1 2\t3");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "1");
+    EXPECT_EQ(fields[1], "2");
+    EXPECT_EQ(fields[2], "3");
+}
+
+TEST(Split, CollapsesRepeatedDelimiters)
+{
+    const auto fields = split("a   b\t\tc ");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, CustomDelimiters)
+{
+    const auto fields = split("a,b;c", ",;");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[1], "b");
+}
+
+TEST(Split, EmptyInput)
+{
+    EXPECT_TRUE(split("").empty());
+    EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(starts_with("--flag", "--"));
+    EXPECT_FALSE(starts_with("-f", "--"));
+    EXPECT_TRUE(starts_with("abc", ""));
+    EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(ParseInt, ValidValues)
+{
+    EXPECT_EQ(parse_int("42"), 42);
+    EXPECT_EQ(parse_int("-7"), -7);
+    EXPECT_EQ(parse_int("  123 "), 123);
+    EXPECT_EQ(parse_int("0"), 0);
+}
+
+TEST(ParseInt, RejectsGarbage)
+{
+    EXPECT_THROW(parse_int("abc"), Error);
+    EXPECT_THROW(parse_int("12x"), Error);
+    EXPECT_THROW(parse_int(""), Error);
+    EXPECT_THROW(parse_int("1.5"), Error);
+}
+
+TEST(ParseDouble, ValidValues)
+{
+    EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+    EXPECT_DOUBLE_EQ(parse_double("-0.5"), -0.5);
+    EXPECT_DOUBLE_EQ(parse_double("1e3"), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage)
+{
+    EXPECT_THROW(parse_double("x"), Error);
+    EXPECT_THROW(parse_double("1.2.3"), Error);
+    EXPECT_THROW(parse_double(""), Error);
+}
+
+TEST(FormatFixed, Precision)
+{
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(2.0, 0), "2");
+    EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatCount, ThousandsSeparators)
+{
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1000), "1,000");
+    EXPECT_EQ(format_count(1234567), "1,234,567");
+    EXPECT_EQ(format_count(87274), "87,274");
+}
+
+TEST(Strcat, MixedTypes)
+{
+    EXPECT_EQ(strcat("n=", 4, ", x=", 1.5), "n=4, x=1.5");
+    EXPECT_EQ(strcat(), "");
+}
+
+} // namespace
+} // namespace tgl::util

@@ -1,0 +1,202 @@
+/// Unit tests for the thread pool and parallel loop primitives.
+#include "util/parallel_for.hpp"
+#include "util/thread_pool.hpp"
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace tgl::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryRankExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(4);
+    pool.run(4, [&](unsigned rank) { hits[rank].fetch_add(1); });
+    for (const auto& hit : hits) {
+        EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPool, PartiesClampedToPoolSize)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.run(100, [&](unsigned rank) {
+        EXPECT_LT(rank, 2u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, SinglePartyRunsInline)
+{
+    ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id executed;
+    pool.run(1, [&](unsigned) { executed = std::this_thread::get_id(); });
+    EXPECT_EQ(executed, caller);
+}
+
+TEST(ThreadPool, ZeroPartiesIsNoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.run(0, [&](unsigned) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesWorkerException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.run(4,
+                 [&](unsigned rank) {
+                     if (rank == 2) {
+                         throw std::runtime_error("boom");
+                     }
+                 }),
+        std::runtime_error);
+    // Pool must remain usable after an exception.
+    std::atomic<int> count{0};
+    pool.run(4, [&](unsigned) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.run(3, [&](unsigned) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto& hit : hits) {
+        EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ParallelFor, RespectsRange)
+{
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(10, 20, [&](std::size_t i) {
+        sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 145u); // 10 + ... + 19
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    bool ran = false;
+    parallel_for(5, 5, [&](std::size_t) { ran = true; });
+    parallel_for(7, 3, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleThreadOptionIsSequential)
+{
+    std::vector<std::size_t> order;
+    parallel_for(
+        0, 100, [&](std::size_t i) { order.push_back(i); },
+        {.num_threads = 1});
+    ASSERT_EQ(order.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelForRanked, RanksWithinTeam)
+{
+    std::atomic<unsigned> max_rank{0};
+    const unsigned team = parallel_for_ranked(
+        0, 10000,
+        [&](std::size_t, unsigned rank) {
+            unsigned seen = max_rank.load();
+            while (rank > seen &&
+                   !max_rank.compare_exchange_weak(seen, rank)) {
+            }
+        },
+        {.num_threads = 4});
+    EXPECT_LE(team, 4u);
+    EXPECT_LT(max_rank.load(), team);
+}
+
+TEST(ParallelReduceSum, MatchesSerialSum)
+{
+    const double total = parallel_reduce_sum(
+        0, 100000, [](std::size_t i) { return static_cast<double>(i); });
+    EXPECT_DOUBLE_EQ(total, 99999.0 * 100000.0 / 2.0);
+}
+
+TEST(ParallelReduceSum, EmptyRangeIsZero)
+{
+    EXPECT_DOUBLE_EQ(
+        parallel_reduce_sum(3, 3, [](std::size_t) { return 1.0; }), 0.0);
+}
+
+TEST(DefaultThreads, SetAndRestore)
+{
+    const unsigned original = default_threads();
+    set_default_threads(3);
+    EXPECT_EQ(default_threads(), 3u);
+    set_default_threads(0);
+    EXPECT_EQ(default_threads(), original);
+}
+
+TEST(ParallelFor, GrainLargerThanRange)
+{
+    std::vector<std::atomic<int>> hits(10);
+    parallel_for(
+        0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+        {.grain = 1000});
+    for (const auto& hit : hits) {
+        EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(HostInfo, SaneValuesAndCachedSummary)
+{
+    const HostInfo& info = host_info();
+    EXPECT_GE(info.hardware_threads, 1u);
+    EXPECT_GT(info.l1d_bytes, 0u);
+    EXPECT_GT(info.llc_bytes, info.l1d_bytes);
+    EXPECT_GE(info.cache_line_bytes, 16u);
+    const std::string summary = host_summary();
+    EXPECT_NE(summary.find("host:"), std::string::npos);
+    EXPECT_NE(summary.find("hw threads"), std::string::npos);
+    // Cached: identical across calls.
+    EXPECT_EQ(&host_info(), &info);
+}
+
+TEST(Logging, LevelsFilterMessages)
+{
+    const LogLevel original = log_level();
+    set_log_level(LogLevel::kQuiet);
+    EXPECT_EQ(log_level(), LogLevel::kQuiet);
+    inform("suppressed"); // must not crash while filtered
+    warn("suppressed");
+    set_log_level(original);
+}
+
+TEST(Logging, StrcatEdgeCases)
+{
+    EXPECT_EQ(strcat(), "");
+    EXPECT_EQ(strcat(""), "");
+    EXPECT_EQ(strcat(1, 2, 3), "123");
+}
+
+} // namespace
+} // namespace tgl::util

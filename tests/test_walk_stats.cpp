@@ -1,0 +1,102 @@
+/// Tests for walk-length distribution statistics (Fig. 4 machinery).
+#include "walk/stats.hpp"
+
+#include "gen/catalog.hpp"
+#include "graph/builder.hpp"
+#include "walk/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tgl::walk {
+namespace {
+
+Corpus
+corpus_with_lengths(const std::vector<std::size_t>& lengths)
+{
+    Corpus corpus;
+    std::vector<graph::NodeId> walk;
+    for (std::size_t len : lengths) {
+        walk.assign(len, 0);
+        corpus.add_walk(walk);
+    }
+    return corpus;
+}
+
+TEST(LengthDistribution, CountsPerLength)
+{
+    const Corpus corpus = corpus_with_lengths({1, 2, 2, 3, 3, 3});
+    const LengthDistribution dist = length_distribution(corpus);
+    ASSERT_EQ(dist.counts.size(), 4u);
+    EXPECT_EQ(dist.counts[1], 1u);
+    EXPECT_EQ(dist.counts[2], 2u);
+    EXPECT_EQ(dist.counts[3], 3u);
+    EXPECT_EQ(dist.max_length, 3u);
+}
+
+TEST(LengthDistribution, MeanLength)
+{
+    const Corpus corpus = corpus_with_lengths({2, 4});
+    const LengthDistribution dist = length_distribution(corpus);
+    EXPECT_DOUBLE_EQ(dist.mean_length, 3.0);
+}
+
+TEST(LengthDistribution, ShortWalkFraction)
+{
+    const Corpus corpus = corpus_with_lengths({2, 3, 5, 6, 9});
+    const LengthDistribution dist = length_distribution(corpus);
+    EXPECT_DOUBLE_EQ(dist.short_walk_fraction, 3.0 / 5.0);
+}
+
+TEST(LengthDistribution, EmptyCorpus)
+{
+    const LengthDistribution dist = length_distribution(Corpus{});
+    EXPECT_TRUE(dist.counts.empty());
+    EXPECT_DOUBLE_EQ(dist.mean_length, 0.0);
+}
+
+TEST(LengthDistribution, DecayingTailHasNegativeSlope)
+{
+    std::vector<std::size_t> lengths;
+    // Exponentially decaying: 512 walks of length 1, 256 of 2, ...
+    for (std::size_t len = 1, count = 512; len <= 8;
+         ++len, count /= 2) {
+        for (std::size_t i = 0; i < count; ++i) {
+            lengths.push_back(len);
+        }
+    }
+    const LengthDistribution dist =
+        length_distribution(corpus_with_lengths(lengths));
+    EXPECT_LT(dist.tail_log_slope, -0.5);
+}
+
+TEST(LengthDistribution, Fig4ShapeOnWikiTalkStandIn)
+{
+    // The paper's Fig. 4 finding: temporal walk lengths on wiki-talk
+    // concentrate on 1-5 tokens and decay exponentially beyond the
+    // mode, despite a much larger length budget.
+    const gen::Dataset dataset = gen::make_dataset("wiki-talk", 0.01, 3);
+    const auto graph = graph::GraphBuilder::build(dataset.edges,
+                                                  {.symmetrize = true});
+    WalkConfig config;
+    config.walks_per_node = 5;
+    config.max_length = 40;
+    config.min_walk_tokens = 1;
+    const Corpus corpus = generate_walks(graph, config);
+    const LengthDistribution dist = length_distribution(corpus);
+
+    EXPECT_GT(dist.short_walk_fraction, 0.4);
+    EXPECT_LT(dist.tail_log_slope, -0.05);
+    EXPECT_LT(dist.mean_length, 10.0);
+}
+
+TEST(LengthDistribution, FormatContainsTable)
+{
+    const Corpus corpus = corpus_with_lengths({2, 2, 3});
+    const std::string text =
+        format_length_distribution(length_distribution(corpus));
+    EXPECT_NE(text.find("length  count"), std::string::npos);
+    EXPECT_NE(text.find("mean"), std::string::npos);
+}
+
+} // namespace
+} // namespace tgl::walk

@@ -1,0 +1,197 @@
+/// Statistical tests for the walk transition samplers against their
+/// analytic distributions (Eq. 1 and variants).
+#include "walk/transition.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tgl::walk {
+namespace {
+
+std::vector<graph::Neighbor>
+candidates_at(const std::vector<graph::Timestamp>& times)
+{
+    std::vector<graph::Neighbor> result;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        result.push_back({static_cast<graph::NodeId>(i), times[i]});
+    }
+    return result;
+}
+
+std::vector<double>
+empirical_distribution(std::span<const graph::Neighbor> candidates,
+                       graph::Timestamp now, graph::Timestamp range,
+                       TransitionKind kind, int draws)
+{
+    rng::Random random(77);
+    std::vector<int> counts(candidates.size(), 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::size_t pick =
+            sample_transition(candidates, now, range, kind, random);
+        ++counts[pick];
+    }
+    std::vector<double> fractions(candidates.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        fractions[i] = static_cast<double>(counts[i]) / draws;
+    }
+    return fractions;
+}
+
+TEST(Transition, EmptyCandidatesReturnSize)
+{
+    rng::Random random(1);
+    EXPECT_EQ(sample_transition({}, 0.0, 1.0,
+                                TransitionKind::kUniform, random),
+              0u);
+}
+
+TEST(Transition, SingleCandidateAlwaysPicked)
+{
+    rng::Random random(2);
+    const auto candidates = candidates_at({0.7});
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(sample_transition(candidates, 0.0, 1.0,
+                                    TransitionKind::kExponential, random),
+                  0u);
+    }
+}
+
+TEST(Transition, UniformIsUniform)
+{
+    const auto candidates = candidates_at({0.1, 0.2, 0.3, 0.4});
+    const auto dist = empirical_distribution(
+        candidates, 0.0, 1.0, TransitionKind::kUniform, 100000);
+    for (double f : dist) {
+        EXPECT_NEAR(f, 0.25, 0.01);
+    }
+}
+
+TEST(Transition, ExponentialMatchesEq1)
+{
+    // Eq. 1: Pr[i] = exp(t_i / r) / sum_j exp(t_j / r).
+    const std::vector<graph::Timestamp> times = {0.1, 0.5, 0.9};
+    const double r = 1.0;
+    const auto candidates = candidates_at(times);
+    double total = 0.0;
+    std::vector<double> expected;
+    for (double t : times) {
+        expected.push_back(std::exp(t / r));
+        total += expected.back();
+    }
+    for (double& e : expected) {
+        e /= total;
+    }
+    const auto dist = empirical_distribution(
+        candidates, 0.0, r, TransitionKind::kExponential, 200000);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        EXPECT_NEAR(dist[i], expected[i], 0.01) << "candidate " << i;
+    }
+}
+
+TEST(Transition, ExponentialFavorsLaterTimestamps)
+{
+    const auto candidates = candidates_at({0.1, 0.9});
+    const auto dist = empirical_distribution(
+        candidates, 0.0, 0.2, TransitionKind::kExponential, 50000);
+    EXPECT_GT(dist[1], dist[0]);
+}
+
+TEST(Transition, ExponentialDecayMatchesAnalytic)
+{
+    const std::vector<graph::Timestamp> times = {0.2, 0.5, 1.0};
+    const double now = 0.1;
+    const double r = 1.0;
+    const auto candidates = candidates_at(times);
+    double total = 0.0;
+    std::vector<double> expected;
+    for (double t : times) {
+        expected.push_back(std::exp(-(t - now) / r));
+        total += expected.back();
+    }
+    for (double& e : expected) {
+        e /= total;
+    }
+    const auto dist = empirical_distribution(
+        candidates, now, r, TransitionKind::kExponentialDecay, 200000);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        EXPECT_NEAR(dist[i], expected[i], 0.01);
+    }
+}
+
+TEST(Transition, ExponentialDecayFavorsSoonerTimestamps)
+{
+    const auto candidates = candidates_at({0.2, 0.9});
+    const auto dist = empirical_distribution(
+        candidates, 0.1, 0.3, TransitionKind::kExponentialDecay, 50000);
+    EXPECT_GT(dist[0], dist[1]);
+}
+
+TEST(Transition, LinearMatchesDescendingRank)
+{
+    // Weights n-i: for 3 candidates, probabilities 3/6, 2/6, 1/6.
+    const auto candidates = candidates_at({0.1, 0.5, 0.9});
+    const auto dist = empirical_distribution(
+        candidates, 0.0, 1.0, TransitionKind::kLinear, 120000);
+    EXPECT_NEAR(dist[0], 3.0 / 6.0, 0.01);
+    EXPECT_NEAR(dist[1], 2.0 / 6.0, 0.01);
+    EXPECT_NEAR(dist[2], 1.0 / 6.0, 0.01);
+}
+
+TEST(Transition, NumericalStabilityWithLargeRawTimestamps)
+{
+    // Unnormalized epoch-seconds timestamps must not overflow exp().
+    const auto candidates =
+        candidates_at({1.6e9, 1.6e9 + 1000.0, 1.6e9 + 2000.0});
+    rng::Random random(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t pick = sample_transition(
+            candidates, 1.6e9 - 10.0, 2000.0,
+            TransitionKind::kExponential, random);
+        EXPECT_LT(pick, 3u);
+    }
+}
+
+TEST(Transition, ZeroTimeRangeTreatedAsOne)
+{
+    const auto candidates = candidates_at({0.0, 0.0});
+    rng::Random random(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_LT(sample_transition(candidates, 0.0, 0.0,
+                                    TransitionKind::kExponential, random),
+                  2u);
+    }
+}
+
+TEST(Transition, CostAccountingAccumulates)
+{
+    const auto candidates = candidates_at({0.1, 0.2, 0.3});
+    rng::Random random(5);
+    TransitionCost cost;
+    sample_transition(candidates, 0.0, 1.0,
+                      TransitionKind::kExponential, random, &cost);
+    EXPECT_GT(cost.memory_ops, 0u);
+    EXPECT_GT(cost.compute_ops, 0u);
+    EXPECT_GT(cost.branch_ops, 0u);
+    // Uniform does constant work; exponential scales with candidates.
+    TransitionCost uniform_cost;
+    sample_transition(candidates, 0.0, 1.0, TransitionKind::kUniform,
+                      random, &uniform_cost);
+    EXPECT_LT(uniform_cost.compute_ops, cost.compute_ops);
+}
+
+TEST(Transition, ParseNamesRoundTrip)
+{
+    for (const TransitionKind kind :
+         {TransitionKind::kUniform, TransitionKind::kExponential,
+          TransitionKind::kExponentialDecay, TransitionKind::kLinear}) {
+        EXPECT_EQ(parse_transition(transition_name(kind)), kind);
+    }
+    EXPECT_THROW(parse_transition("bogus"), util::Error);
+}
+
+} // namespace
+} // namespace tgl::walk
