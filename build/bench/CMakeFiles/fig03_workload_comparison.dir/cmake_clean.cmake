@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_workload_comparison.dir/fig03_workload_comparison.cpp.o"
+  "CMakeFiles/fig03_workload_comparison.dir/fig03_workload_comparison.cpp.o.d"
+  "fig03_workload_comparison"
+  "fig03_workload_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_workload_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

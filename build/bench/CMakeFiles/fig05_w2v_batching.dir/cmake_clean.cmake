@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_w2v_batching.dir/fig05_w2v_batching.cpp.o"
+  "CMakeFiles/fig05_w2v_batching.dir/fig05_w2v_batching.cpp.o.d"
+  "fig05_w2v_batching"
+  "fig05_w2v_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_w2v_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

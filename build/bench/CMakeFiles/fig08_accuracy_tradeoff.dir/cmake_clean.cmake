@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_accuracy_tradeoff.dir/fig08_accuracy_tradeoff.cpp.o"
+  "CMakeFiles/fig08_accuracy_tradeoff.dir/fig08_accuracy_tradeoff.cpp.o.d"
+  "fig08_accuracy_tradeoff"
+  "fig08_accuracy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_accuracy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

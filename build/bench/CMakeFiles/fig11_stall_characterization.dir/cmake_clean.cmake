@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stall_characterization.dir/fig11_stall_characterization.cpp.o"
+  "CMakeFiles/fig11_stall_characterization.dir/fig11_stall_characterization.cpp.o.d"
+  "fig11_stall_characterization"
+  "fig11_stall_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stall_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

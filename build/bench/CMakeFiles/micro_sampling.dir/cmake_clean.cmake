@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o"
+  "CMakeFiles/micro_sampling.dir/micro_sampling.cpp.o.d"
+  "micro_sampling"
+  "micro_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

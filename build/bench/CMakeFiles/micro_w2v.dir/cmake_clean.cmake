@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_w2v.dir/micro_w2v.cpp.o"
+  "CMakeFiles/micro_w2v.dir/micro_w2v.cpp.o.d"
+  "micro_w2v"
+  "micro_w2v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_w2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

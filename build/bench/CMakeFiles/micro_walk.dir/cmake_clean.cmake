@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_walk.dir/micro_walk.cpp.o"
+  "CMakeFiles/micro_walk.dir/micro_walk.cpp.o.d"
+  "micro_walk"
+  "micro_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

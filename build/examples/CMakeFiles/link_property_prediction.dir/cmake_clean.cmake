@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_property_prediction.dir/link_property_prediction.cpp.o"
+  "CMakeFiles/link_property_prediction.dir/link_property_prediction.cpp.o.d"
+  "link_property_prediction"
+  "link_property_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_property_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_update.dir/streaming_update.cpp.o"
+  "CMakeFiles/streaming_update.dir/streaming_update.cpp.o.d"
+  "streaming_update"
+  "streaming_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

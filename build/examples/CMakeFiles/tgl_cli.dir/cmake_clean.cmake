@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgl_cli.dir/tgl_cli.cpp.o"
+  "CMakeFiles/tgl_cli.dir/tgl_cli.cpp.o.d"
+  "tgl_cli"
+  "tgl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_prep.cpp" "src/CMakeFiles/tgl.dir/core/data_prep.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/data_prep.cpp.o.d"
+  "/root/repo/src/core/link_prediction.cpp" "src/CMakeFiles/tgl.dir/core/link_prediction.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/link_prediction.cpp.o.d"
+  "/root/repo/src/core/link_property_prediction.cpp" "src/CMakeFiles/tgl.dir/core/link_property_prediction.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/link_property_prediction.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/tgl.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/node_classification.cpp" "src/CMakeFiles/tgl.dir/core/node_classification.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/node_classification.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/tgl.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/embed/batched_trainer.cpp" "src/CMakeFiles/tgl.dir/embed/batched_trainer.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/batched_trainer.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "src/CMakeFiles/tgl.dir/embed/embedding.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/embedding.cpp.o.d"
+  "/root/repo/src/embed/negative_table.cpp" "src/CMakeFiles/tgl.dir/embed/negative_table.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/negative_table.cpp.o.d"
+  "/root/repo/src/embed/sgns_model.cpp" "src/CMakeFiles/tgl.dir/embed/sgns_model.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/sgns_model.cpp.o.d"
+  "/root/repo/src/embed/trainer.cpp" "src/CMakeFiles/tgl.dir/embed/trainer.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/trainer.cpp.o.d"
+  "/root/repo/src/embed/vocab.cpp" "src/CMakeFiles/tgl.dir/embed/vocab.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/embed/vocab.cpp.o.d"
+  "/root/repo/src/gen/barabasi_albert.cpp" "src/CMakeFiles/tgl.dir/gen/barabasi_albert.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/barabasi_albert.cpp.o.d"
+  "/root/repo/src/gen/catalog.cpp" "src/CMakeFiles/tgl.dir/gen/catalog.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/catalog.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/CMakeFiles/tgl.dir/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/CMakeFiles/tgl.dir/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/gen/sbm.cpp" "src/CMakeFiles/tgl.dir/gen/sbm.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/sbm.cpp.o.d"
+  "/root/repo/src/gen/timestamps.cpp" "src/CMakeFiles/tgl.dir/gen/timestamps.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/gen/timestamps.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/tgl.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/tgl.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/tgl.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/CMakeFiles/tgl.dir/graph/reorder.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/reorder.cpp.o.d"
+  "/root/repo/src/graph/snapshot.cpp" "src/CMakeFiles/tgl.dir/graph/snapshot.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/snapshot.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/tgl.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/graph/temporal_graph.cpp" "src/CMakeFiles/tgl.dir/graph/temporal_graph.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/graph/temporal_graph.cpp.o.d"
+  "/root/repo/src/nn/data_loader.cpp" "src/CMakeFiles/tgl.dir/nn/data_loader.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/data_loader.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/CMakeFiles/tgl.dir/nn/gemm.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/gemm.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/tgl.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/tgl.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/tgl.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/tgl.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/CMakeFiles/tgl.dir/nn/optim.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/tgl.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/profiling/comparison_kernels.cpp" "src/CMakeFiles/tgl.dir/profiling/comparison_kernels.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/profiling/comparison_kernels.cpp.o.d"
+  "/root/repo/src/profiling/op_counters.cpp" "src/CMakeFiles/tgl.dir/profiling/op_counters.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/profiling/op_counters.cpp.o.d"
+  "/root/repo/src/profiling/phase_timer.cpp" "src/CMakeFiles/tgl.dir/profiling/phase_timer.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/profiling/phase_timer.cpp.o.d"
+  "/root/repo/src/profiling/stall_model.cpp" "src/CMakeFiles/tgl.dir/profiling/stall_model.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/profiling/stall_model.cpp.o.d"
+  "/root/repo/src/rng/alias_table.cpp" "src/CMakeFiles/tgl.dir/rng/alias_table.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/rng/alias_table.cpp.o.d"
+  "/root/repo/src/rng/discrete_sampler.cpp" "src/CMakeFiles/tgl.dir/rng/discrete_sampler.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/rng/discrete_sampler.cpp.o.d"
+  "/root/repo/src/rng/random.cpp" "src/CMakeFiles/tgl.dir/rng/random.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/rng/random.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/tgl.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/CMakeFiles/tgl.dir/util/env.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/env.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/tgl.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/parallel_for.cpp" "src/CMakeFiles/tgl.dir/util/parallel_for.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/parallel_for.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/tgl.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/tgl.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/walk/corpus.cpp" "src/CMakeFiles/tgl.dir/walk/corpus.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/walk/corpus.cpp.o.d"
+  "/root/repo/src/walk/engine.cpp" "src/CMakeFiles/tgl.dir/walk/engine.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/walk/engine.cpp.o.d"
+  "/root/repo/src/walk/stats.cpp" "src/CMakeFiles/tgl.dir/walk/stats.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/walk/stats.cpp.o.d"
+  "/root/repo/src/walk/transition.cpp" "src/CMakeFiles/tgl.dir/walk/transition.cpp.o" "gcc" "src/CMakeFiles/tgl.dir/walk/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_data_prep.dir/test_core_data_prep.cpp.o"
+  "CMakeFiles/test_core_data_prep.dir/test_core_data_prep.cpp.o.d"
+  "test_core_data_prep"
+  "test_core_data_prep.pdb"
+  "test_core_data_prep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_data_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tasks.dir/test_core_tasks.cpp.o"
+  "CMakeFiles/test_core_tasks.dir/test_core_tasks.cpp.o.d"
+  "test_core_tasks"
+  "test_core_tasks.pdb"
+  "test_core_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_embedding.dir/test_embed_embedding.cpp.o"
+  "CMakeFiles/test_embed_embedding.dir/test_embed_embedding.cpp.o.d"
+  "test_embed_embedding"
+  "test_embed_embedding.pdb"
+  "test_embed_embedding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_negative_table.dir/test_embed_negative_table.cpp.o"
+  "CMakeFiles/test_embed_negative_table.dir/test_embed_negative_table.cpp.o.d"
+  "test_embed_negative_table"
+  "test_embed_negative_table.pdb"
+  "test_embed_negative_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_negative_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

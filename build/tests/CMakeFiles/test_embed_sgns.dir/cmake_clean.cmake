@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_sgns.dir/test_embed_sgns.cpp.o"
+  "CMakeFiles/test_embed_sgns.dir/test_embed_sgns.cpp.o.d"
+  "test_embed_sgns"
+  "test_embed_sgns.pdb"
+  "test_embed_sgns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_sgns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

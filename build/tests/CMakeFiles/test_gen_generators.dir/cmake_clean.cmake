@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen_generators.dir/test_gen_generators.cpp.o"
+  "CMakeFiles/test_gen_generators.dir/test_gen_generators.cpp.o.d"
+  "test_gen_generators"
+  "test_gen_generators.pdb"
+  "test_gen_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_edge_list.dir/test_graph_edge_list.cpp.o"
+  "CMakeFiles/test_graph_edge_list.dir/test_graph_edge_list.cpp.o.d"
+  "test_graph_edge_list"
+  "test_graph_edge_list.pdb"
+  "test_graph_edge_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_edge_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_data_loader.dir/test_nn_data_loader.cpp.o"
+  "CMakeFiles/test_nn_data_loader.dir/test_nn_data_loader.cpp.o.d"
+  "test_nn_data_loader"
+  "test_nn_data_loader.pdb"
+  "test_nn_data_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_data_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_random.dir/test_rng_random.cpp.o"
+  "CMakeFiles/test_rng_random.dir/test_rng_random.cpp.o.d"
+  "test_rng_random"
+  "test_rng_random.pdb"
+  "test_rng_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_samplers.dir/test_rng_samplers.cpp.o"
+  "CMakeFiles/test_rng_samplers.dir/test_rng_samplers.cpp.o.d"
+  "test_rng_samplers"
+  "test_rng_samplers.pdb"
+  "test_rng_samplers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

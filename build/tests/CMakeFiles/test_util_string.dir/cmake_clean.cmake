@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_string.dir/test_util_string.cpp.o"
+  "CMakeFiles/test_util_string.dir/test_util_string.cpp.o.d"
+  "test_util_string"
+  "test_util_string.pdb"
+  "test_util_string[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_threading.dir/test_util_threading.cpp.o"
+  "CMakeFiles/test_util_threading.dir/test_util_threading.cpp.o.d"
+  "test_util_threading"
+  "test_util_threading.pdb"
+  "test_util_threading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walk_stats.dir/test_walk_stats.cpp.o"
+  "CMakeFiles/test_walk_stats.dir/test_walk_stats.cpp.o.d"
+  "test_walk_stats"
+  "test_walk_stats.pdb"
+  "test_walk_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walk_transition.dir/test_walk_transition.cpp.o"
+  "CMakeFiles/test_walk_transition.dir/test_walk_transition.cpp.o.d"
+  "test_walk_transition"
+  "test_walk_transition.pdb"
+  "test_walk_transition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walk_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
