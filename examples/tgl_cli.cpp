@@ -12,6 +12,8 @@
 ///   walk      — generate a temporal walk corpus from a .wel graph
 ///   embed     — train node embeddings from a corpus (or a graph)
 ///   neighbors — query nearest neighbors in an embedding
+///   pipeline  — run the end-to-end pipeline, optionally resuming
+///               phase artifacts from a crash-safe checkpoint directory
 ///
 /// Examples:
 ///   ./tgl_cli generate --kind ba --nodes 10000 --out g.wel
@@ -20,6 +22,7 @@
 ///   ./tgl_cli walk --input g.wel --out corpus.txt
 ///   ./tgl_cli embed --input g.wel --out emb.txt
 ///   ./tgl_cli neighbors --embeddings emb.txt --node 7 --k 5
+///   ./tgl_cli pipeline --input g.wel --checkpoint-dir ckpt/
 #include "tgl/tgl.hpp"
 
 #include <cstdio>
@@ -301,6 +304,79 @@ cmd_neighbors(int argc, const char* const* argv)
     return 0;
 }
 
+int
+cmd_pipeline(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli pipeline",
+                        "walk -> word2vec -> classifier end to end, "
+                        "with optional checkpoint/resume");
+    cli.add_flag("input", "", ".wel edge list (link prediction) ...");
+    cli.add_flag("dataset", "", "... or a catalog dataset name");
+    cli.add_flag("scale", "0.1", "catalog dataset scale");
+    cli.add_flag("walks", "10", "K: walks per node");
+    cli.add_flag("length", "6", "N: max walk length");
+    cli.add_flag("dim", "8", "embedding dimension");
+    cli.add_flag("epochs", "12", "word2vec epochs");
+    cli.add_flag("w2v-threads", "0",
+                 "word2vec team size (1 = deterministic resume)");
+    cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("checkpoint-dir", "",
+                 "resume phase artifacts from / persist them to this "
+                 "directory (empty disables checkpointing)");
+    cli.add_switch("batched", "use the batched (GPU-model) trainer");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    core::PipelineConfig config;
+    config.walk.walks_per_node =
+        static_cast<unsigned>(cli.get_int("walks"));
+    config.walk.max_length = static_cast<unsigned>(cli.get_int("length"));
+    config.walk.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.sgns.dim = static_cast<unsigned>(cli.get_int("dim"));
+    config.sgns.epochs = static_cast<unsigned>(cli.get_int("epochs"));
+    config.sgns.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.sgns.num_threads =
+        static_cast<unsigned>(cli.get_int("w2v-threads"));
+    if (cli.get_switch("batched")) {
+        config.w2v_mode = core::W2vMode::kBatched;
+    }
+    config.checkpoint_dir = cli.get_string("checkpoint-dir");
+
+    core::PipelineResult result;
+    if (const std::string dataset_name = cli.get_string("dataset");
+        !dataset_name.empty()) {
+        const gen::Dataset dataset = gen::make_dataset(
+            dataset_name, util::parse_double(cli.get_string("scale")),
+            static_cast<std::uint64_t>(cli.get_int("seed")));
+        result = core::run_pipeline(dataset, config);
+    } else if (!cli.get_string("input").empty()) {
+        const graph::EdgeList edges =
+            graph::load_wel_file(cli.get_string("input"));
+        result = core::run_link_prediction_pipeline(edges, config);
+    } else {
+        util::fatal("pipeline needs --input or --dataset");
+    }
+
+    std::printf("%s\n", core::format_phase_times(result.times).c_str());
+    std::printf("test accuracy %.4f | auc %.4f | macro-f1 %.4f "
+                "(%u epochs)\n",
+                result.task.test_accuracy, result.task.test_auc,
+                result.task.test_macro_f1, result.task.epochs_run);
+    if (!config.checkpoint_dir.empty()) {
+        const core::CheckpointStatus& s = result.checkpoints;
+        std::printf("checkpoints: corpus %s | embedding %s | "
+                    "classifier %s\n",
+                    s.corpus_loaded ? "resumed"
+                    : s.corpus_stored ? "stored" : "skipped",
+                    s.embedding_loaded ? "resumed"
+                    : s.embedding_stored ? "stored" : "skipped",
+                    s.classifier_loaded ? "resumed"
+                    : s.classifier_stored ? "stored" : "skipped");
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -309,7 +385,7 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fputs(
             "usage: tgl_cli <generate|preprocess|stats|walk|embed|"
-            "neighbors> [flags]\n(each command supports --help)\n",
+            "neighbors|pipeline> [flags]\n(each command supports --help)\n",
             stderr);
         return 1;
     }
@@ -336,10 +412,19 @@ main(int argc, char** argv)
         if (command == "neighbors") {
             return cmd_neighbors(sub_argc, sub_argv);
         }
+        if (command == "pipeline") {
+            return cmd_pipeline(sub_argc, sub_argv);
+        }
         std::fprintf(stderr, "unknown command: %s\n", command.c_str());
         return 1;
     } catch (const tgl::util::Error& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    } catch (const std::exception& error) {
+        // Unexpected library failures (bad_alloc, filesystem_error, ...)
+        // must still exit non-zero with a message, never abort via an
+        // unhandled exception.
+        std::fprintf(stderr, "unexpected error: %s\n", error.what());
         return 1;
     }
 }

@@ -1,0 +1,242 @@
+#include "core/checkpoint.hpp"
+
+#include "core/link_prediction.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace tgl::core {
+
+std::uint64_t
+fingerprint_edges(const graph::EdgeList& edges)
+{
+    util::Fingerprint fp;
+    fp.mix(static_cast<std::uint64_t>(edges.size()));
+    for (const graph::TemporalEdge& e : edges) {
+        fp.mix(e.src);
+        fp.mix(e.dst);
+        fp.mix(e.time);
+    }
+    return fp.value();
+}
+
+void
+mix_config(util::Fingerprint& fp, const walk::WalkConfig& config)
+{
+    fp.mix(std::string_view("walk"));
+    fp.mix(config.walks_per_node);
+    fp.mix(config.max_length);
+    fp.mix(static_cast<std::uint32_t>(config.transition));
+    fp.mix(static_cast<std::uint32_t>(config.start));
+    fp.mix(static_cast<std::uint8_t>(config.temporal));
+    fp.mix(static_cast<std::uint8_t>(config.strict_time));
+    fp.mix(config.min_walk_tokens);
+    fp.mix(config.seed);
+    // num_threads and linear_neighbor_search change only speed: walks
+    // are seeded per (walk, vertex) and both neighbor searches select
+    // the same edges.
+}
+
+void
+mix_config(util::Fingerprint& fp, const embed::SgnsConfig& config)
+{
+    fp.mix(std::string_view("sgns"));
+    fp.mix(config.dim);
+    fp.mix(config.window);
+    fp.mix(config.negatives);
+    fp.mix(config.epochs);
+    fp.mix(config.alpha);
+    fp.mix(config.min_count);
+    fp.mix(config.subsample);
+    fp.mix(config.seed);
+    fp.mix(config.row_stride);
+    // num_threads is mixed because Hogwild training is only
+    // reproducible for a fixed team size (and exactly so only for 1).
+    fp.mix(config.num_threads);
+}
+
+void
+mix_config(util::Fingerprint& fp, const SplitConfig& config)
+{
+    fp.mix(std::string_view("split"));
+    fp.mix(config.train_fraction);
+    fp.mix(config.valid_fraction);
+    fp.mix(config.test_fraction);
+    fp.mix(config.negatives_per_positive);
+    fp.mix(config.max_negative_attempts);
+    fp.mix(config.seed);
+}
+
+void
+mix_config(util::Fingerprint& fp, const ClassifierConfig& config)
+{
+    fp.mix(std::string_view("classifier"));
+    fp.mix(config.hidden_dim);
+    fp.mix(config.hidden1);
+    fp.mix(config.hidden2);
+    fp.mix(config.max_epochs);
+    fp.mix(config.batch_size);
+    fp.mix(config.lr);
+    fp.mix(config.momentum);
+    fp.mix(config.weight_decay);
+    fp.mix(config.target_valid_accuracy);
+    fp.mix(static_cast<std::uint8_t>(config.residual));
+    fp.mix(config.residual_blocks);
+    fp.mix(config.seed);
+}
+
+CheckpointManager::CheckpointManager(std::string directory)
+    : directory_(std::move(directory))
+{
+    if (directory_.empty()) {
+        util::fatal("CheckpointManager: checkpoint directory is empty");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        util::fatal(util::strcat("cannot create checkpoint directory ",
+                                 directory_, ": ", ec.message()));
+    }
+}
+
+std::string
+CheckpointManager::corpus_path() const
+{
+    return (std::filesystem::path(directory_) / "corpus.tgla").string();
+}
+
+std::string
+CheckpointManager::embedding_path() const
+{
+    return (std::filesystem::path(directory_) / "embedding.tgla").string();
+}
+
+std::string
+CheckpointManager::classifier_path(const std::string& name) const
+{
+    return (std::filesystem::path(directory_) / (name + ".tgla")).string();
+}
+
+namespace {
+
+/// Run @p loader against @p path, mapping every non-resume outcome
+/// (absent file, stale fingerprint, failed container validation) to
+/// false so the caller regenerates. @p loader receives the open stream
+/// and the expected fingerprint and returns whether it matched.
+template <typename Loader>
+bool
+load_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                const char* what, const Loader& loader)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false; // nothing checkpointed yet
+    }
+    try {
+        if (!loader(in, fingerprint)) {
+            util::inform(util::strcat("checkpoint ", path, " is stale (",
+                                      what,
+                                      " inputs changed) — regenerating"));
+            return false;
+        }
+    } catch (const util::Error& error) {
+        util::warn(util::strcat("checkpoint ", path, " is unusable (",
+                                error.what(), ") — regenerating"));
+        return false;
+    }
+    util::inform(util::strcat("resumed ", what, " from checkpoint ", path));
+    return true;
+}
+
+} // namespace
+
+bool
+CheckpointManager::load_corpus(std::uint64_t fingerprint,
+                               walk::Corpus& out) const
+{
+    return load_checkpoint(
+        corpus_path(), fingerprint, "walk corpus",
+        [&](std::istream& in, std::uint64_t expected) {
+            std::uint64_t stored = 0;
+            walk::Corpus corpus = walk::Corpus::load_binary(in, &stored);
+            if (stored != expected) {
+                return false;
+            }
+            out = std::move(corpus);
+            return true;
+        });
+}
+
+void
+CheckpointManager::store_corpus(std::uint64_t fingerprint,
+                                const walk::Corpus& corpus) const
+{
+    corpus.save_binary_file(corpus_path(), fingerprint);
+}
+
+bool
+CheckpointManager::load_embedding(std::uint64_t fingerprint,
+                                  embed::Embedding& out) const
+{
+    return load_checkpoint(
+        embedding_path(), fingerprint, "embedding",
+        [&](std::istream& in, std::uint64_t expected) {
+            std::uint64_t stored = 0;
+            embed::Embedding embedding =
+                embed::Embedding::load_binary(in, &stored);
+            if (stored != expected) {
+                return false;
+            }
+            out = std::move(embedding);
+            return true;
+        });
+}
+
+void
+CheckpointManager::store_embedding(std::uint64_t fingerprint,
+                                   const embed::Embedding& embedding) const
+{
+    embedding.save_binary_file(embedding_path(), fingerprint);
+}
+
+bool
+CheckpointManager::load_classifier(const std::string& name,
+                                   std::uint64_t fingerprint,
+                                   nn::Mlp& net) const
+{
+    return load_checkpoint(
+        classifier_path(name), fingerprint, "classifier",
+        [&](std::istream& in, std::uint64_t expected) {
+            // Validate container + fingerprint before load_weights
+            // mutates the network: a stale artifact must leave the
+            // freshly initialized weights untouched, or the subsequent
+            // retraining would start from the stale state.
+            {
+                util::ArtifactReader probe(in, "mlp");
+                if (probe.fingerprint() != expected) {
+                    return false;
+                }
+            }
+            in.clear();
+            in.seekg(0);
+            std::uint64_t stored = 0;
+            net.load_weights(in, &stored);
+            return stored == expected;
+        });
+}
+
+void
+CheckpointManager::store_classifier(const std::string& name,
+                                    std::uint64_t fingerprint,
+                                    nn::Mlp& net) const
+{
+    util::atomic_write_file(
+        classifier_path(name),
+        [&](std::ostream& out) { net.save_weights(out, fingerprint); },
+        /*binary=*/true);
+}
+
+} // namespace tgl::core

@@ -10,6 +10,41 @@
 
 namespace tgl::core {
 
+std::vector<std::string>
+SplitConfig::validate() const
+{
+    std::vector<std::string> problems;
+    const double fractions[] = {train_fraction, valid_fraction,
+                                test_fraction};
+    const char* names[] = {"train_fraction", "valid_fraction",
+                           "test_fraction"};
+    for (int i = 0; i < 3; ++i) {
+        if (!std::isfinite(fractions[i]) || fractions[i] < 0.0 ||
+            fractions[i] > 1.0) {
+            problems.push_back(std::string(names[i]) +
+                               " must be in [0, 1], got " +
+                               std::to_string(fractions[i]));
+        }
+    }
+    if (problems.empty()) {
+        const double total =
+            train_fraction + valid_fraction + test_fraction;
+        if (total > 1.0 + 1e-9) {
+            problems.push_back(
+                "train/valid/test fractions sum to " +
+                std::to_string(total) + ", which exceeds 1");
+        }
+        if (!(train_fraction > 0.0)) {
+            problems.push_back("train_fraction must be > 0 — an empty "
+                               "training split cannot fit a classifier");
+        }
+    }
+    if (max_negative_attempts == 0) {
+        problems.push_back("max_negative_attempts must be >= 1");
+    }
+    return problems;
+}
+
 namespace {
 
 /// Sample one negative edge by perturbing a positive's endpoints until
@@ -197,6 +232,22 @@ make_node_dataset(const std::vector<graph::NodeId>& nodes,
         dataset.class_labels.push_back(labels[u]);
     }
     return dataset;
+}
+
+void
+check_finite_features(const nn::TaskDataset& dataset, const char* phase)
+{
+    const float* values = dataset.features.data();
+    const std::size_t count = dataset.features.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::isfinite(values[i])) {
+            const std::size_t cols = dataset.features.cols();
+            util::fatal(util::strcat(
+                phase, ": non-finite input feature at example ",
+                i / cols, ", column ", i % cols,
+                " — the embedding is corrupt or training diverged"));
+        }
+    }
 }
 
 } // namespace tgl::core

@@ -19,6 +19,7 @@
 #include "nn/data_loader.hpp"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace tgl::core {
@@ -35,6 +36,9 @@ struct SplitConfig
     /// (dense graphs can make true negatives scarce).
     unsigned max_negative_attempts = 64;
     std::uint64_t seed = 7;
+
+    /// All configuration problems, empty when the config is usable.
+    std::vector<std::string> validate() const;
 };
 
 /// One labeled edge example.
@@ -80,5 +84,11 @@ nn::TaskDataset make_node_dataset(
     const std::vector<graph::NodeId>& nodes,
     const std::vector<std::uint32_t>& labels,
     const embed::Embedding& embedding);
+
+/// Throw util::Error if @p dataset holds a NaN/inf feature. ReLU
+/// activations silently absorb NaN inputs, so corrupt features must be
+/// rejected before training, not detected via the loss.
+void check_finite_features(const nn::TaskDataset& dataset,
+                           const char* phase);
 
 } // namespace tgl::core

@@ -3,15 +3,59 @@
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optim.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
+#include <cmath>
+
 namespace tgl::core {
+
+std::vector<std::string>
+ClassifierConfig::validate() const
+{
+    std::vector<std::string> problems;
+    if (hidden_dim == 0) {
+        problems.push_back("hidden_dim must be >= 1");
+    }
+    if (hidden1 == 0 || hidden2 == 0) {
+        problems.push_back("hidden1 and hidden2 must be >= 1");
+    }
+    if (max_epochs == 0) {
+        problems.push_back("max_epochs must be >= 1");
+    }
+    if (batch_size == 0) {
+        problems.push_back("batch_size must be >= 1");
+    }
+    if (!(lr > 0.0f) || !std::isfinite(lr)) {
+        problems.push_back("lr must be positive and finite, got " +
+                           std::to_string(lr));
+    }
+    if (!std::isfinite(momentum) || momentum < 0.0f || momentum >= 1.0f) {
+        problems.push_back("momentum must be in [0, 1), got " +
+                           std::to_string(momentum));
+    }
+    if (!std::isfinite(weight_decay) || weight_decay < 0.0f) {
+        problems.push_back("weight_decay must be >= 0 and finite");
+    }
+    if (!std::isfinite(target_valid_accuracy) ||
+        target_valid_accuracy <= 0.0 || target_valid_accuracy > 1.0) {
+        problems.push_back(
+            "target_valid_accuracy must be in (0, 1], got " +
+            std::to_string(target_valid_accuracy));
+    }
+    if (residual && residual_blocks == 0) {
+        problems.push_back(
+            "residual_blocks must be >= 1 when residual is set");
+    }
+    return problems;
+}
 
 TaskResult
 run_link_prediction(const LinkSplits& splits,
                     const embed::Embedding& embedding,
-                    const ClassifierConfig& config)
+                    const ClassifierConfig& config,
+                    ClassifierCheckpoint* checkpoint)
 {
     TaskResult result;
     rng::Random random(config.seed);
@@ -22,6 +66,9 @@ run_link_prediction(const LinkSplits& splits,
         make_edge_dataset(splits.valid, embedding);
     const nn::TaskDataset test_set =
         make_edge_dataset(splits.test, embedding);
+    check_finite_features(train_set, "link prediction");
+    check_finite_features(valid_set, "link prediction");
+    check_finite_features(test_set, "link prediction");
 
     nn::Mlp net =
         config.residual
@@ -36,12 +83,21 @@ run_link_prediction(const LinkSplits& splits,
     nn::DataLoader loader(train_set, config.batch_size, true,
                           config.seed ^ 0x11);
 
+    const bool restored =
+        checkpoint != nullptr && checkpoint->manager != nullptr &&
+        checkpoint->manager->load_classifier(
+            checkpoint->name, checkpoint->fingerprint, net);
+    if (checkpoint != nullptr) {
+        checkpoint->loaded = restored;
+    }
+
     util::Timer train_timer;
     nn::Tensor batch_features;
     std::vector<float> batch_binary;
     std::vector<std::uint32_t> batch_classes;
 
-    for (unsigned epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (unsigned epoch = 0; !restored && epoch < config.max_epochs;
+         ++epoch) {
         loader.start_epoch();
         double epoch_loss = 0.0;
         for (std::size_t b = 0; b < loader.num_batches(); ++b) {
@@ -49,6 +105,13 @@ run_link_prediction(const LinkSplits& splits,
             const nn::Tensor& output = net.forward(batch_features);
             const nn::LossResult loss =
                 nn::binary_cross_entropy(output, batch_binary);
+            if (!std::isfinite(loss.loss)) {
+                util::fatal(util::strcat(
+                    "link prediction: non-finite training loss at epoch ",
+                    epoch + 1, ", batch ", b + 1,
+                    " — the classifier diverged (lower lr or check the "
+                    "input features)"));
+            }
             epoch_loss += loss.loss;
             optimizer.zero_grad();
             net.backward(loss.grad);
@@ -75,6 +138,13 @@ run_link_prediction(const LinkSplits& splits,
         result.epochs_run == 0
             ? 0.0
             : result.train_seconds / result.epochs_run;
+
+    if (!restored && checkpoint != nullptr &&
+        checkpoint->manager != nullptr) {
+        checkpoint->manager->store_classifier(
+            checkpoint->name, checkpoint->fingerprint, net);
+        checkpoint->stored = true;
+    }
 
     if (!splits.valid.empty()) {
         const nn::Tensor& valid_out = net.forward(valid_set.features);

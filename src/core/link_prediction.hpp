@@ -5,6 +5,7 @@
 /// non-edges.
 #pragma once
 
+#include "core/checkpoint.hpp"
 #include "core/data_prep.hpp"
 #include "core/metrics.hpp"
 #include "embed/embedding.hpp"
@@ -35,6 +36,9 @@ struct ClassifierConfig
     /// Residual depth when residual is set.
     std::size_t residual_blocks = 2;
     std::uint64_t seed = 11;
+
+    /// All configuration problems, empty when the config is usable.
+    std::vector<std::string> validate() const;
 };
 
 /// Outcome of training + testing one classifier.
@@ -53,8 +57,12 @@ struct TaskResult
 };
 
 /// Train and evaluate the link-prediction FNN on prepared splits.
+/// With @p checkpoint set, a matching stored network skips the
+/// training loop entirely (epochs_run = 0) and a freshly trained one
+/// is persisted for the next run.
 TaskResult run_link_prediction(const LinkSplits& splits,
                                const embed::Embedding& embedding,
-                               const ClassifierConfig& config);
+                               const ClassifierConfig& config,
+                               ClassifierCheckpoint* checkpoint = nullptr);
 
 } // namespace tgl::core

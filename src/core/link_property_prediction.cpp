@@ -6,9 +6,11 @@
 #include "nn/optim.hpp"
 #include "rng/random.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace tgl::core {
@@ -125,6 +127,13 @@ run_link_property_prediction(const graph::EdgeList& edges,
             loader.batch(b, batch_features, batch_binary, batch_classes);
             const nn::Tensor& output = net.forward(batch_features);
             const nn::LossResult loss = nn::nll_loss(output, batch_classes);
+            if (!std::isfinite(loss.loss)) {
+                util::fatal(util::strcat(
+                    "link property prediction: non-finite training loss "
+                    "at epoch ", epoch + 1, ", batch ", b + 1,
+                    " — the classifier diverged (lower lr or check the "
+                    "input features)"));
+            }
             epoch_loss += loss.loss;
             optimizer.zero_grad();
             net.backward(loss.grad);

@@ -3,7 +3,11 @@
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optim.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/timer.hpp"
+
+#include <cmath>
 
 namespace tgl::core {
 
@@ -12,7 +16,8 @@ run_node_classification(const NodeSplits& splits,
                         const std::vector<std::uint32_t>& labels,
                         std::uint32_t num_classes,
                         const embed::Embedding& embedding,
-                        const ClassifierConfig& config)
+                        const ClassifierConfig& config,
+                        ClassifierCheckpoint* checkpoint)
 {
     TaskResult result;
     rng::Random random(config.seed);
@@ -23,6 +28,9 @@ run_node_classification(const NodeSplits& splits,
         make_node_dataset(splits.valid, labels, embedding);
     const nn::TaskDataset test_set =
         make_node_dataset(splits.test, labels, embedding);
+    check_finite_features(train_set, "node classification");
+    check_finite_features(valid_set, "node classification");
+    check_finite_features(test_set, "node classification");
 
     nn::Mlp net =
         nn::make_node_classifier(embedding.dim(), config.hidden1,
@@ -32,18 +40,34 @@ run_node_classification(const NodeSplits& splits,
     nn::DataLoader loader(train_set, config.batch_size, true,
                           config.seed ^ 0x22);
 
+    const bool restored =
+        checkpoint != nullptr && checkpoint->manager != nullptr &&
+        checkpoint->manager->load_classifier(
+            checkpoint->name, checkpoint->fingerprint, net);
+    if (checkpoint != nullptr) {
+        checkpoint->loaded = restored;
+    }
+
     util::Timer train_timer;
     nn::Tensor batch_features;
     std::vector<float> batch_binary;
     std::vector<std::uint32_t> batch_classes;
 
-    for (unsigned epoch = 0; epoch < config.max_epochs; ++epoch) {
+    for (unsigned epoch = 0; !restored && epoch < config.max_epochs;
+         ++epoch) {
         loader.start_epoch();
         double epoch_loss = 0.0;
         for (std::size_t b = 0; b < loader.num_batches(); ++b) {
             loader.batch(b, batch_features, batch_binary, batch_classes);
             const nn::Tensor& output = net.forward(batch_features);
             const nn::LossResult loss = nn::nll_loss(output, batch_classes);
+            if (!std::isfinite(loss.loss)) {
+                util::fatal(util::strcat(
+                    "node classification: non-finite training loss at "
+                    "epoch ", epoch + 1, ", batch ", b + 1,
+                    " — the classifier diverged (lower lr or check the "
+                    "input features)"));
+            }
             epoch_loss += loss.loss;
             optimizer.zero_grad();
             net.backward(loss.grad);
@@ -68,6 +92,13 @@ run_node_classification(const NodeSplits& splits,
         result.epochs_run == 0
             ? 0.0
             : result.train_seconds / result.epochs_run;
+
+    if (!restored && checkpoint != nullptr &&
+        checkpoint->manager != nullptr) {
+        checkpoint->manager->store_classifier(
+            checkpoint->name, checkpoint->fingerprint, net);
+        checkpoint->stored = true;
+    }
 
     if (!splits.valid.empty()) {
         const nn::Tensor& valid_out = net.forward(valid_set.features);

@@ -15,10 +15,12 @@ namespace tgl::core {
 /// @param num_classes |C|
 /// @param embedding  node embeddings
 /// @param config     classifier hyperparameters
-TaskResult run_node_classification(const NodeSplits& splits,
-                                   const std::vector<std::uint32_t>& labels,
-                                   std::uint32_t num_classes,
-                                   const embed::Embedding& embedding,
-                                   const ClassifierConfig& config);
+/// @param checkpoint optional stored-network resume hookup (see
+///        run_link_prediction)
+TaskResult run_node_classification(
+    const NodeSplits& splits, const std::vector<std::uint32_t>& labels,
+    std::uint32_t num_classes, const embed::Embedding& embedding,
+    const ClassifierConfig& config,
+    ClassifierCheckpoint* checkpoint = nullptr);
 
 } // namespace tgl::core

@@ -1,20 +1,93 @@
 #include "core/pipeline.hpp"
 
 #include "graph/builder.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
+#include <optional>
+
 namespace tgl::core {
+
+std::vector<std::string>
+PipelineConfig::validate() const
+{
+    std::vector<std::string> problems;
+    const auto collect = [&problems](const char* section,
+                                     std::vector<std::string> section_problems) {
+        for (std::string& problem : section_problems) {
+            problems.push_back(std::string(section) + "." +
+                               std::move(problem));
+        }
+    };
+    collect("walk", walk.validate());
+    collect("sgns", sgns.validate());
+    collect("split", split.validate());
+    collect("classifier", classifier.validate());
+    if (w2v_mode == W2vMode::kBatched && w2v_batch_size == 0) {
+        problems.push_back(
+            "w2v_batch_size must be >= 1 in batched word2vec mode");
+    }
+    return problems;
+}
 
 namespace {
 
+/// Refuse to start a multi-phase run on a bad configuration; the error
+/// lists every diagnostic so one round of fixes suffices.
+void
+enforce_valid(const PipelineConfig& config)
+{
+    const std::vector<std::string> problems = config.validate();
+    if (problems.empty()) {
+        return;
+    }
+    std::string message = "invalid pipeline configuration:";
+    for (const std::string& problem : problems) {
+        message += "\n  - " + problem;
+    }
+    util::fatal(message);
+}
+
+/// The phase-artifact dependency chain: edges -> walk corpus ->
+/// embedding. Each stage fingerprint folds in its predecessor, so any
+/// upstream change invalidates every downstream checkpoint.
+struct PipelineFingerprints
+{
+    std::uint64_t walk = 0;
+    std::uint64_t embed = 0;
+};
+
+PipelineFingerprints
+compute_fingerprints(const graph::EdgeList& edges,
+                     const PipelineConfig& config)
+{
+    util::Fingerprint walk_fp;
+    walk_fp.mix(fingerprint_edges(edges));
+    walk_fp.mix(static_cast<std::uint8_t>(config.symmetrize_graph));
+    mix_config(walk_fp, config.walk);
+
+    util::Fingerprint embed_fp;
+    embed_fp.mix(walk_fp.value());
+    mix_config(embed_fp, config.sgns);
+    embed_fp.mix(static_cast<std::uint32_t>(config.w2v_mode));
+    if (config.w2v_mode == W2vMode::kBatched) {
+        embed_fp.mix(static_cast<std::uint64_t>(config.w2v_batch_size));
+    }
+    return {walk_fp.value(), embed_fp.value()};
+}
+
 /// Shared front-end: build CSR, walk, embed. Fills times/profiles and
 /// returns the embedding plus the built graph (needed for negative
-/// sampling downstream).
+/// sampling downstream). With @p checkpoints set, a stored embedding
+/// whose fingerprint matches skips both the walk and word2vec phases;
+/// a stored corpus skips just the walk phase.
 embed::Embedding
 run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
-              graph::TemporalGraph& graph, PipelineResult& result)
+              graph::TemporalGraph& graph, PipelineResult& result,
+              const CheckpointManager* checkpoints,
+              const PipelineFingerprints& fingerprints)
 {
     util::Timer timer;
     graph::BuildOptions build_options;
@@ -24,15 +97,34 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
     result.num_nodes = graph.num_nodes();
     result.num_edges = graph.num_edges();
 
+    embed::Embedding embedding;
+    if (checkpoints != nullptr &&
+        checkpoints->load_embedding(fingerprints.embed, embedding)) {
+        // Both upstream phases are covered by the embedding artifact;
+        // their timers stay ~0 and the corpus is never materialized.
+        result.checkpoints.embedding_loaded = true;
+        return embedding;
+    }
+
     timer.reset();
-    const walk::Corpus corpus =
-        walk::generate_walks(graph, config.walk, &result.walk_profile);
+    walk::Corpus corpus;
+    if (checkpoints != nullptr &&
+        checkpoints->load_corpus(fingerprints.walk, corpus)) {
+        result.checkpoints.corpus_loaded = true;
+    } else {
+        corpus = walk::generate_walks(graph, config.walk,
+                                      &result.walk_profile);
+        if (checkpoints != nullptr) {
+            checkpoints->store_corpus(fingerprints.walk, corpus);
+            result.checkpoints.corpus_stored = true;
+        }
+    }
     result.times.random_walk = timer.seconds();
     result.corpus_walks = corpus.num_walks();
     result.corpus_tokens = corpus.num_tokens();
+    util::fault_point("pipeline.after-walk");
 
     timer.reset();
-    embed::Embedding embedding;
     if (config.w2v_mode == W2vMode::kHogwild) {
         embedding = embed::train_sgns(corpus, graph.num_nodes(),
                                       config.sgns, &result.w2v_stats);
@@ -43,9 +135,65 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         embedding = embed::train_sgns_batched(
             corpus, graph.num_nodes(), batched, &result.w2v_stats);
     }
+    if (checkpoints != nullptr) {
+        checkpoints->store_embedding(fingerprints.embed, embedding);
+        result.checkpoints.embedding_stored = true;
+    }
     result.times.word2vec = timer.seconds();
+    util::fault_point("pipeline.after-word2vec");
     return embedding;
 }
+
+/// Checkpoint plumbing shared by the two task pipelines.
+struct PipelineContext
+{
+    std::optional<CheckpointManager> manager;
+    PipelineFingerprints fingerprints;
+
+    PipelineContext(const graph::EdgeList& edges,
+                    const PipelineConfig& config)
+    {
+        if (!config.checkpoint_dir.empty()) {
+            manager.emplace(config.checkpoint_dir);
+            fingerprints = compute_fingerprints(edges, config);
+        }
+    }
+
+    const CheckpointManager*
+    get() const
+    {
+        return manager ? &*manager : nullptr;
+    }
+
+    /// Classifier fingerprint: embedding chain + data preparation +
+    /// classifier configuration + a task tag (+ optional label data).
+    ClassifierCheckpoint
+    classifier_checkpoint(const PipelineConfig& config,
+                          std::string_view task_tag,
+                          const std::vector<std::uint32_t>* labels,
+                          std::uint32_t num_classes) const
+    {
+        ClassifierCheckpoint checkpoint;
+        if (!manager) {
+            return checkpoint;
+        }
+        util::Fingerprint fp;
+        fp.mix(fingerprints.embed);
+        mix_config(fp, config.split);
+        mix_config(fp, config.classifier);
+        fp.mix(task_tag);
+        if (labels != nullptr) {
+            fp.mix(static_cast<std::uint64_t>(labels->size()));
+            fp.mix_bytes(labels->data(),
+                         labels->size() * sizeof(std::uint32_t));
+            fp.mix(num_classes);
+        }
+        checkpoint.manager = &*manager;
+        checkpoint.name = std::string(task_tag);
+        checkpoint.fingerprint = fp.value();
+        return checkpoint;
+    }
+};
 
 } // namespace
 
@@ -53,20 +201,29 @@ PipelineResult
 run_link_prediction_pipeline(const graph::EdgeList& edges,
                              const PipelineConfig& config)
 {
+    enforce_valid(config);
     PipelineResult result;
+    const PipelineContext context(edges, config);
     graph::TemporalGraph graph;
-    const embed::Embedding embedding =
-        run_front_end(edges, config, graph, result);
+    const embed::Embedding embedding = run_front_end(
+        edges, config, graph, result, context.get(), context.fingerprints);
 
     util::Timer timer;
     const LinkSplits splits =
         prepare_link_splits(edges, graph, config.split);
     result.times.data_prep = timer.seconds();
 
-    result.task = run_link_prediction(splits, embedding, config.classifier);
+    ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
+        config, "link-predictor", nullptr, 0);
+    result.task = run_link_prediction(
+        splits, embedding, config.classifier,
+        checkpoint.manager != nullptr ? &checkpoint : nullptr);
+    result.checkpoints.classifier_loaded = checkpoint.loaded;
+    result.checkpoints.classifier_stored = checkpoint.stored;
     result.times.train = result.task.train_seconds;
     result.times.train_per_epoch = result.task.seconds_per_epoch;
     result.times.test = result.task.test_seconds;
+    util::fault_point("pipeline.after-train");
     return result;
 }
 
@@ -76,21 +233,29 @@ run_node_classification_pipeline(const graph::EdgeList& edges,
                                  std::uint32_t num_classes,
                                  const PipelineConfig& config)
 {
+    enforce_valid(config);
     PipelineResult result;
+    const PipelineContext context(edges, config);
     graph::TemporalGraph graph;
-    const embed::Embedding embedding =
-        run_front_end(edges, config, graph, result);
+    const embed::Embedding embedding = run_front_end(
+        edges, config, graph, result, context.get(), context.fingerprints);
 
     util::Timer timer;
     const NodeSplits splits =
         prepare_node_splits(graph.num_nodes(), config.split);
     result.times.data_prep = timer.seconds();
 
-    result.task = run_node_classification(splits, labels, num_classes,
-                                          embedding, config.classifier);
+    ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
+        config, "node-classifier", &labels, num_classes);
+    result.task = run_node_classification(
+        splits, labels, num_classes, embedding, config.classifier,
+        checkpoint.manager != nullptr ? &checkpoint : nullptr);
+    result.checkpoints.classifier_loaded = checkpoint.loaded;
+    result.checkpoints.classifier_stored = checkpoint.stored;
     result.times.train = result.task.train_seconds;
     result.times.train_per_epoch = result.task.seconds_per_epoch;
     result.times.test = result.task.test_seconds;
+    util::fault_point("pipeline.after-train");
     return result;
 }
 

@@ -4,6 +4,7 @@
 /// the four RW-P1..P4 phases whose breakdown Table III reports.
 #pragma once
 
+#include "core/checkpoint.hpp"
 #include "core/link_prediction.hpp"
 #include "core/node_classification.hpp"
 #include "embed/batched_trainer.hpp"
@@ -33,6 +34,17 @@ struct PipelineConfig
     SplitConfig split;
     ClassifierConfig classifier;
     bool symmetrize_graph = true;
+    /// Directory for crash-safe phase checkpoints (empty disables
+    /// checkpointing). On restart, artifacts whose fingerprints match
+    /// the current configuration and input are reloaded and their
+    /// phases skipped; stale or corrupt artifacts are regenerated.
+    std::string checkpoint_dir;
+
+    /// All configuration problems across every sub-config, each
+    /// prefixed with its section ("walk.", "sgns.", ...). The pipeline
+    /// entry points refuse to run (tgl::util::Error listing every
+    /// diagnostic) when this is non-empty.
+    std::vector<std::string> validate() const;
 };
 
 /// Wall-clock seconds per phase (Table III columns).
@@ -54,6 +66,18 @@ struct PhaseTimes
     }
 };
 
+/// Which phase artifacts were restored from / persisted to the
+/// checkpoint directory (all false when checkpointing is disabled).
+struct CheckpointStatus
+{
+    bool corpus_loaded = false;
+    bool corpus_stored = false;
+    bool embedding_loaded = false;
+    bool embedding_stored = false;
+    bool classifier_loaded = false;
+    bool classifier_stored = false;
+};
+
 /// Everything a pipeline run produces.
 struct PipelineResult
 {
@@ -61,6 +85,7 @@ struct PipelineResult
     TaskResult task;
     walk::WalkProfile walk_profile;
     embed::TrainStats w2v_stats;
+    CheckpointStatus checkpoints;
     std::size_t corpus_walks = 0;
     std::size_t corpus_tokens = 0;
     graph::NodeId num_nodes = 0;

@@ -2,6 +2,7 @@
 
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
 
@@ -155,6 +156,15 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
 
             pairs_trained += batch_pairs.size();
             batch_begin = batch_end;
+        }
+
+        // Divergence screen (matches train_sgns): stop with context
+        // instead of emitting a poisoned embedding.
+        if (!model.all_finite()) {
+            util::fatal(util::strcat(
+                "train_sgns_batched: non-finite model weights after "
+                "epoch ", epoch + 1, " of ", sgns.epochs,
+                " — training diverged (alpha = ", sgns.alpha, ")"));
         }
     }
 

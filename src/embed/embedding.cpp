@@ -1,5 +1,6 @@
 #include "embed/embedding.hpp"
 
+#include "util/artifact_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -91,11 +92,8 @@ Embedding::load(std::istream& in)
 void
 Embedding::save_file(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out) {
-        util::fatal(util::strcat("cannot open for writing: ", path));
-    }
-    save(out);
+    util::atomic_write_file(path,
+                            [this](std::ostream& out) { save(out); });
 }
 
 Embedding
@@ -106,6 +104,71 @@ Embedding::load_file(const std::string& path)
         util::fatal(util::strcat("cannot open: ", path));
     }
     return load(in);
+}
+
+namespace {
+
+constexpr char kEmbeddingKind[] = "embed";
+constexpr std::uint32_t kEmbeddingPayloadVersion = 1;
+
+} // namespace
+
+void
+Embedding::save_binary(std::ostream& out, std::uint64_t fingerprint) const
+{
+    util::ArtifactWriter writer(out, kEmbeddingKind,
+                                kEmbeddingPayloadVersion, fingerprint);
+    writer.write_pod<std::uint32_t>(num_nodes_);
+    writer.write_pod<std::uint32_t>(dim_);
+    writer.write_bytes(data_.data(), data_.size() * sizeof(float));
+    writer.finish();
+}
+
+Embedding
+Embedding::load_binary(std::istream& in, std::uint64_t* fingerprint)
+{
+    util::ArtifactReader reader(in, kEmbeddingKind);
+    if (reader.payload_version() != kEmbeddingPayloadVersion) {
+        util::fatal(util::strcat(
+            "embedding artifact: unsupported payload version ",
+            reader.payload_version()));
+    }
+    const auto num_nodes = reader.read_pod<std::uint32_t>();
+    const auto dim = reader.read_pod<std::uint32_t>();
+    const std::size_t expected =
+        static_cast<std::size_t>(num_nodes) * dim * sizeof(float);
+    if (reader.remaining() != expected) {
+        util::fatal(util::strcat(
+            "embedding artifact: payload holds ", reader.remaining(),
+            " matrix bytes, header implies ", expected));
+    }
+    Embedding embedding(num_nodes, dim);
+    reader.read_bytes(embedding.data_.data(), expected);
+    if (fingerprint != nullptr) {
+        *fingerprint = reader.fingerprint();
+    }
+    return embedding;
+}
+
+void
+Embedding::save_binary_file(const std::string& path,
+                            std::uint64_t fingerprint) const
+{
+    util::atomic_write_file(
+        path,
+        [&](std::ostream& out) { save_binary(out, fingerprint); },
+        /*binary=*/true);
+}
+
+Embedding
+Embedding::load_binary_file(const std::string& path,
+                            std::uint64_t* fingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        util::fatal(util::strcat("cannot open: ", path));
+    }
+    return load_binary(in, fingerprint);
 }
 
 } // namespace tgl::embed

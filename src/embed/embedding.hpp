@@ -52,10 +52,25 @@ class Embedding
     std::vector<graph::NodeId> nearest(graph::NodeId u, unsigned k) const;
 
     /// Text serialization: header "num_nodes dim", one row per line.
+    /// save_file replaces the target atomically (temp file + rename).
     void save(std::ostream& out) const;
     static Embedding load(std::istream& in);
     void save_file(const std::string& path) const;
     static Embedding load_file(const std::string& path);
+
+    /// Binary serialization in the CRC32-checksummed artifact container
+    /// (util/artifact_io.hpp, kind "embed"). load_binary rejects
+    /// truncated, corrupt, or version-mismatched files with a
+    /// tgl::util::Error; @p fingerprint keys the artifact to the
+    /// configuration that produced it (checkpointing).
+    void save_binary(std::ostream& out, std::uint64_t fingerprint = 0) const;
+    static Embedding load_binary(std::istream& in,
+                                 std::uint64_t* fingerprint = nullptr);
+    /// Atomic (temp file + rename) binary file write.
+    void save_binary_file(const std::string& path,
+                          std::uint64_t fingerprint = 0) const;
+    static Embedding load_binary_file(const std::string& path,
+                                      std::uint64_t* fingerprint = nullptr);
 
   private:
     graph::NodeId num_nodes_ = 0;

@@ -2,7 +2,36 @@
 
 #include "util/error.hpp"
 
+#include <cmath>
+
 namespace tgl::embed {
+
+std::vector<std::string>
+SgnsConfig::validate() const
+{
+    std::vector<std::string> problems;
+    if (dim == 0) {
+        problems.push_back("dim must be >= 1");
+    }
+    if (window == 0) {
+        problems.push_back("window must be >= 1");
+    }
+    if (epochs == 0) {
+        problems.push_back("epochs must be >= 1");
+    }
+    if (!(alpha > 0.0f) || !std::isfinite(alpha)) {
+        problems.push_back("alpha (learning rate) must be positive and "
+                           "finite, got " + std::to_string(alpha));
+    }
+    if (!(subsample >= 0.0) || !std::isfinite(subsample)) {
+        problems.push_back("subsample must be >= 0 and finite");
+    }
+    if (row_stride != 0 && row_stride < dim) {
+        problems.push_back("row_stride must be 0 (packed) or >= dim, got " +
+                           std::to_string(row_stride));
+    }
+    return problems;
+}
 
 SgnsModel::SgnsModel(const Vocab& vocab, const SgnsConfig& config)
     : dim_(config.dim),
@@ -28,6 +57,23 @@ SgnsModel::SgnsModel(const Vocab& vocab, const SgnsConfig& config)
                      static_cast<float>(dim_);
         }
     }
+}
+
+bool
+SgnsModel::all_finite() const
+{
+    // Only the live dim_ columns matter; stride padding stays zero.
+    for (const std::vector<float>* matrix : {&input_, &output_}) {
+        for (std::size_t w = 0; w < vocab_size_; ++w) {
+            const float* row = matrix->data() + w * stride_;
+            for (unsigned i = 0; i < dim_; ++i) {
+                if (!std::isfinite(row[i])) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
 }
 
 Embedding

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace tgl::embed {
@@ -48,6 +49,9 @@ struct SgnsConfig
     /// inner loops run strictly scalar, modeling one-thread-per-vector
     /// uncoalesced access.
     bool vectorized = true;
+
+    /// All configuration problems, empty when the config is usable.
+    std::vector<std::string> validate() const;
 };
 
 /// Mutable SGNS parameters: input (syn0) and output (syn1neg) matrices
@@ -83,6 +87,11 @@ class SgnsModel
     /// outside the vocabulary).
     Embedding to_embedding(const Vocab& vocab,
                            graph::NodeId num_nodes) const;
+
+    /// True when every parameter is finite — the trainers' per-epoch
+    /// divergence screen (a too-large alpha drives Hogwild updates to
+    /// inf/NaN long before convergence).
+    bool all_finite() const;
 
   private:
     unsigned dim_;

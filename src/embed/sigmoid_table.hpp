@@ -29,7 +29,10 @@ class SigmoidTable
     float
     operator()(float x) const
     {
-        if (x >= kMaxExp) {
+        // Negated comparison so NaN saturates instead of reaching the
+        // index cast below (casting NaN to int is undefined behavior;
+        // a diverged model must not turn into an out-of-bounds read).
+        if (!(x < kMaxExp)) {
             return 1.0f;
         }
         if (x <= -kMaxExp) {

@@ -2,6 +2,7 @@
 
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
 
@@ -137,6 +138,16 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
                                       std::memory_order_relaxed);
             },
             {.num_threads = config.num_threads, .grain = 64});
+
+        // Divergence screen: a runaway alpha turns the Hogwild updates
+        // into inf/NaN well before training ends; fail with context
+        // instead of emitting a poisoned embedding.
+        if (!model.all_finite()) {
+            util::fatal(util::strcat(
+                "train_sgns: non-finite model weights after epoch ",
+                epoch + 1, " of ", config.epochs,
+                " — training diverged (alpha = ", config.alpha, ")"));
+        }
     }
 
     for (RankState& state : ranks) {

@@ -80,7 +80,9 @@ generate_barabasi_albert(const BarabasiAlbertParams& params)
             const std::size_t pick =
                 lo + static_cast<std::size_t>(
                          random.next_index(edges.size() - lo));
-            const graph::TemporalEdge& old = edges[pick];
+            // Copy, not reference: add() below may reallocate the
+            // edge storage and invalidate it.
+            const graph::TemporalEdge old = edges[pick];
             edges.add(old.src, old.dst, 0.0);
             endpoint_pool.push_back(old.src);
             endpoint_pool.push_back(old.dst);

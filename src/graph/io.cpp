@@ -1,9 +1,12 @@
 #include "graph/io.hpp"
 
+#include "util/artifact_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -36,10 +39,28 @@ load_wel(std::istream& in, const LoadOptions& options)
             util::fatal(util::strcat("edge list line ", line_number,
                                      ": negative node id"));
         }
-        const Timestamp time =
-            fields.size() >= 3
-                ? util::parse_double(fields[2])
-                : static_cast<Timestamp>(edges.size());
+        // Ids at or above the kInvalidNode sentinel would silently wrap
+        // (or collide with the sentinel) under the NodeId cast.
+        constexpr long long max_node_id =
+            static_cast<long long>(kInvalidNode) - 1;
+        if (src > max_node_id || dst > max_node_id) {
+            util::fatal(util::strcat("edge list line ", line_number,
+                                     ": node id ",
+                                     std::max(src, dst),
+                                     " exceeds the supported maximum ",
+                                     max_node_id));
+        }
+        Timestamp time = static_cast<Timestamp>(edges.size());
+        if (fields.size() >= 3) {
+            time = util::parse_double(fields[2]);
+            // parse_double accepts "nan"/"inf"; neither is a usable
+            // event time and both poison timestamp normalization.
+            if (!std::isfinite(time)) {
+                util::fatal(util::strcat("edge list line ", line_number,
+                                         ": non-finite timestamp '",
+                                         std::string(fields[2]), "'"));
+            }
+        }
         edges.add(static_cast<NodeId>(src), static_cast<NodeId>(dst), time);
     }
     if (options.normalize_timestamps) {
@@ -69,14 +90,11 @@ save_wel(std::ostream& out, const EdgeList& edges)
 void
 save_wel_file(const std::string& path, const EdgeList& edges)
 {
-    std::ofstream out(path);
-    if (!out) {
-        util::fatal(util::strcat("cannot open file for writing: ", path));
-    }
-    save_wel(out, edges);
-    if (!out) {
-        util::fatal(util::strcat("write failed: ", path));
-    }
+    // Atomic replacement also flushes before checking the stream, so
+    // deferred write failures (ENOSPC, quota) are reported instead of
+    // being dropped with the buffered tail.
+    util::atomic_write_file(
+        path, [&](std::ostream& out) { save_wel(out, edges); });
 }
 
 } // namespace tgl::graph

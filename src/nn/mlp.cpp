@@ -1,6 +1,10 @@
 #include "nn/mlp.hpp"
 
+#include "util/artifact_io.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <fstream>
 
 namespace tgl::nn {
 
@@ -52,6 +56,95 @@ Mlp::num_parameters()
         count += p->value.size();
     }
     return count;
+}
+
+namespace {
+
+constexpr char kMlpKind[] = "mlp";
+constexpr std::uint32_t kMlpPayloadVersion = 1;
+
+} // namespace
+
+void
+Mlp::save_weights(std::ostream& out, std::uint64_t fingerprint)
+{
+    util::ArtifactWriter writer(out, kMlpKind, kMlpPayloadVersion,
+                                fingerprint);
+    const std::vector<Parameter*> params = parameters();
+    writer.write_pod<std::uint32_t>(
+        static_cast<std::uint32_t>(params.size()));
+    for (const Parameter* p : params) {
+        writer.write_string(p->name);
+        writer.write_pod<std::uint64_t>(p->value.rows());
+        writer.write_pod<std::uint64_t>(p->value.cols());
+        writer.write_bytes(p->value.data(),
+                           p->value.size() * sizeof(float));
+    }
+    writer.finish();
+}
+
+void
+Mlp::load_weights(std::istream& in, std::uint64_t* fingerprint)
+{
+    util::ArtifactReader reader(in, kMlpKind);
+    if (reader.payload_version() != kMlpPayloadVersion) {
+        util::fatal(util::strcat(
+            "mlp artifact: unsupported payload version ",
+            reader.payload_version()));
+    }
+    const std::vector<Parameter*> params = parameters();
+    const auto count = reader.read_pod<std::uint32_t>();
+    if (count != params.size()) {
+        util::fatal(util::strcat("mlp artifact: holds ", count,
+                                 " parameters, this network has ",
+                                 params.size(),
+                                 " — architecture mismatch"));
+    }
+    // Stage into scratch tensors first so a mismatch or truncation
+    // partway through leaves the live network untouched.
+    std::vector<Tensor> staged(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const std::string name = reader.read_string();
+        const auto rows = reader.read_pod<std::uint64_t>();
+        const auto cols = reader.read_pod<std::uint64_t>();
+        if (name != params[i]->name ||
+            rows != params[i]->value.rows() ||
+            cols != params[i]->value.cols()) {
+            util::fatal(util::strcat(
+                "mlp artifact: parameter ", i, " is '", name, "' (",
+                rows, "x", cols, "), this network expects '",
+                params[i]->name, "' (", params[i]->value.rows(), "x",
+                params[i]->value.cols(), ") — architecture mismatch"));
+        }
+        staged[i].resize(rows, cols);
+        reader.read_bytes(staged[i].data(),
+                          staged[i].size() * sizeof(float));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i]->value = std::move(staged[i]);
+    }
+    if (fingerprint != nullptr) {
+        *fingerprint = reader.fingerprint();
+    }
+}
+
+void
+Mlp::save_weights_file(const std::string& path, std::uint64_t fingerprint)
+{
+    util::atomic_write_file(
+        path,
+        [&](std::ostream& out) { save_weights(out, fingerprint); },
+        /*binary=*/true);
+}
+
+void
+Mlp::load_weights_file(const std::string& path, std::uint64_t* fingerprint)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        util::fatal(util::strcat("cannot open: ", path));
+    }
+    load_weights(in, fingerprint);
 }
 
 std::string

@@ -9,6 +9,7 @@
 #include "nn/layers.hpp"
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,25 @@ class Mlp
 
     /// Multi-line architecture description.
     std::string describe() const;
+
+    /// Persist every parameter tensor in the CRC32-checksummed artifact
+    /// container (util/artifact_io.hpp, kind "mlp"); @p fingerprint keys
+    /// the weights to the configuration that trained them.
+    void save_weights(std::ostream& out, std::uint64_t fingerprint = 0);
+
+    /// Restore parameters saved by save_weights into this network. The
+    /// architecture must already match: parameter count, names, and
+    /// shapes are validated and any mismatch (or a truncated/corrupt
+    /// file) throws tgl::util::Error, leaving no partial update
+    /// observable to training.
+    void load_weights(std::istream& in,
+                      std::uint64_t* fingerprint = nullptr);
+
+    /// Atomic (temp file + rename) weight file write / checked read.
+    void save_weights_file(const std::string& path,
+                           std::uint64_t fingerprint = 0);
+    void load_weights_file(const std::string& path,
+                           std::uint64_t* fingerprint = nullptr);
 
   private:
     std::vector<std::unique_ptr<Layer>> layers_;

@@ -16,10 +16,12 @@
 /// @endcode
 #pragma once
 
-// util: errors, logging, timing, threading
+// util: errors, logging, timing, threading, crash-safe artifact I/O
+#include "util/artifact_io.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 #include "util/string_util.hpp"
@@ -78,6 +80,7 @@
 #include "nn/tensor.hpp"
 
 // core: the end-to-end pipeline and downstream tasks
+#include "core/checkpoint.hpp"
 #include "core/data_prep.hpp"
 #include "core/link_prediction.hpp"
 #include "core/link_property_prediction.hpp"

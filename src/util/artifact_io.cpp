@@ -1,0 +1,282 @@
+#include "util/artifact_io.hpp"
+
+#include "util/fault_injection.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include <unistd.h>
+
+namespace tgl::util {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'T', 'G', 'L', 'A'};
+constexpr std::uint32_t kContainerVersion = 1;
+
+const std::array<std::uint32_t, 256>&
+crc_table()
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::array<char, ArtifactWriter::kKindSize>
+pack_kind(std::string_view kind)
+{
+    std::array<char, ArtifactWriter::kKindSize> packed{};
+    if (kind.size() > packed.size()) {
+        fatal(strcat("artifact kind tag too long: '", std::string(kind),
+                     "' (max ", packed.size(), " bytes)"));
+    }
+    std::memcpy(packed.data(), kind.data(), kind.size());
+    return packed;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void* data, std::size_t size, std::uint32_t seed)
+{
+    const auto& table = crc_table();
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return crc ^ 0xffffffffu;
+}
+
+Fingerprint&
+Fingerprint::mix_bytes(const void* data, std::size_t size)
+{
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        state_ ^= bytes[i];
+        state_ *= 0x100000001b3ull; // FNV-1a prime
+    }
+    return *this;
+}
+
+Fingerprint&
+Fingerprint::mix(std::string_view text)
+{
+    mix<std::uint64_t>(text.size());
+    return mix_bytes(text.data(), text.size());
+}
+
+void
+atomic_write_file(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer,
+                  bool binary)
+{
+    namespace fs = std::filesystem;
+    // Unique per process+call so concurrent writers to the same target
+    // never clobber each other's temporaries.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp = strcat(
+        path, ".tmp.", static_cast<unsigned long>(::getpid()), ".",
+        counter.fetch_add(1, std::memory_order_relaxed));
+
+    auto discard = [&] {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+    };
+
+    {
+        std::ios::openmode mode = std::ios::out | std::ios::trunc;
+        if (binary) {
+            mode |= std::ios::binary;
+        }
+        std::ofstream out(tmp, mode);
+        if (!out) {
+            fatal(strcat("cannot open for writing: ", tmp));
+        }
+        try {
+            writer(out);
+        } catch (...) {
+            out.close();
+            discard();
+            throw;
+        }
+        // Flush buffered data before testing the stream so deferred
+        // write failures (ENOSPC, quota) are observed here, not lost
+        // when the ofstream destructor swallows them.
+        out.flush();
+        if (!out) {
+            discard();
+            fatal(strcat("write failed: ", tmp,
+                         " (disk full or quota exceeded?)"));
+        }
+        out.close();
+        if (out.fail()) {
+            discard();
+            fatal(strcat("close failed: ", tmp));
+        }
+    }
+
+    fault_point("artifact_io.before-rename");
+
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        discard();
+        fatal(strcat("cannot rename ", tmp, " -> ", path, ": ",
+                     ec.message()));
+    }
+}
+
+ArtifactWriter::ArtifactWriter(std::ostream& out, std::string_view kind,
+                               std::uint32_t payload_version,
+                               std::uint64_t fingerprint)
+    : out_(out), kind_(pack_kind(kind)),
+      payload_version_(payload_version), fingerprint_(fingerprint)
+{
+}
+
+void
+ArtifactWriter::write_bytes(const void* data, std::size_t size)
+{
+    TGL_ASSERT(!finished_);
+    const auto* bytes = static_cast<const char*>(data);
+    payload_.insert(payload_.end(), bytes, bytes + size);
+}
+
+void
+ArtifactWriter::write_string(std::string_view text)
+{
+    write_pod<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+    write_bytes(text.data(), text.size());
+}
+
+void
+ArtifactWriter::finish()
+{
+    TGL_ASSERT(!finished_);
+    finished_ = true;
+
+    out_.write(kMagic.data(), kMagic.size());
+    auto put = [&](const auto& value) {
+        out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    };
+    put(kContainerVersion);
+    out_.write(kind_.data(), kind_.size());
+    put(payload_version_);
+    put(fingerprint_);
+    const std::uint64_t size = payload_.size();
+    put(size);
+    const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+    put(crc);
+    out_.write(payload_.data(),
+               static_cast<std::streamsize>(payload_.size()));
+    out_.flush();
+    if (!out_) {
+        fatal("artifact write failed (stream error after flush)");
+    }
+}
+
+ArtifactReader::ArtifactReader(std::istream& in,
+                               std::string_view expected_kind)
+{
+    std::array<char, 4> magic{};
+    in.read(magic.data(), magic.size());
+    if (!in || magic != kMagic) {
+        fatal("artifact: bad magic (not a tgl artifact file)");
+    }
+    auto get = [&](auto& value) {
+        in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    };
+    std::uint32_t container_version = 0;
+    get(container_version);
+    std::array<char, ArtifactWriter::kKindSize> kind{};
+    in.read(kind.data(), kind.size());
+    std::uint64_t payload_size = 0;
+    get(payload_version_);
+    get(fingerprint_);
+    get(payload_size);
+    std::uint32_t expected_crc = 0;
+    get(expected_crc);
+    if (!in) {
+        fatal("artifact: truncated header");
+    }
+    if (container_version != kContainerVersion) {
+        fatal(strcat("artifact: unsupported container version ",
+                     container_version, " (expected ", kContainerVersion,
+                     ")"));
+    }
+    if (kind != pack_kind(expected_kind)) {
+        const auto* terminator =
+            std::find(kind.begin(), kind.end(), '\0');
+        const auto len =
+            static_cast<std::size_t>(terminator - kind.begin());
+        fatal(strcat("artifact: kind mismatch: file holds '",
+                     std::string(kind.data(), len), "', expected '",
+                     std::string(expected_kind), "'"));
+    }
+
+    // A corrupt size field must not drive a monster allocation and
+    // std::bad_alloc; grow in bounded chunks so stream exhaustion
+    // exposes the lie first.
+    constexpr std::uint64_t kChunk = 1u << 20;
+    std::uint64_t received = 0;
+    while (received < payload_size) {
+        const std::uint64_t want =
+            std::min(kChunk, payload_size - received);
+        payload_.resize(static_cast<std::size_t>(received + want));
+        in.read(payload_.data() + received,
+                static_cast<std::streamsize>(want));
+        received += static_cast<std::uint64_t>(in.gcount());
+        if (static_cast<std::uint64_t>(in.gcount()) != want) {
+            break;
+        }
+    }
+    if (received != payload_size) {
+        fatal(strcat("artifact: truncated payload (expected ",
+                     payload_size, " bytes, got ", received, ")"));
+    }
+    const std::uint32_t actual_crc =
+        crc32(payload_.data(), payload_.size());
+    if (actual_crc != expected_crc) {
+        fatal(strcat("artifact: checksum mismatch (stored ", expected_crc,
+                     ", computed ", actual_crc,
+                     ") — file is corrupt"));
+    }
+}
+
+void
+ArtifactReader::read_bytes(void* data, std::size_t size)
+{
+    if (size > remaining()) {
+        fatal(strcat("artifact: payload overrun (requested ", size,
+                     " bytes, ", remaining(), " remain)"));
+    }
+    std::memcpy(data, payload_.data() + pos_, size);
+    pos_ += size;
+}
+
+std::string
+ArtifactReader::read_string()
+{
+    const auto size = read_pod<std::uint32_t>();
+    std::string text(size, '\0');
+    read_bytes(text.data(), size);
+    return text;
+}
+
+} // namespace tgl::util

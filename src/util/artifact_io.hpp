@@ -1,0 +1,170 @@
+/// @file
+/// Crash-safe artifact I/O: atomic file replacement and a versioned,
+/// CRC32-checksummed binary container shared by every persisted
+/// artifact (walk corpus, embedding matrix, classifier weights,
+/// pipeline checkpoints).
+///
+/// Two failure modes motivate this layer. First, a process killed
+/// mid-write must never leave a half-written artifact where a valid one
+/// is expected — atomic_write_file writes to a temporary sibling,
+/// flushes, verifies the stream, and renames into place so readers see
+/// either the old file or the complete new one. Second, a reader handed
+/// a truncated, corrupted, or version-mismatched file must reject it
+/// with a descriptive tgl::util::Error instead of parsing garbage —
+/// ArtifactReader validates magic, container version, artifact kind,
+/// declared payload size, and a CRC32 of the payload before a single
+/// payload byte is handed to the caller.
+///
+/// Container layout (fixed-width little-endian integers):
+///   magic              4 bytes  "TGLA"
+///   container version  u32      layout version of this header (= 1)
+///   kind               8 bytes  zero-padded ASCII artifact tag
+///   payload version    u32      per-kind payload format version
+///   fingerprint        u64      producer-defined dependency hash
+///   payload size       u64      bytes following the header
+///   payload CRC32      u32      checksum of the payload bytes
+///   payload            payload-size bytes
+#pragma once
+
+#include "util/error.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace tgl::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range.
+/// Pass a previous result as @p seed to checksum incrementally.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Order-sensitive FNV-1a accumulator used to key checkpoints by the
+/// exact configuration and inputs that produced them. Mix every field
+/// explicitly (never whole structs — padding bytes are indeterminate).
+class Fingerprint
+{
+  public:
+    /// Fold raw bytes into the hash.
+    Fingerprint& mix_bytes(const void* data, std::size_t size);
+
+    /// Fold one trivially copyable value into the hash.
+    template <typename T>
+    Fingerprint&
+    mix(const T& value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "mix() needs a trivially copyable value");
+        return mix_bytes(&value, sizeof(T));
+    }
+
+    /// Fold a string (length-prefixed, so "ab"+"c" != "a"+"bc").
+    Fingerprint& mix(std::string_view text);
+
+    /// Current hash value.
+    std::uint64_t value() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xcbf29ce484222325ull; // FNV-1a offset basis
+};
+
+/// Atomically replace @p path: @p writer streams the content to a
+/// temporary file in the same directory, which is flushed, closed,
+/// checked for write errors (ENOSPC and quota failures surface here,
+/// not silently), and renamed over @p path. On any failure the
+/// temporary is removed, the original file is left untouched, and a
+/// tgl::util::Error is thrown.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer,
+                       bool binary = false);
+
+/// Serializes one artifact into the container format. The payload is
+/// buffered in memory so the CRC and size can be written up front;
+/// nothing reaches @p out until finish().
+class ArtifactWriter
+{
+  public:
+    /// Maximum kind-tag length (the header field is fixed-width).
+    static constexpr std::size_t kKindSize = 8;
+
+    ArtifactWriter(std::ostream& out, std::string_view kind,
+                   std::uint32_t payload_version,
+                   std::uint64_t fingerprint);
+
+    /// Append raw bytes to the payload.
+    void write_bytes(const void* data, std::size_t size);
+
+    /// Append one trivially copyable value.
+    template <typename T>
+    void
+    write_pod(const T& value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write_bytes(&value, sizeof(T));
+    }
+
+    /// Append a length-prefixed string (u32 length + bytes).
+    void write_string(std::string_view text);
+
+    /// Emit header + payload and flush; throws Error if the stream
+    /// reports failure. Must be called exactly once.
+    void finish();
+
+  private:
+    std::ostream& out_;
+    std::array<char, kKindSize> kind_{};
+    std::uint32_t payload_version_;
+    std::uint64_t fingerprint_;
+    std::vector<char> payload_;
+    bool finished_ = false;
+};
+
+/// Parses and validates one artifact. The constructor reads the whole
+/// container, verifying magic, container version, kind, payload size,
+/// and CRC32 — any mismatch (truncation, bit rot, wrong file) throws a
+/// tgl::util::Error before the caller sees a byte of payload.
+class ArtifactReader
+{
+  public:
+    ArtifactReader(std::istream& in, std::string_view expected_kind);
+
+    /// Per-kind payload format version from the header.
+    std::uint32_t payload_version() const { return payload_version_; }
+
+    /// Producer-defined dependency fingerprint from the header.
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /// Unread payload bytes.
+    std::size_t remaining() const { return payload_.size() - pos_; }
+
+    /// Copy @p size payload bytes out; throws Error on overrun.
+    void read_bytes(void* data, std::size_t size);
+
+    /// Read one trivially copyable value.
+    template <typename T>
+    T
+    read_pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        read_bytes(&value, sizeof(T));
+        return value;
+    }
+
+    /// Read a length-prefixed string written by write_string.
+    std::string read_string();
+
+  private:
+    std::uint32_t payload_version_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    std::vector<char> payload_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace tgl::util

@@ -1,0 +1,93 @@
+#include "util/fault_injection.hpp"
+
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace tgl::util {
+
+namespace {
+
+// The fast path (nothing armed) must stay a single relaxed load; the
+// slow path takes a mutex so arm/hit races stay well-defined.
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::string g_site;
+std::uint64_t g_countdown = 0;
+std::uint64_t g_hits = 0;
+
+} // namespace
+
+void
+fault_point(const char* site)
+{
+    if (!g_armed.load(std::memory_order_relaxed)) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_armed.load(std::memory_order_relaxed) || g_site != site) {
+        return;
+    }
+    ++g_hits;
+    if (--g_countdown == 0) {
+        g_armed.store(false, std::memory_order_relaxed);
+        throw FaultInjected(strcat("injected fault at ", site));
+    }
+}
+
+void
+FaultInjector::arm(const std::string& site, std::uint64_t nth)
+{
+    TGL_ASSERT(nth >= 1);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_site = site;
+    g_countdown = nth;
+    g_hits = 0;
+    g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_armed.store(false, std::memory_order_relaxed);
+    g_site.clear();
+    g_countdown = 0;
+}
+
+std::uint64_t
+FaultInjector::hits()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_hits;
+}
+
+FailAfterStreambuf::int_type
+FailAfterStreambuf::overflow(int_type ch)
+{
+    if (traits_type::eq_int_type(ch, traits_type::eof())) {
+        return traits_type::not_eof(ch);
+    }
+    if (remaining_ == 0) {
+        return traits_type::eof();
+    }
+    --remaining_;
+    return inner_->sputc(traits_type::to_char_type(ch));
+}
+
+std::streamsize
+FailAfterStreambuf::xsputn(const char* data, std::streamsize count)
+{
+    const auto want = static_cast<std::size_t>(count);
+    const std::size_t granted = std::min(remaining_, want);
+    const std::streamsize written = inner_->sputn(
+        data, static_cast<std::streamsize>(granted));
+    remaining_ -= static_cast<std::size_t>(written);
+    // Returning fewer bytes than requested makes the ostream set
+    // badbit — exactly how a full disk surfaces through iostreams.
+    return written;
+}
+
+} // namespace tgl::util

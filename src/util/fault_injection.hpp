@@ -1,0 +1,88 @@
+/// @file
+/// Deterministic fault injection for crash-path testing.
+///
+/// Production code marks interesting failure boundaries with
+/// fault_point("site"); the call is a single relaxed atomic load unless
+/// a test has armed that site via FaultInjector, in which case the Nth
+/// hit throws FaultInjected. This is how the checkpoint/resume tests
+/// "kill" a pipeline between phases without spawning processes.
+///
+/// FailAfterOStream complements it on the I/O side: a stream whose
+/// buffer accepts a byte budget and then fails every write — a
+/// deterministic stand-in for ENOSPC/quota failures, used to prove the
+/// save paths actually report stream errors instead of dropping them.
+#pragma once
+
+#include "util/error.hpp"
+
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace tgl::util {
+
+/// Exception thrown by an armed fault point. Derives from Error so
+/// generic handlers recover, but is distinct so tests can tell an
+/// injected fault from a real failure.
+class FaultInjected : public Error
+{
+  public:
+    explicit FaultInjected(const std::string& what) : Error(what) {}
+};
+
+/// Trigger point. No-op unless @p site is armed; then throws
+/// FaultInjected on the Nth matching hit.
+void fault_point(const char* site);
+
+/// Process-global switchboard arming fault_point sites (test-only).
+class FaultInjector
+{
+  public:
+    /// Arm @p site: the @p nth future hit throws (1 = next hit).
+    /// Re-arming replaces any previous site. Auto-disarms after firing.
+    static void arm(const std::string& site, std::uint64_t nth = 1);
+
+    /// Remove any armed site.
+    static void disarm();
+
+    /// Hits recorded against the armed site since the last arm().
+    static std::uint64_t hits();
+};
+
+/// streambuf decorator that forwards up to @p limit bytes to the
+/// wrapped buffer, then reports failure on every subsequent write.
+class FailAfterStreambuf : public std::streambuf
+{
+  public:
+    FailAfterStreambuf(std::streambuf* inner, std::size_t limit)
+        : inner_(inner), remaining_(limit)
+    {
+    }
+
+  protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* data,
+                           std::streamsize count) override;
+
+  private:
+    std::streambuf* inner_;
+    std::size_t remaining_;
+};
+
+/// Output stream that starts failing after @p limit bytes (writes up to
+/// the limit are forwarded to @p target).
+class FailAfterOStream : public std::ostream
+{
+  public:
+    FailAfterOStream(std::ostream& target, std::size_t limit)
+        : std::ostream(nullptr), buffer_(target.rdbuf(), limit)
+    {
+        rdbuf(&buffer_);
+    }
+
+  private:
+    FailAfterStreambuf buffer_;
+};
+
+} // namespace tgl::util

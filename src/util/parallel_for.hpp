@@ -63,16 +63,28 @@ parallel_for(std::size_t begin, std::size_t end, const Body& body,
     }
 
     std::atomic<std::size_t> cursor{begin};
+    std::atomic<bool> cancelled{false};
     auto worker = [&](unsigned) {
         for (;;) {
+            // Cooperative cancellation: once any body throws, peers
+            // stop claiming chunks instead of running the remaining
+            // iterations to completion before the pool rethrows.
+            if (cancelled.load(std::memory_order_relaxed)) {
+                return;
+            }
             const std::size_t chunk_begin =
                 cursor.fetch_add(grain, std::memory_order_relaxed);
             if (chunk_begin >= end) {
                 return;
             }
             const std::size_t chunk_end = std::min(chunk_begin + grain, end);
-            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-                body(i);
+            try {
+                for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                    body(i);
+                }
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                throw;
             }
         }
     };
@@ -108,16 +120,25 @@ parallel_for_ranked(std::size_t begin, std::size_t end, const Body& body,
     }
 
     std::atomic<std::size_t> cursor{begin};
+    std::atomic<bool> cancelled{false};
     auto worker = [&](unsigned rank) {
         for (;;) {
+            if (cancelled.load(std::memory_order_relaxed)) {
+                return;
+            }
             const std::size_t chunk_begin =
                 cursor.fetch_add(grain, std::memory_order_relaxed);
             if (chunk_begin >= end) {
                 return;
             }
             const std::size_t chunk_end = std::min(chunk_begin + grain, end);
-            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-                body(i, rank);
+            try {
+                for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                    body(i, rank);
+                }
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                throw;
             }
         }
     };
@@ -153,18 +174,27 @@ parallel_reduce_sum(std::size_t begin, std::size_t end, const Body& body,
     }
 
     std::atomic<std::size_t> cursor{begin};
+    std::atomic<bool> cancelled{false};
     std::vector<double> partial(threads, 0.0);
     auto worker = [&](unsigned rank) {
         double local = 0.0;
         for (;;) {
+            if (cancelled.load(std::memory_order_relaxed)) {
+                break;
+            }
             const std::size_t chunk_begin =
                 cursor.fetch_add(grain, std::memory_order_relaxed);
             if (chunk_begin >= end) {
                 break;
             }
             const std::size_t chunk_end = std::min(chunk_begin + grain, end);
-            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
-                local += body(i);
+            try {
+                for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                    local += body(i);
+                }
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                throw;
             }
         }
         partial[rank] = local;

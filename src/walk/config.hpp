@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace tgl::walk {
 
@@ -76,6 +77,29 @@ struct WalkConfig
     std::uint64_t seed = 1;
     /// Team size for the parallel middle loop (0 = default threads).
     unsigned num_threads = 0;
+
+    /// All configuration problems, empty when the config is usable.
+    /// Collects every diagnostic (not just the first) so a user fixes
+    /// one round of mistakes, not one mistake per run.
+    std::vector<std::string>
+    validate() const
+    {
+        std::vector<std::string> problems;
+        if (walks_per_node == 0) {
+            problems.push_back("walks_per_node must be >= 1");
+        }
+        if (max_length == 0) {
+            problems.push_back("max_length must be >= 1");
+        }
+        if (min_walk_tokens > max_length + 1) {
+            problems.push_back(
+                "min_walk_tokens (" + std::to_string(min_walk_tokens) +
+                ") exceeds the maximum walk token count (max_length + 1 = " +
+                std::to_string(max_length + 1) +
+                ") — every walk would be dropped");
+        }
+        return problems;
+    }
 };
 
 } // namespace tgl::walk

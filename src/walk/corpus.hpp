@@ -60,11 +60,26 @@ class Corpus
     const std::vector<std::size_t>& offsets() const { return offsets_; }
 
     /// Text serialization: one space-separated walk per line (the
-    /// sentence format word2vec tooling expects).
+    /// sentence format word2vec tooling expects). save_file replaces
+    /// the target atomically (temp file + rename).
     void save(std::ostream& out) const;
     static Corpus load(std::istream& in);
     void save_file(const std::string& path) const;
     static Corpus load_file(const std::string& path);
+
+    /// Binary serialization in the CRC32-checksummed artifact container
+    /// (util/artifact_io.hpp, kind "corpus"). load_binary rejects
+    /// truncated, corrupt, or version-mismatched files with a
+    /// tgl::util::Error; @p fingerprint keys the artifact to the walk
+    /// configuration that produced it (checkpointing).
+    void save_binary(std::ostream& out, std::uint64_t fingerprint = 0) const;
+    static Corpus load_binary(std::istream& in,
+                              std::uint64_t* fingerprint = nullptr);
+    /// Atomic (temp file + rename) binary file write.
+    void save_binary_file(const std::string& path,
+                          std::uint64_t fingerprint = 0) const;
+    static Corpus load_binary_file(const std::string& path,
+                                   std::uint64_t* fingerprint = nullptr);
 
     void
     reserve(std::size_t walks, std::size_t tokens)

@@ -1,0 +1,279 @@
+/// Unit tests for crash-safe artifact I/O: CRC32, fingerprints, the
+/// checksummed container, atomic file replacement, and the
+/// fault-injection primitives backing the robustness suite.
+#include "util/artifact_io.hpp"
+
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tgl::util {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors)
+{
+    // The IEEE 802.3 check value for "123456789".
+    const char check[] = "123456789";
+    EXPECT_EQ(crc32(check, 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data = "the quick brown fox jumps over the lazy dog";
+    const std::uint32_t whole = crc32(data.data(), data.size());
+    const std::uint32_t first = crc32(data.data(), 10);
+    const std::uint32_t rest =
+        crc32(data.data() + 10, data.size() - 10, first);
+    EXPECT_EQ(rest, whole);
+}
+
+TEST(Fingerprint, OrderAndLengthSensitive)
+{
+    Fingerprint a;
+    a.mix(std::string_view("ab")).mix(std::string_view("c"));
+    Fingerprint b;
+    b.mix(std::string_view("a")).mix(std::string_view("bc"));
+    EXPECT_NE(a.value(), b.value());
+
+    Fingerprint c;
+    c.mix(std::uint32_t{1}).mix(std::uint32_t{2});
+    Fingerprint d;
+    d.mix(std::uint32_t{2}).mix(std::uint32_t{1});
+    EXPECT_NE(c.value(), d.value());
+}
+
+TEST(Fingerprint, Deterministic)
+{
+    Fingerprint a;
+    a.mix(std::uint64_t{42}).mix(std::string_view("walk"));
+    Fingerprint b;
+    b.mix(std::uint64_t{42}).mix(std::string_view("walk"));
+    EXPECT_EQ(a.value(), b.value());
+}
+
+std::string
+write_container(std::string_view kind, std::uint32_t version,
+                std::uint64_t fingerprint, const std::string& payload)
+{
+    std::ostringstream out;
+    ArtifactWriter writer(out, kind, version, fingerprint);
+    writer.write_bytes(payload.data(), payload.size());
+    writer.finish();
+    return out.str();
+}
+
+TEST(Artifact, RoundTripPreservesEverything)
+{
+    const std::string blob =
+        write_container("test", 3, 0xDEADBEEFu, "payload bytes");
+    std::istringstream in(blob);
+    ArtifactReader reader(in, "test");
+    EXPECT_EQ(reader.payload_version(), 3u);
+    EXPECT_EQ(reader.fingerprint(), 0xDEADBEEFu);
+    ASSERT_EQ(reader.remaining(), 13u);
+    std::string payload(13, '\0');
+    reader.read_bytes(payload.data(), payload.size());
+    EXPECT_EQ(payload, "payload bytes");
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Artifact, PodAndStringHelpers)
+{
+    std::ostringstream out;
+    ArtifactWriter writer(out, "test", 1, 0);
+    writer.write_pod(std::uint64_t{77});
+    writer.write_string("hello");
+    writer.write_pod(float{1.5f});
+    writer.finish();
+
+    std::istringstream in(out.str());
+    ArtifactReader reader(in, "test");
+    EXPECT_EQ(reader.read_pod<std::uint64_t>(), 77u);
+    EXPECT_EQ(reader.read_string(), "hello");
+    EXPECT_EQ(reader.read_pod<float>(), 1.5f);
+}
+
+TEST(Artifact, RejectsBadMagic)
+{
+    std::string blob = write_container("test", 1, 0, "data");
+    blob[0] = 'X';
+    std::istringstream in(blob);
+    EXPECT_THROW(ArtifactReader(in, "test"), Error);
+}
+
+TEST(Artifact, RejectsKindMismatch)
+{
+    const std::string blob = write_container("test", 1, 0, "data");
+    std::istringstream in(blob);
+    EXPECT_THROW(ArtifactReader(in, "other"), Error);
+}
+
+TEST(Artifact, RejectsEmptyStream)
+{
+    std::istringstream in("");
+    EXPECT_THROW(ArtifactReader(in, "test"), Error);
+}
+
+TEST(Artifact, RejectsTruncationAtEveryLength)
+{
+    const std::string blob = write_container("test", 1, 42, "payload");
+    for (std::size_t length = 0; length < blob.size(); ++length) {
+        std::istringstream in(blob.substr(0, length));
+        EXPECT_THROW(ArtifactReader(in, "test"), Error)
+            << "truncated to " << length << " bytes";
+    }
+}
+
+TEST(Artifact, RejectsEveryPossibleByteFlip)
+{
+    // Whatever single byte rots, the reader must either throw
+    // (corruption detected) or parse with the flip visible in the
+    // fingerprint / payload-version fields — the two header fields the
+    // container itself cannot vouch for (their owners validate them).
+    // A successful parse must always return the original payload.
+    const std::string blob = write_container("test", 1, 42, "payload");
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        std::string corrupt = blob;
+        corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+        std::istringstream in(corrupt);
+        try {
+            ArtifactReader reader(in, "test");
+            EXPECT_TRUE(reader.fingerprint() != 42u ||
+                        reader.payload_version() != 1u)
+                << "byte " << i << " flip went unnoticed";
+            std::string payload(reader.remaining(), '\0');
+            reader.read_bytes(payload.data(), payload.size());
+            EXPECT_EQ(payload, "payload") << "byte " << i;
+        } catch (const Error&) {
+            // Rejected — the expected outcome everywhere else.
+        }
+    }
+}
+
+TEST(Artifact, RejectsPayloadOverrun)
+{
+    const std::string blob = write_container("test", 1, 0, "abc");
+    std::istringstream in(blob);
+    ArtifactReader reader(in, "test");
+    EXPECT_THROW(reader.read_pod<std::uint64_t>(), Error);
+}
+
+TEST(Artifact, RejectsOversizedKindTag)
+{
+    std::ostringstream out;
+    EXPECT_THROW(ArtifactWriter(out, "much-too-long-kind", 1, 0), Error);
+}
+
+TEST(AtomicWrite, ReplacesContentAtomically)
+{
+    const std::string path =
+        testing::TempDir() + "/tgl_atomic_write_test.txt";
+    atomic_write_file(path,
+                      [](std::ostream& out) { out << "first"; });
+    atomic_write_file(path,
+                      [](std::ostream& out) { out << "second"; });
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "second");
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicWrite, WriterExceptionLeavesOriginalIntact)
+{
+    const std::string path =
+        testing::TempDir() + "/tgl_atomic_keep_test.txt";
+    atomic_write_file(path, [](std::ostream& out) { out << "original"; });
+    EXPECT_THROW(atomic_write_file(path,
+                                   [](std::ostream& out) {
+                                       out << "partial";
+                                       throw Error("writer failed");
+                                   }),
+                 Error);
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "original");
+    // No stray temporary may survive the failure.
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             std::filesystem::path(path).parent_path())) {
+        if (entry.path().filename().string().find(
+                "tgl_atomic_keep_test.txt.tmp") != std::string::npos) {
+            ++files;
+        }
+    }
+    EXPECT_EQ(files, 0u);
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicWrite, UnwritableDirectoryThrows)
+{
+    EXPECT_THROW(atomic_write_file("/nonexistent-dir/file.txt",
+                                   [](std::ostream& out) { out << "x"; }),
+                 Error);
+}
+
+TEST(AtomicWrite, InjectedFaultBeforeRenameLeavesOriginal)
+{
+    const std::string path =
+        testing::TempDir() + "/tgl_atomic_fault_test.txt";
+    atomic_write_file(path, [](std::ostream& out) { out << "original"; });
+    FaultInjector::arm("artifact_io.before-rename");
+    EXPECT_THROW(atomic_write_file(
+                     path, [](std::ostream& out) { out << "replacement"; }),
+                 FaultInjected);
+    FaultInjector::disarm();
+    std::ifstream in(path);
+    std::string content;
+    std::getline(in, content);
+    EXPECT_EQ(content, "original");
+    std::filesystem::remove(path);
+}
+
+TEST(FailAfterOStream, FailsExactlyAfterBudget)
+{
+    std::ostringstream target;
+    FailAfterOStream out(target, 4);
+    out << "abcd";
+    EXPECT_TRUE(out.good());
+    out << "e";
+    EXPECT_FALSE(out.good());
+    EXPECT_EQ(target.str(), "abcd");
+}
+
+TEST(FailAfterOStream, SavePathReportsStreamFailure)
+{
+    // A container write into a stream that runs out of space mid-way
+    // must throw, not silently truncate.
+    std::ostringstream target;
+    FailAfterOStream out(target, 10);
+    ArtifactWriter writer(out, "test", 1, 0);
+    const std::string payload(256, 'x');
+    writer.write_bytes(payload.data(), payload.size());
+    EXPECT_THROW(writer.finish(), Error);
+}
+
+TEST(FaultInjector, ArmsNthHitAndCountsHits)
+{
+    FaultInjector::arm("test.site", 3);
+    fault_point("other.site"); // different site: no effect
+    fault_point("test.site");
+    fault_point("test.site");
+    EXPECT_THROW(fault_point("test.site"), FaultInjected);
+    EXPECT_EQ(FaultInjector::hits(), 3u);
+    // Auto-disarmed after firing.
+    fault_point("test.site");
+    FaultInjector::disarm();
+}
+
+} // namespace
+} // namespace tgl::util

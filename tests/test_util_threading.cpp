@@ -167,6 +167,85 @@ TEST(ParallelFor, GrainLargerThanRange)
     }
 }
 
+TEST(ParallelFor, ExceptionPropagatesAndCancelsRemainingWork)
+{
+    // 10M iterations, 4 threads, explicit grain: after the throw at
+    // iteration 0, peers hold at most ~one in-flight chunk each, so the
+    // executed count must stay far below the full range. Without
+    // cooperative cancellation every iteration would still run.
+    constexpr std::size_t n = 10'000'000;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        parallel_for(
+            0, n,
+            [&](std::size_t i) {
+                if (i == 0) {
+                    throw std::runtime_error("boom");
+                }
+                executed.fetch_add(1, std::memory_order_relaxed);
+            },
+            {.num_threads = 4, .grain = 1000}),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(ParallelForRanked, ExceptionPropagatesAndCancelsRemainingWork)
+{
+    constexpr std::size_t n = 10'000'000;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        parallel_for_ranked(
+            0, n,
+            [&](std::size_t i, unsigned) {
+                if (i == 0) {
+                    throw std::runtime_error("boom");
+                }
+                executed.fetch_add(1, std::memory_order_relaxed);
+            },
+            {.num_threads = 4, .grain = 1000}),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(ParallelReduceSum, ExceptionPropagatesAndCancelsRemainingWork)
+{
+    constexpr std::size_t n = 10'000'000;
+    std::atomic<std::size_t> executed{0};
+    EXPECT_THROW(
+        parallel_reduce_sum(
+            0, n,
+            [&](std::size_t i) -> double {
+                if (i == 0) {
+                    throw std::runtime_error("boom");
+                }
+                executed.fetch_add(1, std::memory_order_relaxed);
+                return 1.0;
+            },
+            {.num_threads = 4, .grain = 1000}),
+        std::runtime_error);
+    EXPECT_LT(executed.load(), 100'000u);
+}
+
+TEST(ParallelFor, PoolUsableAfterCancelledLoop)
+{
+    EXPECT_THROW(
+        parallel_for(
+            0, 100'000,
+            [&](std::size_t i) {
+                if (i == 0) {
+                    throw std::runtime_error("boom");
+                }
+            },
+            {.num_threads = 4, .grain = 10}),
+        std::runtime_error);
+    std::atomic<std::size_t> count{0};
+    parallel_for(
+        0, 1000,
+        [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); },
+        {.num_threads = 4});
+    EXPECT_EQ(count.load(), 1000u);
+}
+
 TEST(HostInfo, SaneValuesAndCachedSummary)
 {
     const HostInfo& info = host_info();
