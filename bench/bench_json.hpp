@@ -1,0 +1,84 @@
+/// @file
+/// Machine-readable results for the micro benches.
+///
+/// Custom comparison harnesses (cached vs direct sampling, and any
+/// future A/B kernel) record their measurements as BENCH_<name>.json
+/// next to the working directory so CI and scripts can assert on them
+/// without scraping console tables. One schema for every bench:
+///
+///   {
+///     "benchmark": "<suite name>",
+///     "schema_version": 1,
+///     "entries": [
+///       {"name": "...", "seconds": s, "items_per_second": r,
+///        "metrics": {"<key>": v, ...}},
+///       ...
+///     ]
+///   }
+///
+/// `seconds` is the best-of-N wall time of the measured region,
+/// `items_per_second` the work rate at that time, and `metrics` a
+/// free-form numeric bag (speedups, counts, sizes).
+#pragma once
+
+#include "util/string_util.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tgl::bench {
+
+struct BenchEntry
+{
+    std::string name;
+    double seconds = 0.0;
+    double items_per_second = 0.0;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Serialize doubles with enough digits to round-trip; JSON has no
+/// Inf/NaN, so degenerate measurements are clamped to 0.
+inline std::string
+json_number(double value)
+{
+    if (!(value == value) || value > 1e308 || value < -1e308) {
+        return "0";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+inline void
+write_bench_json(const std::string& path, const std::string& suite,
+                 const std::vector<BenchEntry>& entries)
+{
+    std::ofstream out(path);
+    out << "{\n  \"benchmark\": \"" << suite << "\",\n"
+        << "  \"schema_version\": 1,\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BenchEntry& entry = entries[i];
+        out << "    {\"name\": \"" << entry.name << "\", \"seconds\": "
+            << json_number(entry.seconds) << ", \"items_per_second\": "
+            << json_number(entry.items_per_second) << ", \"metrics\": {";
+        for (std::size_t m = 0; m < entry.metrics.size(); ++m) {
+            out << "\"" << entry.metrics[m].first
+                << "\": " << json_number(entry.metrics[m].second);
+            if (m + 1 < entry.metrics.size()) {
+                out << ", ";
+            }
+        }
+        out << "}}";
+        if (i + 1 < entries.size()) {
+            out << ",";
+        }
+        out << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
+} // namespace tgl::bench

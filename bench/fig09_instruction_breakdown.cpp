@@ -36,6 +36,9 @@ main(int argc, char** argv)
         walk_config.walks_per_node = 10;
         walk_config.max_length = 6;
         walk_config.seed = seed;
+        // Fig. 9 characterizes the paper's direct exp-scan kernel;
+        // the prefix-CDF cache would change the instruction mix.
+        walk_config.transition_cache = walk::TransitionCacheMode::kOff;
         walk::WalkProfile walk_profile;
         const walk::Corpus corpus =
             walk::generate_walks(graph, walk_config, &walk_profile);

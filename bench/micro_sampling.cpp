@@ -3,11 +3,21 @@
 /// alias vs CDF tables, one-pass vs two-pass transient sampling, and
 /// the full softmax transition draw at varying neighborhood sizes
 /// (the inner loop that makes the walk kernel compute-bound, Eq. 1).
+///
+/// Besides the google-benchmark console suite, the softmax-draw A/B
+/// (direct exp-scan vs the prefix-CDF cache) is measured by a
+/// dedicated harness and written to BENCH_sampling.json — same schema
+/// as micro_walk's BENCH_walk.json (bench_json.hpp).
+#include "bench_json.hpp"
+#include "graph/builder.hpp"
 #include "rng/alias_table.hpp"
 #include "rng/discrete_sampler.hpp"
-#include "walk/transition.hpp"
+#include "util/timer.hpp"
+#include "walk/transition_cache.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 namespace {
 
@@ -144,4 +154,87 @@ BENCHMARK(BM_TransitionUniform)->Arg(4)->Arg(32)->Arg(256);
 BENCHMARK(BM_TransitionSoftmax)->Arg(4)->Arg(32)->Arg(256);
 BENCHMARK(BM_TransitionLinear)->Arg(4)->Arg(32)->Arg(256);
 
+/// Single-draw A/B of the two softmax samplers on a star vertex of
+/// degree @p n, best-of-3 over @p draws draws per rep.
+void
+measure_transition_draw(std::size_t n, walk::TransitionKind kind,
+                        std::vector<bench::BenchEntry>& entries)
+{
+    graph::EdgeList edges;
+    for (std::size_t i = 0; i < n; ++i) {
+        edges.add(0, static_cast<graph::NodeId>(i + 1),
+                  static_cast<double>(i) / static_cast<double>(n));
+    }
+    const auto graph = graph::GraphBuilder::build(edges);
+    const walk::TransitionCache cache =
+        walk::TransitionCache::build(graph, kind);
+    const auto candidates = graph.out_neighbors(0);
+    const double rate = graph.time_range();
+
+    constexpr int kDraws = 200000;
+    constexpr int kReps = 3;
+    double direct = 1e300, cached = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        rng::Random random(rep + 1);
+        util::Timer timer;
+        for (int i = 0; i < kDraws; ++i) {
+            benchmark::DoNotOptimize(walk::sample_transition(
+                candidates, 0.0, rate, kind, random));
+        }
+        direct = std::min(direct, timer.seconds());
+
+        timer.reset();
+        for (int i = 0; i < kDraws; ++i) {
+            benchmark::DoNotOptimize(
+                cache.sample(graph, 0, candidates, 0.0, random));
+        }
+        cached = std::min(cached, timer.seconds());
+    }
+    const double speedup = cached > 0.0 ? direct / cached : 0.0;
+    const std::string base = std::string("sampling/") +
+                             walk::transition_name(kind) + "/d" +
+                             std::to_string(n);
+    entries.push_back({base + "/direct", direct,
+                       direct > 0.0 ? kDraws / direct : 0.0,
+                       {{"degree", static_cast<double>(n)}}});
+    entries.push_back({base + "/cached", cached,
+                       cached > 0.0 ? kDraws / cached : 0.0,
+                       {{"degree", static_cast<double>(n)},
+                        {"speedup_vs_direct", speedup}}});
+    std::printf("%-22s direct %8.1f ns/draw | cached %8.1f ns/draw | "
+                "speedup %5.2fx\n",
+                base.c_str(), direct * 1e9 / kDraws,
+                cached * 1e9 / kDraws, speedup);
+}
+
+void
+run_sampling_comparison()
+{
+    std::printf("\n--- prefix-CDF draw vs direct exp-scan (per-draw "
+                "cost by degree) ---\n");
+    std::vector<bench::BenchEntry> entries;
+    for (const walk::TransitionKind kind :
+         {walk::TransitionKind::kExponential,
+          walk::TransitionKind::kExponentialDecay,
+          walk::TransitionKind::kLinear}) {
+        for (const std::size_t degree : {4u, 32u, 256u}) {
+            measure_transition_draw(degree, kind, entries);
+        }
+    }
+    bench::write_bench_json("BENCH_sampling.json", "sampling", entries);
+}
+
 } // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_sampling_comparison();
+    return 0;
+}

@@ -177,6 +177,8 @@ cmd_walk(int argc, const char* const* argv)
     cli.add_flag("length", "6", "N: max walk length");
     cli.add_flag("transition", "exp",
                  "uniform | exp | exp-decay | linear");
+    cli.add_flag("transition-cache", "auto",
+                 "prefix-CDF sampling cache: on | off | auto");
     cli.add_flag("start", "node", "node | edge");
     cli.add_flag("seed", "1", "random seed");
     cli.add_switch("static", "ignore timestamps (DeepWalk baseline)");
@@ -194,6 +196,8 @@ cmd_walk(int argc, const char* const* argv)
     config.max_length = static_cast<unsigned>(cli.get_int("length"));
     config.transition =
         walk::parse_transition(cli.get_string("transition"));
+    config.transition_cache = walk::parse_transition_cache_mode(
+        cli.get_string("transition-cache"));
     config.temporal = !cli.get_switch("static");
     config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     if (cli.get_string("start") == "edge") {
@@ -319,6 +323,8 @@ cmd_pipeline(int argc, const char* const* argv)
     cli.add_flag("epochs", "12", "word2vec epochs");
     cli.add_flag("w2v-threads", "0",
                  "word2vec team size (1 = deterministic resume)");
+    cli.add_flag("transition-cache", "auto",
+                 "prefix-CDF sampling cache: on | off | auto");
     cli.add_flag("seed", "1", "random seed");
     cli.add_flag("checkpoint-dir", "",
                  "resume phase artifacts from / persist them to this "
@@ -333,6 +339,8 @@ cmd_pipeline(int argc, const char* const* argv)
         static_cast<unsigned>(cli.get_int("walks"));
     config.walk.max_length = static_cast<unsigned>(cli.get_int("length"));
     config.walk.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.walk.transition_cache = walk::parse_transition_cache_mode(
+        cli.get_string("transition-cache"));
     config.sgns.dim = static_cast<unsigned>(cli.get_int("dim"));
     config.sgns.epochs = static_cast<unsigned>(cli.get_int("epochs"));
     config.sgns.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -365,10 +373,12 @@ cmd_pipeline(int argc, const char* const* argv)
                 result.task.test_macro_f1, result.task.epochs_run);
     if (!config.checkpoint_dir.empty()) {
         const core::CheckpointStatus& s = result.checkpoints;
-        std::printf("checkpoints: corpus %s | embedding %s | "
-                    "classifier %s\n",
+        std::printf("checkpoints: corpus %s | transition-cache %s | "
+                    "embedding %s | classifier %s\n",
                     s.corpus_loaded ? "resumed"
                     : s.corpus_stored ? "stored" : "skipped",
+                    s.cache_loaded ? "resumed"
+                    : s.cache_stored ? "stored" : "skipped",
                     s.embedding_loaded ? "resumed"
                     : s.embedding_stored ? "stored" : "skipped",
                     s.classifier_loaded ? "resumed"

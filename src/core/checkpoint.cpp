@@ -35,6 +35,11 @@ mix_config(util::Fingerprint& fp, const walk::WalkConfig& config)
     fp.mix(static_cast<std::uint8_t>(config.strict_time));
     fp.mix(config.min_walk_tokens);
     fp.mix(config.seed);
+    // The transition-cache mode is NOT speed-only: the cached sampler
+    // consumes one RNG draw per step where the direct scan consumes
+    // one per candidate, so the two modes produce different (equally
+    // distributed) corpora from the same seed.
+    fp.mix(static_cast<std::uint32_t>(config.transition_cache));
     // num_threads and linear_neighbor_search change only speed: walks
     // are seeded per (walk, vertex) and both neighbor searches select
     // the same edges.
@@ -120,6 +125,13 @@ CheckpointManager::classifier_path(const std::string& name) const
     return (std::filesystem::path(directory_) / (name + ".tgla")).string();
 }
 
+std::string
+CheckpointManager::transition_cache_path() const
+{
+    return (std::filesystem::path(directory_) / "transition_cache.tgla")
+        .string();
+}
+
 namespace {
 
 /// Run @p loader against @p path, mapping every non-resume outcome
@@ -175,6 +187,31 @@ CheckpointManager::store_corpus(std::uint64_t fingerprint,
                                 const walk::Corpus& corpus) const
 {
     corpus.save_binary_file(corpus_path(), fingerprint);
+}
+
+bool
+CheckpointManager::load_transition_cache(std::uint64_t fingerprint,
+                                         walk::TransitionCache& out) const
+{
+    return load_checkpoint(
+        transition_cache_path(), fingerprint, "transition cache",
+        [&](std::istream& in, std::uint64_t expected) {
+            std::uint64_t stored = 0;
+            walk::TransitionCache cache =
+                walk::TransitionCache::load_binary(in, &stored);
+            if (stored != expected) {
+                return false;
+            }
+            out = std::move(cache);
+            return true;
+        });
+}
+
+void
+CheckpointManager::store_transition_cache(
+    std::uint64_t fingerprint, const walk::TransitionCache& cache) const
+{
+    cache.save_binary_file(transition_cache_path(), fingerprint);
 }
 
 bool

@@ -21,6 +21,7 @@
 #include "util/artifact_io.hpp"
 #include "walk/config.hpp"
 #include "walk/corpus.hpp"
+#include "walk/transition_cache.hpp"
 
 #include <cstdint>
 #include <string>
@@ -60,10 +61,19 @@ class CheckpointManager
     std::string corpus_path() const;
     std::string embedding_path() const;
     std::string classifier_path(const std::string& name) const;
+    std::string transition_cache_path() const;
 
     bool load_corpus(std::uint64_t fingerprint, walk::Corpus& out) const;
     void store_corpus(std::uint64_t fingerprint,
                       const walk::Corpus& corpus) const;
+
+    /// The prefix-CDF transition cache is a derived artifact (O(E)
+    /// doubles, O(E·exp) to rebuild) keyed by graph + transition kind
+    /// only — reseeding the walk reuses it.
+    bool load_transition_cache(std::uint64_t fingerprint,
+                               walk::TransitionCache& out) const;
+    void store_transition_cache(std::uint64_t fingerprint,
+                                const walk::TransitionCache& cache) const;
 
     bool load_embedding(std::uint64_t fingerprint,
                         embed::Embedding& out) const;

@@ -57,16 +57,28 @@ struct PipelineFingerprints
 {
     std::uint64_t walk = 0;
     std::uint64_t embed = 0;
+    /// Keys the prefix-CDF table, which depends only on the CSR layout
+    /// (edges + symmetrize) and the transition kind — NOT on the seed
+    /// or walk counts, so reseeded runs reuse the same artifact.
+    std::uint64_t cache = 0;
 };
 
 PipelineFingerprints
 compute_fingerprints(const graph::EdgeList& edges,
                      const PipelineConfig& config)
 {
+    const std::uint64_t edges_fp = fingerprint_edges(edges);
+
     util::Fingerprint walk_fp;
-    walk_fp.mix(fingerprint_edges(edges));
+    walk_fp.mix(edges_fp);
     walk_fp.mix(static_cast<std::uint8_t>(config.symmetrize_graph));
     mix_config(walk_fp, config.walk);
+
+    util::Fingerprint cache_fp;
+    cache_fp.mix(std::string_view("trcache"));
+    cache_fp.mix(edges_fp);
+    cache_fp.mix(static_cast<std::uint8_t>(config.symmetrize_graph));
+    cache_fp.mix(static_cast<std::uint32_t>(config.walk.transition));
 
     util::Fingerprint embed_fp;
     embed_fp.mix(walk_fp.value());
@@ -75,7 +87,7 @@ compute_fingerprints(const graph::EdgeList& edges,
     if (config.w2v_mode == W2vMode::kBatched) {
         embed_fp.mix(static_cast<std::uint64_t>(config.w2v_batch_size));
     }
-    return {walk_fp.value(), embed_fp.value()};
+    return {walk_fp.value(), embed_fp.value(), cache_fp.value()};
 }
 
 /// Shared front-end: build CSR, walk, embed. Fills times/profiles and
@@ -112,7 +124,29 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         checkpoints->load_corpus(fingerprints.walk, corpus)) {
         result.checkpoints.corpus_loaded = true;
     } else {
-        corpus = walk::generate_walks(graph, config.walk,
+        // The prefix-CDF table is itself a resumable artifact: it is
+        // keyed only by the graph and transition kind, so a run that
+        // was reseeded (or crashed mid-walk) skips the O(E) exp pass.
+        walk::TransitionCache cache;
+        const walk::TransitionCache* cache_ptr = nullptr;
+        if (walk::use_transition_cache(config.walk, graph)) {
+            if (checkpoints != nullptr &&
+                checkpoints->load_transition_cache(fingerprints.cache,
+                                                   cache)) {
+                result.checkpoints.cache_loaded = true;
+            } else {
+                cache = walk::TransitionCache::build(
+                    graph, config.walk.transition,
+                    config.walk.num_threads);
+                if (checkpoints != nullptr) {
+                    checkpoints->store_transition_cache(
+                        fingerprints.cache, cache);
+                    result.checkpoints.cache_stored = true;
+                }
+            }
+            cache_ptr = &cache;
+        }
+        corpus = walk::generate_walks(graph, config.walk, cache_ptr,
                                       &result.walk_profile);
         if (checkpoints != nullptr) {
             checkpoints->store_corpus(fingerprints.walk, corpus);

@@ -72,6 +72,8 @@ struct CheckpointStatus
 {
     bool corpus_loaded = false;
     bool corpus_stored = false;
+    bool cache_loaded = false;
+    bool cache_stored = false;
     bool embedding_loaded = false;
     bool embedding_stored = false;
     bool classifier_loaded = false;

@@ -59,6 +59,32 @@ walk_op_counts(const walk::WalkProfile& profile)
 }
 
 OpCounts
+walk_op_counts(const walk::WalkProfile& profile,
+               const walk::TransitionCost* cache_build)
+{
+    if (cache_build == nullptr) {
+        return walk_op_counts(profile);
+    }
+    OpCounts counts;
+    counts.memory = profile.candidates_scanned;
+    counts.branch = profile.candidates_scanned;
+    counts.memory += profile.transition_cost.memory_ops;
+    counts.branch += profile.transition_cost.branch_ops;
+    counts.compute += profile.transition_cost.compute_ops;
+    counts.memory += profile.steps_taken * 3;
+    counts.compute += profile.steps_taken * 2;
+    counts.branch += profile.steps_taken + profile.walks_started;
+    // Amortized table construction: without this the cached kernel
+    // would report only the binary-search draws and look impossibly
+    // cheap next to the direct exp-scan.
+    counts.memory += cache_build->memory_ops;
+    counts.branch += cache_build->branch_ops;
+    counts.compute += cache_build->compute_ops;
+    counts.other = other_from(counts.total());
+    return counts;
+}
+
+OpCounts
 w2v_op_counts(const embed::TrainStats& stats,
               const embed::SgnsConfig& config)
 {

@@ -45,6 +45,14 @@ struct OpCounts
 /// engine's measured profile.
 OpCounts walk_op_counts(const walk::WalkProfile& profile);
 
+/// Same, for a run that used the prefix-CDF transition cache: folds the
+/// one-time table-build cost (@p cache_build, from
+/// walk::TransitionCache::build_cost()) into the kernel totals so the
+/// cached mix does not silently hide the O(E) exp pass it amortizes.
+/// Pass nullptr when the cache needed no table (uniform / linear).
+OpCounts walk_op_counts(const walk::WalkProfile& profile,
+                        const walk::TransitionCost* cache_build);
+
 /// Operation mix of an SGNS training run, derived from measured pair
 /// counts and the configured dim / negatives.
 OpCounts w2v_op_counts(const embed::TrainStats& stats,

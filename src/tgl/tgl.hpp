@@ -59,6 +59,7 @@
 #include "walk/engine.hpp"
 #include "walk/stats.hpp"
 #include "walk/transition.hpp"
+#include "walk/transition_cache.hpp"
 
 // embed: word2vec (skip-gram negative sampling)
 #include "embed/batched_trainer.hpp"

@@ -33,6 +33,25 @@ TransitionKind parse_transition(const std::string& name);
 /// Human-readable transition name.
 const char* transition_name(TransitionKind kind);
 
+/// Whether walk steps draw from the precomputed prefix-CDF transition
+/// cache (walk/transition_cache.hpp) instead of the direct O(degree)
+/// reservoir scan. Both samplers draw from the same distribution, but
+/// they consume the per-step RNG stream differently (one draw vs one
+/// per candidate), so switching modes legitimately changes which
+/// corpus a seed produces.
+enum class TransitionCacheMode
+{
+    kOff,  ///< always the direct O(d) sampler
+    kOn,   ///< always the cached sampler
+    kAuto, ///< cached when the graph's mean degree makes it profitable
+};
+
+/// Parse a cache mode name: "off", "on", "auto".
+TransitionCacheMode parse_transition_cache_mode(const std::string& name);
+
+/// Human-readable cache mode name.
+const char* transition_cache_mode_name(TransitionCacheMode mode);
+
 /// Where walks begin.
 enum class StartKind
 {
@@ -69,6 +88,8 @@ struct WalkConfig
     /// Use the paper's original O(max-degree) linear neighbor scan
     /// instead of binary search on the time-sorted slice (ablation).
     bool linear_neighbor_search = false;
+    /// Prefix-CDF transition cache policy (see TransitionCacheMode).
+    TransitionCacheMode transition_cache = TransitionCacheMode::kAuto;
     /// Walks shorter than this many nodes are dropped from the corpus
     /// (a single-token walk carries no skip-gram signal).
     unsigned min_walk_tokens = 2;

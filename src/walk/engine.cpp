@@ -18,10 +18,11 @@ namespace {
 /// Returns the new token count.
 std::size_t
 continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
-              graph::NodeId current, graph::Timestamp now,
-              unsigned steps_budget, bool allow_first_nonstrict,
-              rng::Random& random, graph::NodeId* tokens,
-              std::size_t count, std::vector<std::uint32_t>& scratch,
+              const TransitionCache* cache, graph::NodeId current,
+              graph::Timestamp now, unsigned steps_budget,
+              bool allow_first_nonstrict, rng::Random& random,
+              graph::NodeId* tokens, std::size_t count,
+              std::vector<std::uint32_t>& scratch,
               WalkProfile* local_profile)
 {
     const graph::Timestamp range = graph.time_range();
@@ -70,10 +71,22 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
         }
         const TransitionKind transition =
             config.temporal ? config.transition : TransitionKind::kUniform;
-        const std::size_t pick = sample_transition(
-            candidates, now, range, transition, random,
+        TransitionCost* step_cost =
             local_profile != nullptr ? &local_profile->transition_cost
-                                     : nullptr);
+                                     : nullptr;
+        std::size_t pick;
+        if (cache != nullptr && config.temporal) {
+            // Shared read-only prefix-CDF draw: one RNG call plus a
+            // binary search instead of the O(d) exp-scan.
+            pick = cache->sample(graph, current, candidates, now, random,
+                                 step_cost);
+            if (local_profile != nullptr) {
+                ++local_profile->cached_steps;
+            }
+        } else {
+            pick = sample_transition(candidates, now, range, transition,
+                                     random, step_cost);
+        }
         TGL_DASSERT(pick < candidates.size());
         now = candidates[pick].time;
         current = candidates[pick].dst;
@@ -89,14 +102,15 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
 /// Walk a single (k, v) pair (node-start policy) into @p tokens.
 std::size_t
 run_node_start_walk(const graph::TemporalGraph& graph,
-                    const WalkConfig& config, graph::NodeId start,
-                    rng::Random& random, graph::NodeId* tokens,
+                    const WalkConfig& config, const TransitionCache* cache,
+                    graph::NodeId start, rng::Random& random,
+                    graph::NodeId* tokens,
                     std::vector<std::uint32_t>& scratch,
                     WalkProfile* local_profile)
 {
     std::size_t count = 0;
     tokens[count++] = start;
-    return continue_walk(graph, config, start, graph.min_time(),
+    return continue_walk(graph, config, cache, start, graph.min_time(),
                          config.max_length,
                          /*allow_first_nonstrict=*/true, random, tokens,
                          count, scratch, local_profile);
@@ -105,8 +119,8 @@ run_node_start_walk(const graph::TemporalGraph& graph,
 /// Walk starting on a uniformly sampled temporal edge (CTDNE policy).
 std::size_t
 run_edge_start_walk(const graph::TemporalGraph& graph,
-                    const WalkConfig& config, rng::Random& random,
-                    graph::NodeId* tokens,
+                    const WalkConfig& config, const TransitionCache* cache,
+                    rng::Random& random, graph::NodeId* tokens,
                     std::vector<std::uint32_t>& scratch,
                     WalkProfile* local_profile)
 {
@@ -129,7 +143,7 @@ run_edge_start_walk(const graph::TemporalGraph& graph,
     if (config.max_length < 2) {
         return count;
     }
-    return continue_walk(graph, config, first.dst, first.time,
+    return continue_walk(graph, config, cache, first.dst, first.time,
                          config.max_length - 1,
                          /*allow_first_nonstrict=*/false, random, tokens,
                          count, scratch, local_profile);
@@ -140,6 +154,18 @@ run_edge_start_walk(const graph::TemporalGraph& graph,
 Corpus
 generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
                WalkProfile* profile)
+{
+    if (use_transition_cache(config, graph)) {
+        const TransitionCache cache = TransitionCache::build(
+            graph, config.transition, config.num_threads);
+        return generate_walks(graph, config, &cache, profile);
+    }
+    return generate_walks(graph, config, nullptr, profile);
+}
+
+Corpus
+generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
+               const TransitionCache* cache, WalkProfile* profile)
 {
     if (config.max_length == 0) {
         util::fatal("generate_walks: max_length must be >= 1");
@@ -204,11 +230,11 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
                     const auto v = static_cast<graph::NodeId>(
                         slot_index % n);
                     written = run_node_start_walk(
-                        graph, config, v, random, tokens,
+                        graph, config, cache, v, random, tokens,
                         rank_scratch[rank], local);
                 } else {
                     written = run_edge_start_walk(
-                        graph, config, random, tokens,
+                        graph, config, cache, random, tokens,
                         rank_scratch[rank], local);
                 }
                 lengths[slot] = static_cast<std::uint8_t>(written);
@@ -236,6 +262,7 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
             profile->steps_taken += local.steps_taken;
             profile->dead_ends += local.dead_ends;
             profile->candidates_scanned += local.candidates_scanned;
+            profile->cached_steps += local.cached_steps;
             profile->transition_cost.memory_ops +=
                 local.transition_cost.memory_ops;
             profile->transition_cost.branch_ops +=

@@ -18,6 +18,7 @@
 #include "walk/config.hpp"
 #include "walk/corpus.hpp"
 #include "walk/transition.hpp"
+#include "walk/transition_cache.hpp"
 
 #include <cstdint>
 
@@ -32,6 +33,7 @@ struct WalkProfile
     std::uint64_t steps_taken = 0;     ///< edges traversed
     std::uint64_t dead_ends = 0;       ///< empty temporal neighborhood
     std::uint64_t candidates_scanned = 0; ///< neighbor records examined
+    std::uint64_t cached_steps = 0;    ///< steps drawn via the cache
     TransitionCost transition_cost;
 };
 
@@ -41,8 +43,19 @@ struct WalkProfile
 /// @param config   walk hyperparameters (K, N, transition, seed, ...)
 /// @param profile  optional execution profile accumulator
 /// Walks appear in (walk-index, vertex) order regardless of threading.
+/// When config.transition_cache resolves on (see use_transition_cache)
+/// a prefix-CDF cache is built internally; its build time is part of
+/// the walk phase.
 Corpus generate_walks(const graph::TemporalGraph& graph,
                       const WalkConfig& config,
                       WalkProfile* profile = nullptr);
+
+/// Same, but the caller supplies the transition cache (e.g. one
+/// restored from a checkpoint); pass nullptr to force the direct
+/// sampler regardless of config.transition_cache. A non-null cache
+/// must have been built for @p graph and config.transition.
+Corpus generate_walks(const graph::TemporalGraph& graph,
+                      const WalkConfig& config,
+                      const TransitionCache* cache, WalkProfile* profile);
 
 } // namespace tgl::walk

@@ -35,6 +35,12 @@ fast_pipeline()
     config.walk.walks_per_node = 10;
     config.walk.max_length = 6;
     config.walk.seed = 3;
+    // The accuracy thresholds below were tuned against the direct
+    // sampler's RNG draw sequence. The prefix-CDF cache draws once per
+    // step instead of once per candidate — statistically equivalent
+    // (tests/test_walk_transition_cache.cpp) but a different corpus at
+    // this tiny scale, so pin the sampler the thresholds were set for.
+    config.walk.transition_cache = walk::TransitionCacheMode::kOff;
     config.sgns.dim = 8;
     config.sgns.epochs = 12; // small stand-in corpora need more passes
     config.sgns.seed = 3;

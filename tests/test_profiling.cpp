@@ -26,6 +26,10 @@ measured_walk_profile(walk::TransitionKind transition)
     config.walks_per_node = 5;
     config.max_length = 6;
     config.transition = transition;
+    // These tests characterize the paper's direct exp-scan kernel
+    // (Fig. 9 instruction mix); the prefix-CDF cache deliberately
+    // changes that mix, so keep it out of the measurement.
+    config.transition_cache = walk::TransitionCacheMode::kOff;
     walk::WalkProfile profile;
     walk::generate_walks(graph, config, &profile);
     return profile;

@@ -178,6 +178,82 @@ TEST(Engine, DeterministicAcrossThreadCounts)
     EXPECT_EQ(serial.offsets(), parallel.offsets());
 }
 
+TEST(Engine, CachedSamplerDeterministicAcrossThreadCounts)
+{
+    // Walks are seeded per (walk, vertex), so with the prefix-CDF
+    // cache on the corpus must still be bit-identical for any team
+    // size.
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 300, .edges_per_node = 4, .seed = 31});
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+    WalkConfig config;
+    config.walks_per_node = 3;
+    config.max_length = 8;
+    config.transition = TransitionKind::kExponentialDecay;
+    config.transition_cache = TransitionCacheMode::kOn;
+    config.seed = 4321;
+
+    config.num_threads = 1;
+    const Corpus serial = generate_walks(graph, config);
+    for (const unsigned threads : {2u, 8u}) {
+        config.num_threads = threads;
+        const Corpus parallel = generate_walks(graph, config);
+        ASSERT_EQ(serial.num_walks(), parallel.num_walks());
+        EXPECT_EQ(serial.tokens(), parallel.tokens()) << threads;
+        EXPECT_EQ(serial.offsets(), parallel.offsets()) << threads;
+    }
+}
+
+TEST(Engine, CacheModeChangesDrawSequenceNotDistribution)
+{
+    // Documented divergence: the cached sampler consumes one RNG draw
+    // per step, the direct scan one per candidate, so the same seed
+    // yields *different* (equally distributed) corpora. Both must be
+    // complete and temporally valid; bit-equality across modes is NOT
+    // part of the contract (which is why the mode is part of the
+    // checkpoint fingerprint — see core/checkpoint.cpp).
+    const auto edges = gen::generate_barabasi_albert(
+        {.num_nodes = 200, .edges_per_node = 4, .seed = 32});
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+    WalkConfig config;
+    config.walks_per_node = 3;
+    config.max_length = 8;
+    config.transition = TransitionKind::kExponential;
+    config.seed = 7;
+
+    config.transition_cache = TransitionCacheMode::kOff;
+    const Corpus direct = generate_walks(graph, config);
+    config.transition_cache = TransitionCacheMode::kOn;
+    const Corpus cached = generate_walks(graph, config);
+
+    EXPECT_EQ(direct.num_walks(), cached.num_walks());
+    EXPECT_NE(direct.tokens(), cached.tokens());
+    for (std::size_t i = 0; i < cached.num_walks(); ++i) {
+        expect_temporally_valid(graph, cached.walk(i), true);
+    }
+}
+
+TEST(Engine, CachedStepsCountedInProfile)
+{
+    const auto edges = gen::generate_erdos_renyi(
+        {.num_nodes = 100, .num_edges = 1500, .seed = 33});
+    const auto graph = graph::GraphBuilder::build(edges);
+    WalkConfig config;
+    config.walks_per_node = 2;
+    config.max_length = 6;
+    config.transition_cache = TransitionCacheMode::kOn;
+    WalkProfile profile;
+    generate_walks(graph, config, &profile);
+    EXPECT_EQ(profile.cached_steps, profile.steps_taken);
+
+    config.transition_cache = TransitionCacheMode::kOff;
+    WalkProfile direct_profile;
+    generate_walks(graph, config, &direct_profile);
+    EXPECT_EQ(direct_profile.cached_steps, 0u);
+}
+
 TEST(Engine, DifferentSeedsGiveDifferentWalks)
 {
     const auto edges = gen::generate_erdos_renyi(
