@@ -25,6 +25,8 @@
 ///   ./tgl_cli pipeline --input g.wel --checkpoint-dir ckpt/
 #include "tgl/tgl.hpp"
 
+#include "bench/bench_json.hpp"
+
 #include <cstdio>
 #include <fstream>
 
@@ -308,6 +310,66 @@ cmd_neighbors(int argc, const char* const* argv)
     return 0;
 }
 
+/// Re-emit the pipeline phase breakdown in the shared BENCH_*.json
+/// schema (bench/bench_json.hpp) so CI asserts on pipeline runs the
+/// same way it asserts on the micro benches.
+void
+write_pipeline_bench(const std::string& path,
+                     const core::PipelineResult& result)
+{
+    const double total = result.times.build_graph +
+                         result.times.random_walk +
+                         result.times.word2vec + result.times.data_prep +
+                         result.times.train + result.times.test;
+    const auto rate = [](double items, double seconds) {
+        return seconds > 0.0 ? items / seconds : 0.0;
+    };
+    std::vector<bench::BenchEntry> entries;
+    entries.push_back({"pipeline/build_graph", result.times.build_graph,
+                       rate(static_cast<double>(result.num_edges),
+                            result.times.build_graph),
+                       {{"num_nodes",
+                         static_cast<double>(result.num_nodes)},
+                        {"num_edges",
+                         static_cast<double>(result.num_edges)}}});
+    entries.push_back(
+        {"pipeline/walk", result.times.random_walk,
+         rate(static_cast<double>(result.walk_profile.steps_taken),
+              result.times.random_walk),
+         {{"walks_kept",
+           static_cast<double>(result.walk_profile.walks_kept)},
+          {"steps_taken",
+           static_cast<double>(result.walk_profile.steps_taken)},
+          {"cached_steps",
+           static_cast<double>(result.walk_profile.cached_steps)},
+          {"corpus_tokens",
+           static_cast<double>(result.corpus_tokens)}}});
+    entries.push_back(
+        {"pipeline/word2vec", result.times.word2vec,
+         rate(static_cast<double>(result.w2v_stats.pairs_trained),
+              result.times.word2vec),
+         {{"pairs_trained",
+           static_cast<double>(result.w2v_stats.pairs_trained)},
+          {"tokens_processed",
+           static_cast<double>(result.w2v_stats.tokens_processed)}}});
+    entries.push_back({"pipeline/data_prep", result.times.data_prep,
+                       0.0,
+                       {}});
+    entries.push_back(
+        {"pipeline/train", result.times.train,
+         rate(static_cast<double>(result.task.epochs_run),
+              result.times.train),
+         {{"epochs_run", static_cast<double>(result.task.epochs_run)},
+          {"final_train_loss", result.task.final_train_loss},
+          {"valid_accuracy", result.task.valid_accuracy}}});
+    entries.push_back({"pipeline/test", result.times.test, 0.0,
+                       {{"test_accuracy", result.task.test_accuracy},
+                        {"test_auc", result.task.test_auc},
+                        {"test_macro_f1", result.task.test_macro_f1}}});
+    entries.push_back({"pipeline/total", total, 0.0, {}});
+    bench::write_bench_json(path, "pipeline", entries);
+}
+
 int
 cmd_pipeline(int argc, const char* const* argv)
 {
@@ -329,6 +391,15 @@ cmd_pipeline(int argc, const char* const* argv)
     cli.add_flag("checkpoint-dir", "",
                  "resume phase artifacts from / persist them to this "
                  "directory (empty disables checkpointing)");
+    cli.add_flag("metrics-out", "",
+                 "write the end-of-run metrics registry snapshot (JSON) "
+                 "to this path");
+    cli.add_flag("trace-out", "",
+                 "write a chrome://tracing / Perfetto trace (JSON) to "
+                 "this path");
+    cli.add_flag("bench-out", "",
+                 "write the phase breakdown as BENCH_pipeline.json "
+                 "(shared bench schema) to this path");
     cli.add_switch("batched", "use the batched (GPU-model) trainer");
     if (!cli.parse(argc, argv)) {
         return 0;
@@ -351,6 +422,18 @@ cmd_pipeline(int argc, const char* const* argv)
     }
     config.checkpoint_dir = cli.get_string("checkpoint-dir");
 
+    const std::string metrics_out = cli.get_string("metrics-out");
+    const std::string trace_out = cli.get_string("trace-out");
+    const std::string bench_out = cli.get_string("bench-out");
+
+    // Telemetry covers exactly this run: clear any previously scraped
+    // registry state and trace only while the pipeline executes.
+    obs::Registry::global().reset();
+    obs::TraceSession session;
+    if (!trace_out.empty()) {
+        session.start();
+    }
+
     core::PipelineResult result;
     if (const std::string dataset_name = cli.get_string("dataset");
         !dataset_name.empty()) {
@@ -364,6 +447,21 @@ cmd_pipeline(int argc, const char* const* argv)
         result = core::run_link_prediction_pipeline(edges, config);
     } else {
         util::fatal("pipeline needs --input or --dataset");
+    }
+
+    session.stop();
+    if (!metrics_out.empty()) {
+        obs::Registry::global().write_json(metrics_out);
+        std::printf("wrote metrics snapshot to %s\n",
+                    metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        session.write_chrome_json(trace_out);
+        std::printf("wrote trace (%zu spans) to %s\n",
+                    session.events().size(), trace_out.c_str());
+    }
+    if (!bench_out.empty()) {
+        write_pipeline_bench(bench_out, result);
     }
 
     std::printf("%s\n", core::format_phase_times(result.times).c_str());

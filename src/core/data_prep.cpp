@@ -1,5 +1,7 @@
 #include "core/data_prep.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/random.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -29,10 +31,10 @@ SplitConfig::validate() const
     if (problems.empty()) {
         const double total =
             train_fraction + valid_fraction + test_fraction;
-        if (total > 1.0 + 1e-9) {
+        if (std::abs(total - 1.0) > 1e-9) {
             problems.push_back(
                 "train/valid/test fractions sum to " +
-                std::to_string(total) + ", which exceeds 1");
+                std::to_string(total) + ", expected exactly 1");
         }
         if (!(train_fraction > 0.0)) {
             problems.push_back("train_fraction must be > 0 — an empty "
@@ -47,11 +49,25 @@ SplitConfig::validate() const
 
 namespace {
 
+/// Per-call tallies for the negative sampler, flushed to the registry
+/// once per split so the rejection loop stays counter-free.
+struct NegativeStats
+{
+    std::uint64_t attempts = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t fallbacks = 0;
+};
+
 /// Sample one negative edge by perturbing a positive's endpoints until
-/// the pair is absent from the graph (Fig. 7, step 3).
+/// the pair is absent from the graph (Fig. 7, step 3). The CSR stores
+/// undirected data as two directed arcs, but splits are built from the
+/// raw edge list, so a candidate only counts as negative when *neither*
+/// orientation exists — checking one direction lets reverse edges
+/// masquerade as negatives.
 EdgeSample
 sample_negative(const graph::TemporalGraph& graph, const EdgeSample& positive,
-                unsigned max_attempts, rng::Random& random)
+                unsigned max_attempts, rng::Random& random,
+                NegativeStats& stats)
 {
     const graph::NodeId n = graph.num_nodes();
     EdgeSample negative;
@@ -65,13 +81,18 @@ sample_negative(const graph::TemporalGraph& graph, const EdgeSample& positive,
         negative.dst = mode == 0 ? positive.dst
                                  : static_cast<graph::NodeId>(
                                        random.next_index(n));
+        ++stats.attempts;
         if (negative.src != negative.dst &&
-            !graph.has_edge(negative.src, negative.dst)) {
+            !graph.has_edge(negative.src, negative.dst) &&
+            !graph.has_edge(negative.dst, negative.src)) {
             return negative;
         }
+        ++stats.collisions;
     }
     // Dense-graph fallback: keep the last candidate even if it collides;
-    // label noise of this kind is rare and harmless.
+    // label noise of this kind is rare and harmless, but count it so a
+    // pathological dataset is visible in the metrics.
+    ++stats.fallbacks;
     return negative;
 }
 
@@ -79,15 +100,17 @@ void
 append_with_negatives(std::vector<EdgeSample>& out,
                       const std::vector<EdgeSample>& positives,
                       const graph::TemporalGraph& graph,
-                      const SplitConfig& config, rng::Random& random)
+                      const SplitConfig& config, rng::Random& random,
+                      NegativeStats& stats)
 {
     out.reserve(positives.size() *
                 (1 + config.negatives_per_positive));
     for (const EdgeSample& positive : positives) {
         out.push_back(positive);
         for (unsigned k = 0; k < config.negatives_per_positive; ++k) {
-            out.push_back(sample_negative(
-                graph, positive, config.max_negative_attempts, random));
+            out.push_back(sample_negative(graph, positive,
+                                          config.max_negative_attempts,
+                                          random, stats));
         }
     }
 }
@@ -102,13 +125,13 @@ prepare_link_splits(const graph::EdgeList& edges,
     if (edges.empty()) {
         util::fatal("prepare_link_splits: empty edge list");
     }
-    const double fraction_sum = config.train_fraction +
-                                config.valid_fraction +
-                                config.test_fraction;
-    if (std::abs(fraction_sum - 1.0) > 1e-9) {
-        util::fatal("prepare_link_splits: split fractions must sum to 1");
+    // validate() is the single source of truth for split-config
+    // invariants (including the fractions-sum-to-1 rule).
+    if (const auto problems = config.validate(); !problems.empty()) {
+        util::fatal("prepare_link_splits: " + problems.front());
     }
 
+    const obs::Span span("dataprep.link_splits");
     rng::Random random(config.seed);
 
     // (1) Sort by timestamp.
@@ -150,9 +173,19 @@ prepare_link_splits(const graph::EdgeList& edges,
     }
 
     // (3) Negative sampling for every split.
-    append_with_negatives(splits.train, train_pos, graph, config, random);
-    append_with_negatives(splits.valid, valid_pos, graph, config, random);
-    append_with_negatives(splits.test, test_pos, graph, config, random);
+    NegativeStats stats;
+    append_with_negatives(splits.train, train_pos, graph, config, random,
+                          stats);
+    append_with_negatives(splits.valid, valid_pos, graph, config, random,
+                          stats);
+    append_with_negatives(splits.test, test_pos, graph, config, random,
+                          stats);
+
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("dataprep.negative_attempts").add(stats.attempts);
+    registry.counter("dataprep.negative_collisions")
+        .add(stats.collisions);
+    registry.counter("dataprep.negative_fallbacks").add(stats.fallbacks);
 
     // Shuffle so positives and negatives interleave in batches.
     random.shuffle(splits.train);
@@ -167,6 +200,7 @@ prepare_node_splits(graph::NodeId num_nodes, const SplitConfig& config)
     if (num_nodes == 0) {
         util::fatal("prepare_node_splits: empty node set");
     }
+    const obs::Span span("dataprep.node_splits");
     rng::Random random(config.seed);
     std::vector<graph::NodeId> order(num_nodes);
     std::iota(order.begin(), order.end(), 0u);

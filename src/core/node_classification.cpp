@@ -3,6 +3,8 @@
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -48,16 +50,30 @@ run_node_classification(const NodeSplits& splits,
         checkpoint->loaded = restored;
     }
 
+    const obs::Span span("classifier.node_classification");
+    // Shared handles: registration interns by name, so both classifier
+    // entry points feed the same registry cells.
+    obs::Registry& registry = obs::Registry::global();
+    obs::Counter epochs_counter = registry.counter("classifier.epochs");
+    obs::Counter batches_counter = registry.counter("classifier.batches");
+    obs::Histogram batch_hist = registry.histogram(
+        "classifier.batch_seconds",
+        {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+         0.05, 0.1, 0.25, 0.5, 1.0});
+
     util::Timer train_timer;
+    const auto train_begin = std::chrono::steady_clock::now();
     nn::Tensor batch_features;
     std::vector<float> batch_binary;
     std::vector<std::uint32_t> batch_classes;
 
     for (unsigned epoch = 0; !restored && epoch < config.max_epochs;
          ++epoch) {
+        const obs::Span epoch_span("classifier.epoch");
         loader.start_epoch();
         double epoch_loss = 0.0;
         for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+            util::Timer batch_timer;
             loader.batch(b, batch_features, batch_binary, batch_classes);
             const nn::Tensor& output = net.forward(batch_features);
             const nn::LossResult loss = nn::nll_loss(output, batch_classes);
@@ -72,10 +88,15 @@ run_node_classification(const NodeSplits& splits,
             optimizer.zero_grad();
             net.backward(loss.grad);
             optimizer.step();
+            batches_counter.inc();
+            batch_hist.observe(batch_timer.seconds());
         }
+        epochs_counter.inc();
         result.final_train_loss =
             epoch_loss / static_cast<double>(loader.num_batches());
         result.epochs_run = epoch + 1;
+        registry.gauge("classifier.train_loss")
+            .set(result.final_train_loss);
 
         if (config.target_valid_accuracy < 1.0 && !splits.valid.empty()) {
             const nn::Tensor& valid_out =
@@ -88,6 +109,10 @@ run_node_classification(const NodeSplits& splits,
         }
     }
     result.train_seconds = train_timer.seconds();
+    if (obs::TraceSession* session = obs::TraceSession::current()) {
+        session->record("pipeline.train", train_begin,
+                        std::chrono::steady_clock::now());
+    }
     result.seconds_per_epoch =
         result.epochs_run == 0
             ? 0.0
@@ -106,7 +131,11 @@ run_node_classification(const NodeSplits& splits,
             multiclass_accuracy(valid_out, valid_set.class_labels);
     }
 
+    registry.gauge("classifier.valid_accuracy")
+        .set(result.valid_accuracy);
+
     util::Timer test_timer;
+    const obs::Span test_span("pipeline.test");
     const nn::Tensor& test_out = net.forward(test_set.features);
     result.test_accuracy =
         multiclass_accuracy(test_out, test_set.class_labels);

@@ -1,11 +1,13 @@
 #include "core/pipeline.hpp"
 
 #include "graph/builder.hpp"
+#include "obs/trace.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
+#include <chrono>
 #include <optional>
 
 namespace tgl::core {
@@ -33,6 +35,23 @@ PipelineConfig::validate() const
 }
 
 namespace {
+
+/// Emit a pipeline-phase span covering the section timed since
+/// @p begin; a no-op when no trace session is active.
+void
+record_phase(const char* name,
+             std::chrono::steady_clock::time_point begin)
+{
+    if (obs::TraceSession* session = obs::TraceSession::current()) {
+        session->record(name, begin, std::chrono::steady_clock::now());
+    }
+}
+
+std::chrono::steady_clock::time_point
+phase_now()
+{
+    return std::chrono::steady_clock::now();
+}
 
 /// Refuse to start a multi-phase run on a bad configuration; the error
 /// lists every diagnostic so one round of fixes suffices.
@@ -102,10 +121,12 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
               const PipelineFingerprints& fingerprints)
 {
     util::Timer timer;
+    auto phase_begin = phase_now();
     graph::BuildOptions build_options;
     build_options.symmetrize = config.symmetrize_graph;
     graph = graph::GraphBuilder::build(edges, build_options);
     result.times.build_graph = timer.seconds();
+    record_phase("pipeline.build_graph", phase_begin);
     result.num_nodes = graph.num_nodes();
     result.num_edges = graph.num_edges();
 
@@ -119,6 +140,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
     }
 
     timer.reset();
+    phase_begin = phase_now();
     walk::Corpus corpus;
     if (checkpoints != nullptr &&
         checkpoints->load_corpus(fingerprints.walk, corpus)) {
@@ -154,11 +176,13 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         }
     }
     result.times.random_walk = timer.seconds();
+    record_phase("pipeline.walk", phase_begin);
     result.corpus_walks = corpus.num_walks();
     result.corpus_tokens = corpus.num_tokens();
     util::fault_point("pipeline.after-walk");
 
     timer.reset();
+    phase_begin = phase_now();
     if (config.w2v_mode == W2vMode::kHogwild) {
         embedding = embed::train_sgns(corpus, graph.num_nodes(),
                                       config.sgns, &result.w2v_stats);
@@ -174,6 +198,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         result.checkpoints.embedding_stored = true;
     }
     result.times.word2vec = timer.seconds();
+    record_phase("pipeline.word2vec", phase_begin);
     util::fault_point("pipeline.after-word2vec");
     return embedding;
 }
@@ -243,9 +268,11 @@ run_link_prediction_pipeline(const graph::EdgeList& edges,
         edges, config, graph, result, context.get(), context.fingerprints);
 
     util::Timer timer;
+    const auto prep_begin = phase_now();
     const LinkSplits splits =
         prepare_link_splits(edges, graph, config.split);
     result.times.data_prep = timer.seconds();
+    record_phase("pipeline.data_prep", prep_begin);
 
     ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
         config, "link-predictor", nullptr, 0);
@@ -275,9 +302,11 @@ run_node_classification_pipeline(const graph::EdgeList& edges,
         edges, config, graph, result, context.get(), context.fingerprints);
 
     util::Timer timer;
+    const auto prep_begin = phase_now();
     const NodeSplits splits =
         prepare_node_splits(graph.num_nodes(), config.split);
     result.times.data_prep = timer.seconds();
+    record_phase("pipeline.data_prep", prep_begin);
 
     ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
         config, "node-classifier", &labels, num_classes);

@@ -1,5 +1,7 @@
 #include "embed/batched_trainer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -35,6 +37,7 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
     if (sgns.epochs == 0 || sgns.window == 0) {
         util::fatal("train_sgns_batched: epochs and window must be >= 1");
     }
+    const obs::Span span("sgns.train");
     util::Timer timer;
 
     const Vocab vocab(corpus, sgns.min_count);
@@ -65,6 +68,7 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
     std::vector<WordId> words;
 
     for (unsigned epoch = 0; epoch < sgns.epochs; ++epoch) {
+        const obs::Span epoch_span("sgns.epoch");
         std::size_t batch_begin = 0;
         while (batch_begin < num_sentences) {
             const std::size_t batch_end = std::min(
@@ -168,10 +172,22 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
         }
     }
 
+    const double seconds = timer.seconds();
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("sgns.pairs").add(pairs_trained);
+    registry.counter("sgns.tokens").add(tokens_done);
+    registry.counter("sgns.epochs").add(sgns.epochs);
+    registry.gauge("sgns.alpha")
+        .set(static_cast<double>(sgns.alpha));
+    registry.gauge("sgns.pairs_per_second")
+        .set(seconds > 0.0
+                 ? static_cast<double>(pairs_trained) / seconds
+                 : 0.0);
+
     if (stats != nullptr) {
         stats->pairs_trained = pairs_trained;
         stats->tokens_processed = tokens_done;
-        stats->seconds = timer.seconds();
+        stats->seconds = seconds;
     }
     return model.to_embedding(vocab, num_nodes);
 }

@@ -1,5 +1,7 @@
 #include "embed/trainer.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -78,6 +80,7 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     if (config.window == 0) {
         util::fatal("train_sgns: window must be >= 1");
     }
+    const obs::Span span("sgns.train");
     util::Timer timer;
 
     const Vocab vocab(corpus, config.min_count);
@@ -109,6 +112,7 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     }
 
     for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        const obs::Span epoch_span("sgns.epoch");
         util::parallel_for_ranked(
             0, num_sentences,
             [&](std::size_t s, unsigned rank) {
@@ -153,11 +157,24 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     for (RankState& state : ranks) {
         total_pairs.fetch_add(state.pairs, std::memory_order_relaxed);
     }
+
+    const std::uint64_t pairs = total_pairs.load();
+    const std::uint64_t tokens =
+        tokens_done.load(std::memory_order_relaxed);
+    const double seconds = timer.seconds();
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("sgns.pairs").add(pairs);
+    registry.counter("sgns.tokens").add(tokens);
+    registry.counter("sgns.epochs").add(config.epochs);
+    registry.gauge("sgns.alpha")
+        .set(static_cast<double>(config.alpha));
+    registry.gauge("sgns.pairs_per_second")
+        .set(seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0);
+
     if (stats != nullptr) {
-        stats->pairs_trained = total_pairs.load();
-        stats->tokens_processed =
-            tokens_done.load(std::memory_order_relaxed);
-        stats->seconds = timer.seconds();
+        stats->pairs_trained = pairs;
+        stats->tokens_processed = tokens;
+        stats->seconds = seconds;
     }
     return model.to_embedding(vocab, num_nodes);
 }

@@ -1,15 +1,24 @@
 #include "embed/vocab.hpp"
 
+#include "util/error.hpp"
+
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace tgl::embed {
 
 Vocab::Vocab(const walk::Corpus& corpus, std::uint64_t min_count)
 {
-    // Raw per-node counts.
+    // Raw per-node counts. The id space must stay strictly below the
+    // NodeId maximum: raw.size() would otherwise exceed the NodeId
+    // range and the scan below could not index it with a NodeId.
     std::vector<std::uint64_t> raw;
     for (graph::NodeId node : corpus.tokens()) {
+        if (node >= std::numeric_limits<graph::NodeId>::max()) {
+            util::fatal("Vocab: node id " + std::to_string(node) +
+                        " exhausts the NodeId range");
+        }
         if (raw.size() <= node) {
             raw.resize(static_cast<std::size_t>(node) + 1, 0);
         }
@@ -17,11 +26,13 @@ Vocab::Vocab(const walk::Corpus& corpus, std::uint64_t min_count)
     }
 
     // Collect surviving nodes and sort by descending count (ties by
-    // node id for determinism).
+    // node id for determinism). The induction variable is size_t, not
+    // NodeId: a NodeId counter wraps to 0 before reaching a size() at
+    // the top of the id range and the loop never terminates.
     std::vector<graph::NodeId> order;
-    for (graph::NodeId node = 0; node < raw.size(); ++node) {
+    for (std::size_t node = 0; node < raw.size(); ++node) {
         if (raw[node] >= min_count && raw[node] > 0) {
-            order.push_back(node);
+            order.push_back(static_cast<graph::NodeId>(node));
         }
     }
     std::sort(order.begin(), order.end(),

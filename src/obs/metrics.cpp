@@ -1,0 +1,427 @@
+#include "obs/metrics.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+namespace tgl::obs {
+
+namespace {
+
+/// Round-trippable double rendering; JSON has no Inf/NaN so degenerate
+/// values are clamped to 0 (mirrors bench/bench_json.hpp).
+std::string
+json_number(double value)
+{
+    if (!(value == value) || value > 1e308 || value < -1e308) {
+        return "0";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+const char*
+kind_name(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+// --- Shard -----------------------------------------------------------
+
+Registry::Shard::~Shard()
+{
+    for (std::atomic<Cell*>& block : blocks) {
+        delete[] block.load(std::memory_order_relaxed);
+    }
+}
+
+Registry::Cell*
+Registry::Shard::try_cell(std::uint32_t index) const
+{
+    const std::uint32_t block = index >> kBlockShift;
+    if (block >= kMaxBlocks) {
+        return nullptr;
+    }
+    Cell* cells = blocks[block].load(std::memory_order_acquire);
+    return cells != nullptr ? cells + (index & (kBlockSize - 1)) : nullptr;
+}
+
+Registry::Cell*
+Registry::ensure_block(Shard& shard, std::uint32_t block)
+{
+    TGL_ASSERT(block < Shard::kMaxBlocks);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Cell* cells = shard.blocks[block].load(std::memory_order_acquire);
+    if (cells == nullptr) {
+        // Value-initialized: every cell starts at zero.
+        cells = new Cell[Shard::kBlockSize]();
+        shard.blocks[block].store(cells, std::memory_order_release);
+    }
+    return cells;
+}
+
+Registry::Cell*
+Registry::shard_cell(Shard& shard, std::uint32_t index)
+{
+    const std::uint32_t block = index >> Shard::kBlockShift;
+    TGL_ASSERT(block < Shard::kMaxBlocks);
+    Cell* cells = shard.blocks[block].load(std::memory_order_acquire);
+    if (cells == nullptr) {
+        cells = ensure_block(shard, block);
+    }
+    return cells + (index & (Shard::kBlockSize - 1));
+}
+
+Registry::Shard*
+Registry::local_shard()
+{
+    struct CacheEntry
+    {
+        const Registry* registry;
+        std::uint64_t id;
+        Shard* shard;
+    };
+    struct Cache
+    {
+        const Registry* registry = nullptr;
+        std::uint64_t id = 0;
+        Shard* shard = nullptr;
+        std::vector<CacheEntry> all;
+    };
+    // One-entry inline cache over a per-thread list: the common case
+    // (a thread reporting into one registry) is two compares. Entries
+    // are keyed by (pointer, process-unique id) so a registry destroyed
+    // and reallocated at the same address can never alias a stale
+    // shard pointer.
+    thread_local Cache cache;
+    if (cache.registry == this && cache.id == id_) {
+        return cache.shard;
+    }
+    for (const CacheEntry& entry : cache.all) {
+        if (entry.registry == this && entry.id == id_) {
+            cache.registry = this;
+            cache.id = id_;
+            cache.shard = entry.shard;
+            return entry.shard;
+        }
+    }
+    auto owned = std::make_unique<Shard>();
+    Shard* shard = owned.get();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::move(owned));
+    }
+    cache.all.push_back({this, id_, shard});
+    cache.registry = this;
+    cache.id = id_;
+    cache.shard = shard;
+    return shard;
+}
+
+// --- Registry --------------------------------------------------------
+
+Registry::Registry()
+{
+    static std::atomic<std::uint64_t> next_id{1};
+    id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry::~Registry() = default;
+
+Registry&
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+std::uint32_t
+Registry::intern(std::string_view name, MetricKind kind,
+                 std::uint32_t num_cells, std::vector<double> bounds)
+{
+    if (name.empty()) {
+        util::fatal("obs::Registry: metric name must be non-empty");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint32_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i].name == name) {
+            if (metrics_[i].kind != kind) {
+                util::fatal("obs::Registry: metric '" + std::string(name) +
+                            "' already registered as " +
+                            kind_name(metrics_[i].kind));
+            }
+            return i;
+        }
+    }
+    MetricInfo info;
+    info.name = std::string(name);
+    info.kind = kind;
+    info.num_cells = num_cells;
+    if (kind == MetricKind::kGauge) {
+        info.first_cell = next_gauge_cell_;
+        next_gauge_cell_ += num_cells;
+    } else {
+        info.first_cell = next_cell_;
+        next_cell_ += num_cells;
+    }
+    if (!bounds.empty()) {
+        info.num_bounds = static_cast<std::uint32_t>(bounds.size());
+        info.bounds = std::make_unique<double[]>(bounds.size());
+        std::copy(bounds.begin(), bounds.end(), info.bounds.get());
+    }
+    metrics_.push_back(std::move(info));
+    return static_cast<std::uint32_t>(metrics_.size() - 1);
+}
+
+Counter
+Registry::counter(std::string_view name)
+{
+    const std::uint32_t index =
+        intern(name, MetricKind::kCounter, 1, {});
+    return Counter(this, metrics_[index].first_cell);
+}
+
+Gauge
+Registry::gauge(std::string_view name)
+{
+    const std::uint32_t index = intern(name, MetricKind::kGauge, 1, {});
+    return Gauge(this, metrics_[index].first_cell);
+}
+
+Histogram
+Registry::histogram(std::string_view name, std::vector<double> bounds)
+{
+    if (bounds.empty()) {
+        util::fatal("obs::Registry: histogram '" + std::string(name) +
+                    "' needs at least one bucket bound");
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        if (!(bounds[i] > bounds[i - 1])) {
+            util::fatal("obs::Registry: histogram '" + std::string(name) +
+                        "' bounds must be strictly increasing");
+        }
+    }
+    // Cells: one per bound, one overflow bucket, one sum (double bits).
+    const auto num_bounds = static_cast<std::uint32_t>(bounds.size());
+    const std::uint32_t index = intern(name, MetricKind::kHistogram,
+                                       num_bounds + 2, std::move(bounds));
+    const MetricInfo& info = metrics_[index];
+    return Histogram(this, info.first_cell, info.bounds.get(),
+                     info.num_bounds);
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    MetricsSnapshot snap;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snap.metrics.reserve(metrics_.size());
+    const auto sum_cell = [this](std::uint32_t index) {
+        std::uint64_t total = 0;
+        for (const std::unique_ptr<Shard>& shard : shards_) {
+            if (const Cell* cell = shard->try_cell(index)) {
+                total += cell->load(std::memory_order_relaxed);
+            }
+        }
+        return total;
+    };
+    const auto sum_cell_double = [this](std::uint32_t index) {
+        double total = 0.0;
+        for (const std::unique_ptr<Shard>& shard : shards_) {
+            if (const Cell* cell = shard->try_cell(index)) {
+                total += std::bit_cast<double>(
+                    cell->load(std::memory_order_relaxed));
+            }
+        }
+        return total;
+    };
+    for (const MetricInfo& info : metrics_) {
+        MetricValue value;
+        value.name = info.name;
+        value.kind = info.kind;
+        switch (info.kind) {
+        case MetricKind::kCounter:
+            value.value =
+                static_cast<double>(sum_cell(info.first_cell));
+            break;
+        case MetricKind::kGauge:
+            if (const Cell* cell = central_.try_cell(info.first_cell)) {
+                value.value = std::bit_cast<double>(
+                    cell->load(std::memory_order_relaxed));
+            }
+            break;
+        case MetricKind::kHistogram: {
+            value.bounds.assign(info.bounds.get(),
+                                info.bounds.get() + info.num_bounds);
+            value.bucket_counts.resize(info.num_bounds + 1);
+            for (std::uint32_t b = 0; b <= info.num_bounds; ++b) {
+                value.bucket_counts[b] = sum_cell(info.first_cell + b);
+                value.count += value.bucket_counts[b];
+            }
+            value.sum =
+                sum_cell_double(info.first_cell + info.num_bounds + 1);
+            break;
+        }
+        }
+        snap.metrics.push_back(std::move(value));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto zero_shard = [](Shard& shard) {
+        for (std::atomic<Cell*>& block : shard.blocks) {
+            Cell* cells = block.load(std::memory_order_acquire);
+            if (cells == nullptr) {
+                continue;
+            }
+            for (std::uint32_t i = 0; i < Shard::kBlockSize; ++i) {
+                cells[i].store(0, std::memory_order_relaxed);
+            }
+        }
+    };
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+        zero_shard(*shard);
+    }
+    zero_shard(central_);
+}
+
+void
+Registry::write_json(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal("obs::Registry: cannot open " + path + " for writing");
+    }
+    out << snapshot().to_json();
+    if (!out) {
+        util::fatal("obs::Registry: failed writing " + path);
+    }
+}
+
+// --- Handles ---------------------------------------------------------
+
+void
+Counter::add(std::uint64_t delta) const
+{
+    if (registry_ == nullptr || delta == 0) {
+        return;
+    }
+    Registry::Shard* shard = registry_->local_shard();
+    registry_->shard_cell(*shard, cell_)
+        ->fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+Gauge::set(double value) const
+{
+    if (registry_ == nullptr) {
+        return;
+    }
+    registry_->shard_cell(registry_->central_, cell_)
+        ->store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double value) const
+{
+    if (registry_ == nullptr) {
+        return;
+    }
+    std::uint32_t bucket = 0;
+    while (bucket < num_bounds_ && value > bounds_[bucket]) {
+        ++bucket;
+    }
+    Registry::Shard* shard = registry_->local_shard();
+    registry_->shard_cell(*shard, first_cell_ + bucket)
+        ->fetch_add(1, std::memory_order_relaxed);
+    // The sum cell has a single writer (this thread's shard), so a
+    // relaxed read-modify-write of the double bits cannot lose updates.
+    Registry::Cell* sum =
+        registry_->shard_cell(*shard, first_cell_ + num_bounds_ + 1);
+    const double current =
+        std::bit_cast<double>(sum->load(std::memory_order_relaxed));
+    sum->store(std::bit_cast<std::uint64_t>(current + value),
+               std::memory_order_relaxed);
+}
+
+// --- Snapshot --------------------------------------------------------
+
+const MetricValue*
+MetricsSnapshot::find(std::string_view name) const
+{
+    for (const MetricValue& metric : metrics) {
+        if (metric.name == name) {
+            return &metric;
+        }
+    }
+    return nullptr;
+}
+
+double
+MetricsSnapshot::value(std::string_view name) const
+{
+    const MetricValue* metric = find(name);
+    if (metric == nullptr) {
+        return 0.0;
+    }
+    return metric->kind == MetricKind::kHistogram
+               ? static_cast<double>(metric->count)
+               : metric->value;
+}
+
+std::string
+MetricsSnapshot::to_json() const
+{
+    std::string out = "{\n  \"schema_version\": 1,\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const MetricValue& metric = metrics[i];
+        out += "    {\"name\": \"" + metric.name + "\", \"type\": \"" +
+               kind_name(metric.kind) + "\"";
+        if (metric.kind == MetricKind::kHistogram) {
+            out += ", \"count\": " +
+                   std::to_string(metric.count) + ", \"sum\": " +
+                   json_number(metric.sum) + ", \"bounds\": [";
+            for (std::size_t b = 0; b < metric.bounds.size(); ++b) {
+                out += json_number(metric.bounds[b]);
+                if (b + 1 < metric.bounds.size()) {
+                    out += ", ";
+                }
+            }
+            out += "], \"counts\": [";
+            for (std::size_t b = 0; b < metric.bucket_counts.size(); ++b) {
+                out += std::to_string(metric.bucket_counts[b]);
+                if (b + 1 < metric.bucket_counts.size()) {
+                    out += ", ";
+                }
+            }
+            out += "]";
+        } else {
+            out += ", \"value\": " + json_number(metric.value);
+        }
+        out += "}";
+        if (i + 1 < metrics.size()) {
+            out += ",";
+        }
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace tgl::obs

@@ -1,0 +1,225 @@
+/// @file
+/// Lock-light metrics registry: the single telemetry path for every
+/// pipeline phase (walk engine, word2vec, data preparation, classifier).
+///
+/// Three instrument kinds:
+///  * Counter   — monotonically increasing uint64 sum (steps, pairs,
+///                negative-sampling collisions, ...).
+///  * Gauge     — last-written double (current alpha, epoch loss, ...).
+///  * Histogram — fixed upper-bound buckets plus count and sum
+///                (per-batch latencies).
+///
+/// Hot-path writes never take a lock: counter and histogram cells live
+/// in per-thread shards (each cell has exactly one writer), so an
+/// increment is a relaxed atomic add on thread-private cache lines.
+/// scrape/snapshot() merges the shards under the registry mutex, which
+/// is also the only place registration (name -> handle) synchronizes.
+/// Gauges write to one central cell (relaxed store) because merging
+/// "last value" across shards is meaningless.
+///
+/// Naming scheme: dot-separated lowercase paths, "<phase>.<quantity>"
+/// with an optional qualifier, e.g. `walk.steps.cached`,
+/// `sgns.pairs`, `dataprep.negative_collisions`,
+/// `classifier.batch_seconds`. Registration is idempotent by name, so
+/// independently compiled call sites share one instrument.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgl::obs {
+
+class Registry;
+
+enum class MetricKind : std::uint8_t
+{
+    kCounter,
+    kGauge,
+    kHistogram,
+};
+
+/// Monotonic counter handle. Cheap to copy; a default-constructed
+/// handle is a no-op sink (safe before registration).
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /// Add @p delta to this thread's shard cell (no locks).
+    void add(std::uint64_t delta) const;
+    void inc() const { add(1); }
+
+  private:
+    friend class Registry;
+    Counter(Registry* registry, std::uint32_t cell)
+        : registry_(registry), cell_(cell)
+    {
+    }
+    Registry* registry_ = nullptr;
+    std::uint32_t cell_ = 0;
+};
+
+/// Last-value gauge handle (stored centrally, relaxed atomics).
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(double value) const;
+
+  private:
+    friend class Registry;
+    Gauge(Registry* registry, std::uint32_t cell)
+        : registry_(registry), cell_(cell)
+    {
+    }
+    Registry* registry_ = nullptr;
+    std::uint32_t cell_ = 0;
+};
+
+/// Fixed-bucket histogram handle. Bucket i counts observations
+/// <= bounds[i]; one overflow bucket catches the rest. Sum and count
+/// accumulate alongside, all in the caller's thread shard.
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void observe(double value) const;
+
+  private:
+    friend class Registry;
+    Histogram(Registry* registry, std::uint32_t first_cell,
+              const double* bounds, std::uint32_t num_bounds)
+        : registry_(registry), first_cell_(first_cell), bounds_(bounds),
+          num_bounds_(num_bounds)
+    {
+    }
+    Registry* registry_ = nullptr;
+    std::uint32_t first_cell_ = 0;
+    const double* bounds_ = nullptr; // owned by the registry metadata
+    std::uint32_t num_bounds_ = 0;
+};
+
+/// One merged metric in a snapshot.
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /// Counter total or gauge value (histograms leave this 0).
+    double value = 0.0;
+    /// Histogram upper bounds (empty otherwise).
+    std::vector<double> bounds;
+    /// Histogram per-bucket counts, bounds.size() + 1 entries (last is
+    /// the overflow bucket).
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0; ///< histogram observation count
+    double sum = 0.0;        ///< histogram observation sum
+};
+
+/// Point-in-time merge of every shard, ordered by registration.
+struct MetricsSnapshot
+{
+    std::vector<MetricValue> metrics;
+
+    /// Metric by exact name, nullptr when absent.
+    const MetricValue* find(std::string_view name) const;
+
+    /// Counter/gauge value (histogram count) by name; 0 when absent.
+    double value(std::string_view name) const;
+
+    /// Serialize as {"schema_version":1,"metrics":[...]}.
+    std::string to_json() const;
+};
+
+/// A set of named instruments plus their per-thread storage. Most code
+/// uses the process-wide Registry::global(); tests build private
+/// instances for isolation.
+class Registry
+{
+  public:
+    Registry();
+    ~Registry();
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// The process-wide registry every pipeline phase reports into.
+    static Registry& global();
+
+    /// Register (or look up) an instrument. Idempotent by name; a name
+    /// already registered with a different kind is an error.
+    Counter counter(std::string_view name);
+    Gauge gauge(std::string_view name);
+    /// @p bounds must be strictly increasing and non-empty. Re-lookup
+    /// of an existing histogram ignores @p bounds.
+    Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+    /// Merge all shards into an ordered snapshot (approximate while
+    /// writers are concurrently active, exact when they are quiesced).
+    MetricsSnapshot snapshot() const;
+
+    /// Zero every cell; instruments and outstanding handles stay valid.
+    void reset();
+
+    /// Write snapshot().to_json() to @p path (tgl::util::Error on I/O
+    /// failure).
+    void write_json(const std::string& path) const;
+
+  private:
+    friend class Counter;
+    friend class Gauge;
+    friend class Histogram;
+
+    using Cell = std::atomic<std::uint64_t>;
+
+    /// Per-thread cell storage. Cells are allocated in fixed blocks so
+    /// a concurrent scrape never observes a moving array.
+    struct Shard
+    {
+        static constexpr std::uint32_t kBlockShift = 9;
+        static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
+        static constexpr std::uint32_t kMaxBlocks = 128;
+        std::array<std::atomic<Cell*>, kMaxBlocks> blocks{};
+
+        ~Shard();
+        /// Cell pointer if its block exists, else nullptr.
+        Cell* try_cell(std::uint32_t index) const;
+    };
+
+    struct MetricInfo
+    {
+        std::string name;
+        MetricKind kind = MetricKind::kCounter;
+        std::uint32_t first_cell = 0;
+        std::uint32_t num_cells = 1;
+        /// Histogram upper bounds; heap array so handle pointers stay
+        /// valid across metadata growth.
+        std::unique_ptr<double[]> bounds;
+        std::uint32_t num_bounds = 0;
+    };
+
+    std::uint32_t intern(std::string_view name, MetricKind kind,
+                         std::uint32_t num_cells,
+                         std::vector<double> bounds);
+    Shard* local_shard();
+    /// Shard cell for the calling thread, allocating its block if
+    /// needed (mutex only on first touch of a block).
+    Cell* shard_cell(Shard& shard, std::uint32_t index);
+    Cell* ensure_block(Shard& shard, std::uint32_t block);
+
+    mutable std::mutex mutex_;
+    std::uint64_t id_ = 0; ///< process-unique, guards thread caches
+    std::vector<MetricInfo> metrics_;
+    std::vector<std::unique_ptr<Shard>> shards_; ///< one per writer thread
+    Shard central_;                              ///< gauge cells
+    std::uint32_t next_cell_ = 0;
+    std::uint32_t next_gauge_cell_ = 0;
+};
+
+} // namespace tgl::obs

@@ -1,0 +1,106 @@
+/// @file
+/// Scoped spans with a chrome://tracing-compatible JSON exporter.
+///
+/// A TraceSession collects complete ("ph":"X") duration events; Span is
+/// the RAII recorder. When no session is active a Span costs one atomic
+/// load, so phase code can stay instrumented unconditionally:
+///
+/// @code
+///   tgl::obs::TraceSession session;
+///   session.start();
+///   { tgl::obs::Span span("pipeline.walk"); run_walk(); }
+///   session.stop();
+///   session.write_chrome_json("trace.json");
+/// @endcode
+///
+/// The exported file is the Trace Event Format JSON object
+/// ({"traceEvents":[...]}) that chrome://tracing and Perfetto load
+/// directly: per event `name`, `cat` ("tgl"), `ph` ("X"), `ts`/`dur`
+/// in microseconds since session start, `pid` (always 1), and a dense
+/// per-thread `tid`.
+///
+/// Only one session is active at a time (start() fails otherwise), and
+/// an active session must outlive every span opened while it was
+/// active — the natural structure when a driver starts tracing around
+/// a pipeline run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace tgl::obs {
+
+/// One complete duration event.
+struct TraceEvent
+{
+    std::string name;
+    double ts_us = 0.0;  ///< start, microseconds since session start
+    double dur_us = 0.0; ///< duration in microseconds
+    std::uint32_t tid = 0;
+};
+
+/// Collects span events while installed as the process-wide active
+/// session. Spans are phase/epoch granularity, so recording takes a
+/// short mutex rather than sharding.
+class TraceSession
+{
+  public:
+    TraceSession() = default;
+    ~TraceSession();
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    /// The active session, or nullptr when tracing is off.
+    static TraceSession* current();
+
+    /// Install as the active session (tgl::util::Error if another
+    /// session is already active) and reset the clock origin.
+    void start();
+
+    /// Uninstall; spans closing afterwards are dropped. Idempotent.
+    void stop();
+
+    /// Copy of the recorded events (in completion order).
+    std::vector<TraceEvent> events() const;
+
+    /// Serialize as a Trace Event Format JSON object.
+    std::string to_chrome_json() const;
+
+    /// Write to_chrome_json() to @p path (tgl::util::Error on failure).
+    void write_chrome_json(const std::string& path) const;
+
+    /// Record one complete event (called by Span; public for custom
+    /// instrumentation).
+    void record(std::string name,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end);
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::vector<std::thread::id> thread_ids_; ///< dense tid mapping
+    std::chrono::steady_clock::time_point origin_{};
+};
+
+/// RAII span: records a complete event on the active session between
+/// construction and destruction; a no-op when tracing is off.
+class Span
+{
+  public:
+    explicit Span(std::string_view name);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    TraceSession* session_ = nullptr;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace tgl::obs

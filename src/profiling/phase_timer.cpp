@@ -1,12 +1,22 @@
 #include "profiling/phase_timer.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/string_util.hpp"
+
+#include <algorithm>
 
 namespace tgl::prof {
 
 void
 PhaseTimer::add(const std::string& phase, double seconds)
 {
+    // Every recorded phase also lands on the global metrics registry
+    // (one telemetry path): integer microseconds under a namespaced
+    // counter so ad-hoc timers and pipeline metrics share one scrape.
+    const double micros = std::max(seconds, 0.0) * 1e6;
+    obs::Registry::global()
+        .counter("phase." + phase + ".micros")
+        .add(static_cast<std::uint64_t>(micros));
     for (auto& [name, accumulated] : phases_) {
         if (name == phase) {
             accumulated += seconds;

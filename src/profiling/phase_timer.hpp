@@ -3,6 +3,7 @@
 /// benchmark drivers to build Table III-style breakdowns.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 #include <string>
@@ -19,11 +20,14 @@ class PhaseTimer
     /// Add seconds to a phase (created on first use).
     void add(const std::string& phase, double seconds);
 
-    /// Time a callable and record it under @p phase; returns its result.
+    /// Time a callable and record it under @p phase; returns its
+    /// result. The measured section also shows up as a trace span
+    /// ("phase.<name>") when a session is active.
     template <typename Fn>
     auto
     measure(const std::string& phase, Fn&& fn)
     {
+        const obs::Span span("phase." + phase);
         util::Timer timer;
         if constexpr (std::is_void_v<decltype(fn())>) {
             fn();

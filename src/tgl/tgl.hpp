@@ -35,6 +35,10 @@
 #include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
 
+// obs: metrics registry + tracing spans (pipeline-wide telemetry)
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 // graph: temporal CSR substrate
 #include "graph/builder.hpp"
 #include "graph/edge_list.hpp"

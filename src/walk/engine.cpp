@@ -1,5 +1,7 @@
 #include "walk/engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
 #include "util/parallel_for.hpp"
@@ -23,7 +25,7 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
               bool allow_first_nonstrict, rng::Random& random,
               graph::NodeId* tokens, std::size_t count,
               std::vector<std::uint32_t>& scratch,
-              WalkProfile* local_profile)
+              WalkProfile& local_profile)
 {
     const graph::Timestamp range = graph.time_range();
     bool first_hop = allow_first_nonstrict;
@@ -32,9 +34,7 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
         if (!config.temporal) {
             // Static (DeepWalk) baseline: every out-edge is valid.
             candidates = graph.out_neighbors(current);
-            if (local_profile != nullptr) {
-                local_profile->candidates_scanned += 1;
-            }
+            local_profile.candidates_scanned += 1;
         } else if (config.linear_neighbor_search) {
             // Ablation path: the paper's O(max-degree) scan. The valid
             // edges are still a suffix (slices are time-sorted), so the
@@ -43,46 +43,36 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
             const std::size_t valid = graph.temporal_neighbors_linear(
                 current, now, strict, scratch);
             const auto all = graph.out_neighbors(current);
-            if (local_profile != nullptr) {
-                local_profile->candidates_scanned += all.size();
-            }
+            local_profile.candidates_scanned += all.size();
             candidates = valid == 0
                              ? all.subspan(all.size())
                              : all.subspan(scratch.front());
         } else {
             const bool strict = config.strict_time && !first_hop;
             candidates = graph.temporal_neighbors(current, now, strict);
-            if (local_profile != nullptr) {
-                // Binary search touches ~log2(deg) records.
-                std::uint64_t deg = graph.out_degree(current);
-                std::uint64_t probes = 1;
-                while (deg > 1) {
-                    deg >>= 1;
-                    ++probes;
-                }
-                local_profile->candidates_scanned += probes;
+            // Binary search touches ~log2(deg) records.
+            std::uint64_t deg = graph.out_degree(current);
+            std::uint64_t probes = 1;
+            while (deg > 1) {
+                deg >>= 1;
+                ++probes;
             }
+            local_profile.candidates_scanned += probes;
         }
         if (candidates.empty()) {
-            if (local_profile != nullptr) {
-                ++local_profile->dead_ends;
-            }
+            ++local_profile.dead_ends;
             break;
         }
         const TransitionKind transition =
             config.temporal ? config.transition : TransitionKind::kUniform;
-        TransitionCost* step_cost =
-            local_profile != nullptr ? &local_profile->transition_cost
-                                     : nullptr;
+        TransitionCost* step_cost = &local_profile.transition_cost;
         std::size_t pick;
         if (cache != nullptr && config.temporal) {
             // Shared read-only prefix-CDF draw: one RNG call plus a
             // binary search instead of the O(d) exp-scan.
             pick = cache->sample(graph, current, candidates, now, random,
                                  step_cost);
-            if (local_profile != nullptr) {
-                ++local_profile->cached_steps;
-            }
+            ++local_profile.cached_steps;
         } else {
             pick = sample_transition(candidates, now, range, transition,
                                      random, step_cost);
@@ -92,9 +82,7 @@ continue_walk(const graph::TemporalGraph& graph, const WalkConfig& config,
         current = candidates[pick].dst;
         tokens[count++] = current;
         first_hop = false;
-        if (local_profile != nullptr) {
-            ++local_profile->steps_taken;
-        }
+        ++local_profile.steps_taken;
     }
     return count;
 }
@@ -106,7 +94,7 @@ run_node_start_walk(const graph::TemporalGraph& graph,
                     graph::NodeId start, rng::Random& random,
                     graph::NodeId* tokens,
                     std::vector<std::uint32_t>& scratch,
-                    WalkProfile* local_profile)
+                    WalkProfile& local_profile)
 {
     std::size_t count = 0;
     tokens[count++] = start;
@@ -122,7 +110,7 @@ run_edge_start_walk(const graph::TemporalGraph& graph,
                     const WalkConfig& config, const TransitionCache* cache,
                     rng::Random& random, graph::NodeId* tokens,
                     std::vector<std::uint32_t>& scratch,
-                    WalkProfile* local_profile)
+                    WalkProfile& local_profile)
 {
     // Pick a flat edge id, recover its source via the offsets array.
     const graph::EdgeId edge =
@@ -137,9 +125,7 @@ run_edge_start_walk(const graph::TemporalGraph& graph,
     std::size_t count = 0;
     tokens[count++] = src;
     tokens[count++] = first.dst;
-    if (local_profile != nullptr) {
-        ++local_profile->steps_taken;
-    }
+    ++local_profile.steps_taken;
     if (config.max_length < 2) {
         return count;
     }
@@ -181,6 +167,8 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
         util::fatal("generate_walks: edge-start walks need edges");
     }
 
+    const obs::Span span("walk.generate");
+
     const graph::NodeId n = graph.num_nodes();
     const std::size_t tokens_per_walk =
         static_cast<std::size_t>(config.max_length) + 1;
@@ -215,9 +203,7 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
         util::parallel_for_ranked(
             block_begin, block_end,
             [&](std::size_t slot_index, unsigned rank) {
-                WalkProfile* local = profile != nullptr
-                                         ? &rank_profiles[rank]
-                                         : nullptr;
+                WalkProfile& local = rank_profiles[rank];
                 rng::Random random(
                     rng::mix_seed(config.seed, slot_index));
                 const std::size_t slot = slot_index - block_begin;
@@ -238,9 +224,7 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
                         rank_scratch[rank], local);
                 }
                 lengths[slot] = static_cast<std::uint8_t>(written);
-                if (local != nullptr) {
-                    ++local->walks_started;
-                }
+                ++local.walks_started;
             },
             {.num_threads = config.num_threads});
 
@@ -256,21 +240,48 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
         }
     }
 
+    // Fold the per-rank accumulators once per call: the hot loop stays
+    // free of shared writes, and the registry sees one add per total.
+    WalkProfile totals;
+    for (const WalkProfile& local : rank_profiles) {
+        totals.walks_started += local.walks_started;
+        totals.steps_taken += local.steps_taken;
+        totals.dead_ends += local.dead_ends;
+        totals.candidates_scanned += local.candidates_scanned;
+        totals.cached_steps += local.cached_steps;
+        totals.transition_cost.memory_ops +=
+            local.transition_cost.memory_ops;
+        totals.transition_cost.branch_ops +=
+            local.transition_cost.branch_ops;
+        totals.transition_cost.compute_ops +=
+            local.transition_cost.compute_ops;
+    }
+    totals.walks_kept = corpus.num_walks();
+
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("walk.walks.started").add(totals.walks_started);
+    registry.counter("walk.walks.kept").add(totals.walks_kept);
+    registry.counter("walk.steps").add(totals.steps_taken);
+    registry.counter("walk.steps.cached").add(totals.cached_steps);
+    registry.counter("walk.steps.direct")
+        .add(totals.steps_taken - totals.cached_steps);
+    registry.counter("walk.dead_ends").add(totals.dead_ends);
+    registry.counter("walk.candidates_scanned")
+        .add(totals.candidates_scanned);
+
     if (profile != nullptr) {
-        for (const WalkProfile& local : rank_profiles) {
-            profile->walks_started += local.walks_started;
-            profile->steps_taken += local.steps_taken;
-            profile->dead_ends += local.dead_ends;
-            profile->candidates_scanned += local.candidates_scanned;
-            profile->cached_steps += local.cached_steps;
-            profile->transition_cost.memory_ops +=
-                local.transition_cost.memory_ops;
-            profile->transition_cost.branch_ops +=
-                local.transition_cost.branch_ops;
-            profile->transition_cost.compute_ops +=
-                local.transition_cost.compute_ops;
-        }
-        profile->walks_kept += corpus.num_walks();
+        profile->walks_started += totals.walks_started;
+        profile->steps_taken += totals.steps_taken;
+        profile->dead_ends += totals.dead_ends;
+        profile->candidates_scanned += totals.candidates_scanned;
+        profile->cached_steps += totals.cached_steps;
+        profile->walks_kept += totals.walks_kept;
+        profile->transition_cost.memory_ops +=
+            totals.transition_cost.memory_ops;
+        profile->transition_cost.branch_ops +=
+            totals.transition_cost.branch_ops;
+        profile->transition_cost.compute_ops +=
+            totals.transition_cost.compute_ops;
     }
     return corpus;
 }

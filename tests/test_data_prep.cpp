@@ -1,0 +1,288 @@
+/// Regression and property tests for split validation and negative
+/// sampling (core/data_prep) plus the weighted-draw sentinel contract.
+#include "core/data_prep.hpp"
+
+#include "graph/builder.hpp"
+#include "obs/metrics.hpp"
+#include "rng/discrete_sampler.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace tgl::core {
+namespace {
+
+/// Directed path 0 -> 1 -> ... -> n-1 with increasing timestamps.
+graph::EdgeList
+path_edges(graph::NodeId n)
+{
+    graph::EdgeList edges;
+    for (graph::NodeId u = 0; u + 1 < n; ++u) {
+        edges.add(u, u + 1, static_cast<graph::Timestamp>(u));
+    }
+    return edges;
+}
+
+/// All ordered pairs u != v (a complete directed graph): no true
+/// negative exists anywhere.
+graph::EdgeList
+complete_directed_edges(graph::NodeId n)
+{
+    graph::EdgeList edges;
+    graph::Timestamp t = 0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+        for (graph::NodeId v = 0; v < n; ++v) {
+            if (u != v) {
+                edges.add(u, v, t++);
+            }
+        }
+    }
+    return edges;
+}
+
+std::size_t
+count_positives(const std::vector<EdgeSample>& samples)
+{
+    std::size_t positives = 0;
+    for (const EdgeSample& sample : samples) {
+        positives += sample.label == 1.0f;
+    }
+    return positives;
+}
+
+// Regression (split-validation drift): validate() used to accept
+// fraction sums below 1 that prepare_link_splits then rejected at run
+// time. The two checks must agree: anything validate() flags throws,
+// anything it accepts runs.
+TEST(SplitConfigContract, ValidateRejectsFractionsSummingBelowOne)
+{
+    SplitConfig config;
+    config.train_fraction = 0.5;
+    config.valid_fraction = 0.2;
+    config.test_fraction = 0.2; // sums to 0.9
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(SplitConfigContract, ValidateAcceptsExactSum)
+{
+    SplitConfig config; // 0.6 / 0.2 / 0.2
+    EXPECT_TRUE(config.validate().empty());
+    config.train_fraction = 1.0;
+    config.valid_fraction = 0.0;
+    config.test_fraction = 0.0;
+    EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(SplitConfigContract, PrepareEnforcesValidate)
+{
+    const graph::EdgeList edges = path_edges(12);
+    const auto graph = graph::GraphBuilder::build(edges, {});
+    SplitConfig config;
+    config.train_fraction = 0.5; // sums to 0.9: validate() rejects it
+    EXPECT_THROW(prepare_link_splits(edges, graph, config), util::Error);
+}
+
+// Property: over a grid of fraction triples, prepare_link_splits
+// accepts exactly the configs validate() accepts — no config passes
+// validation and then dies inside the splitter, and none sneaks past a
+// failed validation.
+TEST(SplitConfigContract, ValidateAndPrepareAgreeOnFractionGrid)
+{
+    const graph::EdgeList edges = path_edges(20);
+    const auto graph = graph::GraphBuilder::build(edges, {});
+    for (int train = 0; train <= 10; ++train) {
+        for (int valid = 0; valid + train <= 12; ++valid) {
+            for (int test = 0; test + train + valid <= 14; ++test) {
+                SplitConfig config;
+                config.train_fraction = train / 10.0;
+                config.valid_fraction = valid / 10.0;
+                config.test_fraction = test / 10.0;
+                if (config.validate().empty()) {
+                    EXPECT_NO_THROW(
+                        prepare_link_splits(edges, graph, config))
+                        << train << "/" << valid << "/" << test;
+                } else {
+                    EXPECT_THROW(
+                        prepare_link_splits(edges, graph, config),
+                        util::Error)
+                        << train << "/" << valid << "/" << test;
+                }
+            }
+        }
+    }
+}
+
+// Regression (negative-sampling collisions): with the CSR holding each
+// undirected relation as a single directed arc, the sampler used to
+// accept the reverse orientation of an existing edge as a "negative".
+// Neither orientation may appear among sampled negatives.
+TEST(NegativeSampling, ReverseEdgesAreNotNegativesOnDirectedCsr)
+{
+    const graph::NodeId n = 12;
+    const graph::EdgeList edges = path_edges(n);
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = false});
+    SplitConfig config;
+    config.negatives_per_positive = 16; // many draws per positive
+    const LinkSplits splits = prepare_link_splits(edges, graph, config);
+    for (const std::vector<EdgeSample>* split :
+         {&splits.train, &splits.valid, &splits.test}) {
+        for (const EdgeSample& sample : *split) {
+            if (sample.label != 0.0f) {
+                continue;
+            }
+            EXPECT_FALSE(graph.has_edge(sample.src, sample.dst))
+                << sample.src << "->" << sample.dst;
+            EXPECT_FALSE(graph.has_edge(sample.dst, sample.src))
+                << sample.dst << "->" << sample.src
+                << " (reverse edge sampled as negative)";
+        }
+    }
+}
+
+TEST(NegativeSampling, SymmetrizedCsrGetsTrueNegativesToo)
+{
+    const graph::NodeId n = 12;
+    const graph::EdgeList edges = path_edges(n);
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+    SplitConfig config;
+    config.negatives_per_positive = 16;
+    const LinkSplits splits = prepare_link_splits(edges, graph, config);
+    for (const std::vector<EdgeSample>* split :
+         {&splits.train, &splits.valid, &splits.test}) {
+        for (const EdgeSample& sample : *split) {
+            if (sample.label != 0.0f) {
+                continue;
+            }
+            EXPECT_NE(sample.src, sample.dst);
+            EXPECT_FALSE(graph.has_edge(sample.src, sample.dst));
+        }
+    }
+}
+
+// On a complete directed graph every candidate collides: the sampler
+// must exhaust its attempts (counted as collisions) and fall back,
+// rather than laundering reverse arcs as negatives.
+TEST(NegativeSampling, CollisionCounterTracksExhaustion)
+{
+    const graph::EdgeList edges = complete_directed_edges(6);
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = false});
+    SplitConfig config;
+    config.max_negative_attempts = 8;
+
+    obs::Registry& registry = obs::Registry::global();
+    const double collisions_before =
+        registry.snapshot().value("dataprep.negative_collisions");
+    const double fallbacks_before =
+        registry.snapshot().value("dataprep.negative_fallbacks");
+
+    const LinkSplits splits = prepare_link_splits(edges, graph, config);
+    const std::size_t negatives = splits.train.size() +
+                                  splits.valid.size() +
+                                  splits.test.size() -
+                                  count_positives(splits.train) -
+                                  count_positives(splits.valid) -
+                                  count_positives(splits.test);
+
+    const double collisions =
+        registry.snapshot().value("dataprep.negative_collisions") -
+        collisions_before;
+    const double fallbacks =
+        registry.snapshot().value("dataprep.negative_fallbacks") -
+        fallbacks_before;
+    // Every attempt of every negative collided, and every negative hit
+    // the fallback path.
+    EXPECT_EQ(collisions,
+              static_cast<double>(negatives) *
+                  config.max_negative_attempts);
+    EXPECT_EQ(fallbacks, static_cast<double>(negatives));
+}
+
+TEST(NegativeSampling, SparseGraphRecordsAttemptsWithFewCollisions)
+{
+    const graph::EdgeList edges = path_edges(30);
+    const auto graph = graph::GraphBuilder::build(edges, {});
+    obs::Registry& registry = obs::Registry::global();
+    const double attempts_before =
+        registry.snapshot().value("dataprep.negative_attempts");
+
+    const LinkSplits splits =
+        prepare_link_splits(edges, graph, SplitConfig{});
+    const std::size_t negatives = splits.train.size() +
+                                  splits.valid.size() +
+                                  splits.test.size() -
+                                  count_positives(splits.train) -
+                                  count_positives(splits.valid) -
+                                  count_positives(splits.test);
+
+    const double attempts =
+        registry.snapshot().value("dataprep.negative_attempts") -
+        attempts_before;
+    EXPECT_GE(attempts, static_cast<double>(negatives));
+}
+
+// 60/20/20 accounting on a round edge count: test takes the most
+// recent 20 edges, train 60 of the past, valid the remaining 20, and
+// each split doubles with its 1:1 negatives.
+TEST(SplitAccounting, SixtyTwentyTwentySizes)
+{
+    graph::EdgeList edges;
+    const graph::NodeId n = 40;
+    for (int i = 0; i < 100; ++i) {
+        const auto u = static_cast<graph::NodeId>(i % n);
+        const auto v = static_cast<graph::NodeId>((i * 7 + 3) % n);
+        edges.add(u == v ? (u + 1) % n : u, v,
+                  static_cast<graph::Timestamp>(i));
+    }
+    const auto graph = graph::GraphBuilder::build(edges, {});
+    const LinkSplits splits =
+        prepare_link_splits(edges, graph, SplitConfig{});
+    EXPECT_EQ(count_positives(splits.train), 60u);
+    EXPECT_EQ(count_positives(splits.valid), 20u);
+    EXPECT_EQ(count_positives(splits.test), 20u);
+    EXPECT_EQ(splits.train.size(), 120u);
+    EXPECT_EQ(splits.valid.size(), 40u);
+    EXPECT_EQ(splits.test.size(), 40u);
+}
+
+TEST(SplitAccounting, NodeSplitsPartitionEveryNode)
+{
+    const NodeSplits splits = prepare_node_splits(50, SplitConfig{});
+    EXPECT_EQ(splits.train.size(), 30u);
+    EXPECT_EQ(splits.valid.size(), 10u);
+    EXPECT_EQ(splits.test.size(), 10u);
+}
+
+// The one-shot weighted draws return n (one past the last index) when
+// every weight is zero; callers treat that as "no candidate".
+TEST(WeightedSamplingSentinel, AllZeroWeightsReturnN)
+{
+    rng::Random random(123);
+    const auto zero = [](std::size_t) { return 0.0; };
+    EXPECT_EQ(rng::sample_weighted_one_pass(5, zero, random), 5u);
+    EXPECT_EQ(rng::sample_weighted_two_pass(5, zero, random), 5u);
+    EXPECT_EQ(rng::sample_weighted_one_pass(0, zero, random), 0u);
+    EXPECT_EQ(rng::sample_weighted_two_pass(0, zero, random), 0u);
+}
+
+TEST(WeightedSamplingSentinel, PositiveWeightIsAlwaysFound)
+{
+    rng::Random random(123);
+    const auto only_three = [](std::size_t i) {
+        return i == 3 ? 2.5 : 0.0;
+    };
+    for (int draw = 0; draw < 16; ++draw) {
+        EXPECT_EQ(rng::sample_weighted_one_pass(6, only_three, random),
+                  3u);
+        EXPECT_EQ(rng::sample_weighted_two_pass(6, only_three, random),
+                  3u);
+    }
+}
+
+} // namespace
+} // namespace tgl::core

@@ -1,7 +1,11 @@
 /// Unit tests for the corpus vocabulary.
 #include "embed/vocab.hpp"
 
+#include "util/error.hpp"
+
 #include <gtest/gtest.h>
+
+#include <limits>
 
 namespace tgl::embed {
 namespace {
@@ -79,6 +83,19 @@ TEST(Vocab, DefaultConstructedIsEmpty)
 {
     const Vocab vocab;
     EXPECT_EQ(vocab.size(), 0u);
+}
+
+// Regression: the count array for a node id at the very top of the
+// NodeId range would need raw.size() == 2^32, past what a NodeId
+// induction variable can compare against — the constructor must refuse
+// instead of wrapping (or allocating ~32 GiB of counts).
+TEST(Vocab, RejectsNodeIdAtRangeLimit)
+{
+    walk::Corpus corpus;
+    const graph::NodeId w[] = {
+        1, std::numeric_limits<graph::NodeId>::max()};
+    corpus.add_walk(w);
+    EXPECT_THROW(Vocab{corpus}, util::Error);
 }
 
 } // namespace

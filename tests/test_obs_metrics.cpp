@@ -1,0 +1,207 @@
+/// Unit tests for the obs metrics registry and trace spans.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include "util/error.hpp"
+#include "util/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tgl::obs {
+namespace {
+
+TEST(Registry, CounterAccumulates)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.counter");
+    counter.add(3);
+    counter.inc();
+    EXPECT_EQ(registry.snapshot().value("test.counter"), 4.0);
+}
+
+TEST(Registry, DefaultHandleIsNoOp)
+{
+    const Counter counter;
+    counter.inc(); // must not crash
+    const Gauge gauge;
+    gauge.set(1.0);
+    const Histogram histogram;
+    histogram.observe(1.0);
+}
+
+TEST(Registry, RegistrationIsIdempotentByName)
+{
+    Registry registry;
+    registry.counter("test.shared").add(2);
+    registry.counter("test.shared").add(5);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.value("test.shared"), 7.0);
+    // One metric, not two.
+    std::size_t matches = 0;
+    for (const MetricValue& metric : snapshot.metrics) {
+        matches += metric.name == "test.shared";
+    }
+    EXPECT_EQ(matches, 1u);
+}
+
+TEST(Registry, KindMismatchIsAnError)
+{
+    Registry registry;
+    registry.counter("test.kind");
+    EXPECT_THROW(registry.gauge("test.kind"), util::Error);
+    EXPECT_THROW(registry.histogram("test.kind", {1.0}), util::Error);
+}
+
+TEST(Registry, GaugeKeepsLastWrite)
+{
+    Registry registry;
+    const Gauge gauge = registry.gauge("test.gauge");
+    gauge.set(1.5);
+    gauge.set(-2.25);
+    EXPECT_EQ(registry.snapshot().value("test.gauge"), -2.25);
+}
+
+TEST(Registry, HistogramBucketsCountAndSum)
+{
+    Registry registry;
+    const Histogram histogram =
+        registry.histogram("test.hist", {1.0, 10.0, 100.0});
+    histogram.observe(0.5);   // bucket 0 (<= 1)
+    histogram.observe(1.0);   // bucket 0 (inclusive upper bound)
+    histogram.observe(7.0);   // bucket 1
+    histogram.observe(500.0); // overflow bucket
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue* metric = snapshot.find("test.hist");
+    ASSERT_NE(metric, nullptr);
+    ASSERT_EQ(metric->bounds.size(), 3u);
+    ASSERT_EQ(metric->bucket_counts.size(), 4u);
+    EXPECT_EQ(metric->bucket_counts[0], 2u);
+    EXPECT_EQ(metric->bucket_counts[1], 1u);
+    EXPECT_EQ(metric->bucket_counts[2], 0u);
+    EXPECT_EQ(metric->bucket_counts[3], 1u);
+    EXPECT_EQ(metric->count, 4u);
+    EXPECT_DOUBLE_EQ(metric->sum, 508.5);
+}
+
+TEST(Registry, HistogramBoundsMustBeStrictlyIncreasing)
+{
+    Registry registry;
+    EXPECT_THROW(registry.histogram("test.bad", {}), util::Error);
+    EXPECT_THROW(registry.histogram("test.bad2", {1.0, 1.0}),
+                 util::Error);
+}
+
+TEST(Registry, CountsFromManyThreadsMergeExactly)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.parallel");
+    constexpr std::size_t kItems = 20000;
+    util::parallel_for(0, kItems,
+                       [&](std::size_t) { counter.inc(); });
+    EXPECT_EQ(registry.snapshot().value("test.parallel"),
+              static_cast<double>(kItems));
+}
+
+TEST(Registry, ResetZeroesButKeepsInstruments)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.reset");
+    const Histogram histogram = registry.histogram("test.reset.h", {1.0});
+    counter.add(9);
+    histogram.observe(0.5);
+    registry.reset();
+    EXPECT_EQ(registry.snapshot().value("test.reset"), 0.0);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue* metric = snapshot.find("test.reset.h");
+    ASSERT_NE(metric, nullptr);
+    EXPECT_EQ(metric->count, 0u);
+    // Old handles still feed the same (now zeroed) cells.
+    counter.add(2);
+    EXPECT_EQ(registry.snapshot().value("test.reset"), 2.0);
+}
+
+TEST(Registry, JsonSnapshotContainsEveryKind)
+{
+    Registry registry;
+    registry.counter("c").add(1);
+    registry.gauge("g").set(2.5);
+    registry.histogram("h", {1.0}).observe(0.5);
+    const std::string json = registry.snapshot().to_json();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"c\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+}
+
+TEST(Trace, SpanRecordsIntoActiveSession)
+{
+    TraceSession session;
+    session.start();
+    {
+        const Span span("test.span");
+    }
+    session.stop();
+    const std::vector<TraceEvent> events = session.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "test.span");
+    EXPECT_GE(events[0].ts_us, 0.0);
+    EXPECT_GE(events[0].dur_us, 0.0);
+    EXPECT_EQ(events[0].tid, 1u);
+}
+
+TEST(Trace, SpanWithoutSessionIsNoOp)
+{
+    ASSERT_EQ(TraceSession::current(), nullptr);
+    const Span span("test.orphan"); // must not crash or record
+}
+
+TEST(Trace, SecondSessionIsRejectedWhileActive)
+{
+    TraceSession first;
+    first.start();
+    TraceSession second;
+    EXPECT_THROW(second.start(), util::Error);
+    first.stop();
+    second.start();
+    second.stop();
+}
+
+TEST(Trace, ChromeJsonIsLoadableShape)
+{
+    TraceSession session;
+    session.start();
+    {
+        const Span span("phase \"quoted\"");
+    }
+    session.stop();
+    const std::string json = session.to_chrome_json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST(Trace, ThreadsGetDenseTids)
+{
+    TraceSession session;
+    session.start();
+    std::thread worker([] { const Span span("test.worker"); });
+    worker.join();
+    {
+        const Span span("test.main");
+    }
+    session.stop();
+    const std::vector<TraceEvent> events = session.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NE(events[0].tid, events[1].tid);
+    EXPECT_LE(events[0].tid, 2u);
+    EXPECT_LE(events[1].tid, 2u);
+}
+
+} // namespace
+} // namespace tgl::obs
