@@ -1,9 +1,18 @@
 /// @file
 /// Micro-benchmarks of the SGNS trainers: Hogwild vs batched, padding
 /// and vectorization knobs, dimension sweep. Items = training pairs.
+///
+/// After the google-benchmark suite, a comparison harness times the
+/// Hogwild and batched trainers plus the negative-table samplers
+/// best-of-3 and records the measurements to BENCH_w2v.json — see
+/// bench_json.hpp for the schema.
+#include "bench_json.hpp"
 #include "tgl/tgl.hpp"
+#include "util/timer.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 namespace {
 
@@ -169,4 +178,117 @@ BM_NegativeTableArray(benchmark::State& state)
 BENCHMARK(BM_NegativeTableAlias);
 BENCHMARK(BM_NegativeTableArray);
 
+/// Best-of-N wall time of one full trainer run; returns the pairs
+/// trained in the fastest rep via @p pairs so rates use real work.
+template <typename TrainFn>
+double
+time_trainer(TrainFn&& train, std::uint64_t* pairs)
+{
+    constexpr int kReps = 3;
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        embed::TrainStats stats;
+        util::Timer timer;
+        const embed::Embedding embedding = train(stats);
+        const double seconds = timer.seconds();
+        benchmark::DoNotOptimize(embedding.num_nodes());
+        if (seconds < best) {
+            best = seconds;
+            *pairs = stats.pairs_trained;
+        }
+    }
+    return best;
+}
+
+/// Hogwild vs batched trainer and alias vs array negative-table
+/// draws, written to BENCH_w2v.json for the CI regression gate.
+void
+run_trainer_comparison()
+{
+    const walk::Corpus& corpus = shared_corpus();
+    const graph::NodeId nodes = corpus_nodes();
+
+    embed::SgnsConfig hogwild;
+    hogwild.dim = 32;
+    hogwild.epochs = 2;
+    std::uint64_t hogwild_pairs = 0;
+    const double hogwild_s = time_trainer(
+        [&](embed::TrainStats& stats) {
+            return embed::train_sgns(corpus, nodes, hogwild, &stats);
+        },
+        &hogwild_pairs);
+
+    embed::BatchedSgnsConfig batched;
+    batched.sgns = hogwild;
+    batched.batch_size = 16384;
+    std::uint64_t batched_pairs = 0;
+    const double batched_s = time_trainer(
+        [&](embed::TrainStats& stats) {
+            return embed::train_sgns_batched(corpus, nodes, batched,
+                                             &stats);
+        },
+        &batched_pairs);
+
+    // Negative-table draw rate: fixed draw count, best-of-3.
+    const embed::Vocab vocab(corpus);
+    constexpr std::uint64_t kDraws = 1u << 22;
+    const auto time_table = [&](embed::NegativeTableKind kind) {
+        const embed::NegativeTable table(vocab, kind, 1 << 22);
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            rng::Random random(3);
+            std::uint64_t sink = 0;
+            util::Timer timer;
+            for (std::uint64_t i = 0; i < kDraws; ++i) {
+                sink += table.sample(random);
+            }
+            const double seconds = timer.seconds();
+            benchmark::DoNotOptimize(sink);
+            best = std::min(best, seconds);
+        }
+        return best;
+    };
+    const double alias_s = time_table(embed::NegativeTableKind::kAlias);
+    const double array_s = time_table(embed::NegativeTableKind::kArray);
+
+    std::vector<bench::BenchEntry> entries;
+    entries.push_back(
+        {"w2v/hogwild", hogwild_s,
+         hogwild_s > 0.0 ? hogwild_pairs / hogwild_s : 0.0,
+         {{"pairs", static_cast<double>(hogwild_pairs)},
+          {"dim", static_cast<double>(hogwild.dim)},
+          {"epochs", static_cast<double>(hogwild.epochs)}}});
+    entries.push_back(
+        {"w2v/batched", batched_s,
+         batched_s > 0.0 ? batched_pairs / batched_s : 0.0,
+         {{"pairs", static_cast<double>(batched_pairs)},
+          {"batch_size", static_cast<double>(batched.batch_size)}}});
+    entries.push_back({"w2v/negative_alias", alias_s,
+                       alias_s > 0.0 ? kDraws / alias_s : 0.0,
+                       {{"draws", static_cast<double>(kDraws)}}});
+    entries.push_back({"w2v/negative_array", array_s,
+                       array_s > 0.0 ? kDraws / array_s : 0.0,
+                       {{"draws", static_cast<double>(kDraws)}}});
+
+    std::printf("\n--- SGNS trainer comparison (dim %u, %u epochs) ---\n",
+                hogwild.dim, hogwild.epochs);
+    std::printf("hogwild %8.4fs | batched %8.4fs | neg alias %8.4fs | "
+                "neg array %8.4fs\n",
+                hogwild_s, batched_s, alias_s, array_s);
+    bench::write_bench_json("BENCH_w2v.json", "w2v", entries);
+}
+
 } // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_trainer_comparison();
+    return 0;
+}

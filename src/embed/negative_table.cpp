@@ -6,6 +6,65 @@
 
 namespace tgl::embed {
 
+namespace {
+
+/// Shared table-materialization tail of every constructor.
+void
+build_table(const std::vector<double>& weights, NegativeTableKind kind,
+            std::size_t array_size, rng::AliasTable& alias,
+            std::vector<WordId>& array)
+{
+    if (weights.empty()) {
+        util::fatal("NegativeTable: empty weight vector");
+    }
+    double total = 0.0;
+    for (const double w : weights) {
+        total += w;
+    }
+    if (!(total > 0.0)) {
+        util::fatal("NegativeTable: all sampling weights are zero");
+    }
+
+    if (kind == NegativeTableKind::kAlias) {
+        alias = rng::AliasTable(weights);
+        return;
+    }
+
+    if (array_size < weights.size()) {
+        util::fatal("NegativeTable: array_size smaller than vocabulary");
+    }
+    // word2vec's InitUnigramTable: fill the array proportionally,
+    // guaranteeing at least the cumulative rounding gives every word
+    // with positive weight a chance.
+    array.resize(array_size);
+    WordId word = 0;
+    double cumulative = weights[0] / total;
+    for (std::size_t i = 0; i < array_size; ++i) {
+        array[i] = word;
+        const double position =
+            static_cast<double>(i + 1) / static_cast<double>(array_size);
+        if (position > cumulative && word + 1 < weights.size()) {
+            ++word;
+            cumulative += weights[word] / total;
+        }
+    }
+}
+
+std::vector<double>
+unigram_weights_from_counts(const std::vector<std::uint64_t>& counts)
+{
+    std::vector<double> weights(counts.size());
+    for (std::size_t w = 0; w < counts.size(); ++w) {
+        weights[w] =
+            counts[w] == 0
+                ? 0.0
+                : std::pow(static_cast<double>(counts[w]), 0.75);
+    }
+    return weights;
+}
+
+} // namespace
+
 NegativeTable::NegativeTable(const Vocab& vocab, NegativeTableKind kind,
                              std::size_t array_size)
     : kind_(kind)
@@ -14,35 +73,25 @@ NegativeTable::NegativeTable(const Vocab& vocab, NegativeTableKind kind,
         util::fatal("NegativeTable: empty vocabulary");
     }
     std::vector<double> weights(vocab.size());
-    double total = 0.0;
     for (WordId w = 0; w < vocab.size(); ++w) {
         weights[w] = std::pow(static_cast<double>(vocab.count(w)), 0.75);
-        total += weights[w];
     }
+    build_table(weights, kind_, array_size, alias_, array_);
+}
 
-    if (kind_ == NegativeTableKind::kAlias) {
-        alias_ = rng::AliasTable(weights);
-        return;
-    }
+NegativeTable::NegativeTable(const std::vector<std::uint64_t>& counts,
+                             NegativeTableKind kind, std::size_t array_size)
+    : kind_(kind)
+{
+    build_table(unigram_weights_from_counts(counts), kind_, array_size,
+                alias_, array_);
+}
 
-    if (array_size < vocab.size()) {
-        util::fatal("NegativeTable: array_size smaller than vocabulary");
-    }
-    // word2vec's InitUnigramTable: fill the array proportionally,
-    // guaranteeing at least the cumulative rounding gives every word
-    // with positive weight a chance.
-    array_.resize(array_size);
-    WordId word = 0;
-    double cumulative = weights[0] / total;
-    for (std::size_t i = 0; i < array_size; ++i) {
-        array_[i] = word;
-        const double position =
-            static_cast<double>(i + 1) / static_cast<double>(array_size);
-        if (position > cumulative && word + 1 < vocab.size()) {
-            ++word;
-            cumulative += weights[word] / total;
-        }
-    }
+NegativeTable::NegativeTable(const std::vector<double>& weights,
+                             NegativeTableKind kind, std::size_t array_size)
+    : kind_(kind)
+{
+    build_table(weights, kind_, array_size, alias_, array_);
 }
 
 double

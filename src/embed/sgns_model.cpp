@@ -34,9 +34,14 @@ SgnsConfig::validate() const
 }
 
 SgnsModel::SgnsModel(const Vocab& vocab, const SgnsConfig& config)
+    : SgnsModel(vocab.size(), config)
+{
+}
+
+SgnsModel::SgnsModel(std::size_t vocab_size, const SgnsConfig& config)
     : dim_(config.dim),
       stride_(config.row_stride == 0 ? config.dim : config.row_stride),
-      vocab_size_(vocab.size())
+      vocab_size_(vocab_size)
 {
     if (dim_ == 0) {
         util::fatal("SgnsModel: dim must be >= 1");
@@ -74,6 +79,21 @@ SgnsModel::all_finite() const
         }
     }
     return true;
+}
+
+Embedding
+SgnsModel::to_embedding(graph::NodeId num_nodes) const
+{
+    TGL_ASSERT(vocab_size_ >= num_nodes);
+    Embedding embedding(num_nodes, dim_);
+    for (graph::NodeId node = 0; node < num_nodes; ++node) {
+        auto out = embedding.row(node);
+        const float* in = input_row(static_cast<WordId>(node));
+        for (unsigned i = 0; i < dim_; ++i) {
+            out[i] = in[i];
+        }
+    }
+    return embedding;
 }
 
 Embedding

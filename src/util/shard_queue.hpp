@@ -1,0 +1,160 @@
+/// @file
+/// Bounded MPMC queue for corpus shards flowing from the walk
+/// producers to the SGNS consumers during overlapped execution
+/// (core/overlap.hpp). A plain mutex + two condition variables is
+/// plenty here: shards are coarse (tens of thousands of tokens), so
+/// queue operations are orders of magnitude rarer than the work they
+/// hand over, and the simple design keeps the close()/drain semantics
+/// and the stall accounting easy to reason about (and to verify under
+/// ThreadSanitizer).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace tgl::util {
+
+/// Blocking bounded queue with shutdown semantics and stall-time
+/// accounting.
+///
+/// Producers push() until close(); consumers pop() until the queue is
+/// closed AND drained. Time spent blocked on a full queue (producers)
+/// or an empty queue (consumers) is accumulated so the overlap layer
+/// can report which side of the pipeline was the bottleneck
+/// (`overlap.producer_stall_seconds` / `overlap.consumer_stall_seconds`).
+template <typename T>
+class ShardQueue
+{
+  public:
+    /// @param capacity maximum queued items (>= 1; 0 is promoted to 1).
+    explicit ShardQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    ShardQueue(const ShardQueue&) = delete;
+    ShardQueue& operator=(const ShardQueue&) = delete;
+
+    /// Block until there is room, then enqueue. Returns false — and
+    /// drops @p item — iff the queue was closed (shutdown while
+    /// waiting, or push after close).
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.size() >= capacity_ && !closed_) {
+            const auto begin = std::chrono::steady_clock::now();
+            not_full_.wait(lock, [this] {
+                return items_.size() < capacity_ || closed_;
+            });
+            producer_stall_ += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - begin)
+                                   .count();
+        }
+        if (closed_) {
+            return false;
+        }
+        items_.push_back(std::move(item));
+        max_depth_ = std::max(max_depth_, items_.size());
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Block until an item is available, then dequeue it. Returns
+    /// nullopt iff the queue is closed and fully drained — the
+    /// consumer's termination signal.
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty() && !closed_) {
+            const auto begin = std::chrono::steady_clock::now();
+            not_empty_.wait(lock,
+                            [this] { return !items_.empty() || closed_; });
+            consumer_stall_ += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - begin)
+                                   .count();
+        }
+        if (items_.empty()) {
+            return std::nullopt; // closed and drained
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Shut the queue down: pending items stay poppable, further
+    /// push() calls fail, and every blocked thread wakes. Idempotent.
+    void
+    close()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /// High-water mark of the queue depth since construction.
+    std::size_t
+    max_depth() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return max_depth_;
+    }
+
+    /// Cumulative seconds producers spent blocked on a full queue.
+    double
+    producer_stall_seconds() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return producer_stall_;
+    }
+
+    /// Cumulative seconds consumers spent blocked on an empty queue.
+    double
+    consumer_stall_seconds() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return consumer_stall_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+    std::size_t max_depth_ = 0;
+    double producer_stall_ = 0.0;
+    double consumer_stall_ = 0.0;
+};
+
+} // namespace tgl::util

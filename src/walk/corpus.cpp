@@ -14,6 +14,7 @@ void
 Corpus::append(Corpus&& other)
 {
     const std::size_t base = tokens_.size();
+    tokens_.reserve(tokens_.size() + other.tokens_.size());
     tokens_.insert(tokens_.end(), other.tokens_.begin(),
                    other.tokens_.end());
     offsets_.reserve(offsets_.size() + other.num_walks());

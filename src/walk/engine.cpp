@@ -4,6 +4,7 @@
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 
 #include <algorithm>
@@ -135,7 +136,145 @@ run_edge_start_walk(const graph::TemporalGraph& graph,
                          count, scratch, local_profile);
 }
 
+/// Walk one slot into @p tokens, deriving the slot's RNG stream from
+/// the base seed — the seeding contract shared by the block-parallel
+/// and the sharded generation paths.
+std::size_t
+walk_slot(const graph::TemporalGraph& graph, const WalkConfig& config,
+          const TransitionCache* cache, std::size_t slot_index,
+          graph::NodeId* tokens, std::vector<std::uint32_t>& scratch,
+          WalkProfile& local_profile)
+{
+    rng::Random random(rng::mix_seed(config.seed, slot_index));
+    std::size_t written;
+    if (config.start == StartKind::kEveryNode) {
+        // Slot (k, v) with v varying fastest: walk k of vertex
+        // slot_index % n.
+        const auto v =
+            static_cast<graph::NodeId>(slot_index % graph.num_nodes());
+        written = run_node_start_walk(graph, config, cache, v, random,
+                                      tokens, scratch, local_profile);
+    } else {
+        written = run_edge_start_walk(graph, config, cache, random,
+                                      tokens, scratch, local_profile);
+    }
+    ++local_profile.walks_started;
+    return written;
+}
+
+/// Input validation shared by every generation entry point.
+void
+validate_walk_inputs(const graph::TemporalGraph& graph,
+                     const WalkConfig& config, const char* who)
+{
+    if (config.max_length == 0) {
+        util::fatal(util::strcat(who, ": max_length must be >= 1"));
+    }
+    if (config.max_length > 254) {
+        util::fatal(util::strcat(who, ": max_length must be <= 254"));
+    }
+    if (config.walks_per_node == 0) {
+        util::fatal(util::strcat(who, ": walks_per_node must be >= 1"));
+    }
+    if (config.start == StartKind::kTemporalEdge &&
+        graph.num_edges() == 0) {
+        util::fatal(util::strcat(who, ": edge-start walks need edges"));
+    }
+}
+
 } // namespace
+
+std::size_t
+total_walk_slots(const graph::TemporalGraph& graph,
+                 const WalkConfig& config)
+{
+    // Both policies generate walks_per_node * num_nodes walks so the
+    // corpus budget is comparable across start policies.
+    return static_cast<std::size_t>(graph.num_nodes()) *
+           config.walks_per_node;
+}
+
+SlotRange
+walk_shard_range(std::size_t total_slots, std::size_t num_shards,
+                 std::size_t index)
+{
+    TGL_ASSERT(num_shards > 0 && index < num_shards);
+    const std::size_t base = total_slots / num_shards;
+    const std::size_t extra = total_slots % num_shards;
+    // The first `extra` shards take base+1 slots each.
+    const std::size_t begin =
+        index * base + std::min<std::size_t>(index, extra);
+    const std::size_t size = base + (index < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+std::size_t
+expected_tokens_per_walk(const WalkConfig& config)
+{
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(config.max_length) + 1, 6);
+}
+
+void
+accumulate_profile(WalkProfile& into, const WalkProfile& from)
+{
+    into.walks_started += from.walks_started;
+    into.walks_kept += from.walks_kept;
+    into.steps_taken += from.steps_taken;
+    into.dead_ends += from.dead_ends;
+    into.candidates_scanned += from.candidates_scanned;
+    into.cached_steps += from.cached_steps;
+    into.transition_cost.memory_ops += from.transition_cost.memory_ops;
+    into.transition_cost.branch_ops += from.transition_cost.branch_ops;
+    into.transition_cost.compute_ops += from.transition_cost.compute_ops;
+}
+
+void
+report_walk_metrics(const WalkProfile& totals)
+{
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("walk.walks.started").add(totals.walks_started);
+    registry.counter("walk.walks.kept").add(totals.walks_kept);
+    registry.counter("walk.steps").add(totals.steps_taken);
+    registry.counter("walk.steps.cached").add(totals.cached_steps);
+    registry.counter("walk.steps.direct")
+        .add(totals.steps_taken - totals.cached_steps);
+    registry.counter("walk.dead_ends").add(totals.dead_ends);
+    registry.counter("walk.candidates_scanned")
+        .add(totals.candidates_scanned);
+}
+
+Corpus
+generate_walk_shard(const graph::TemporalGraph& graph,
+                    const WalkConfig& config, const TransitionCache* cache,
+                    SlotRange slots, WalkProfile* profile)
+{
+    validate_walk_inputs(graph, config, "generate_walk_shard");
+    TGL_ASSERT(slots.begin <= slots.end);
+
+    const std::size_t tokens_per_walk =
+        static_cast<std::size_t>(config.max_length) + 1;
+    Corpus shard;
+    shard.reserve(slots.size(),
+                  slots.size() * expected_tokens_per_walk(config));
+
+    std::vector<graph::NodeId> buffer(tokens_per_walk);
+    std::vector<std::uint32_t> scratch;
+    WalkProfile local;
+    for (std::size_t slot_index = slots.begin; slot_index < slots.end;
+         ++slot_index) {
+        const std::size_t len = walk_slot(graph, config, cache, slot_index,
+                                          buffer.data(), scratch, local);
+        if (len >= config.min_walk_tokens) {
+            shard.add_walk({buffer.data(), len});
+        }
+    }
+    local.walks_kept = shard.num_walks();
+    if (profile != nullptr) {
+        accumulate_profile(*profile, local);
+    }
+    return shard;
+}
 
 Corpus
 generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
@@ -153,33 +292,17 @@ Corpus
 generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
                const TransitionCache* cache, WalkProfile* profile)
 {
-    if (config.max_length == 0) {
-        util::fatal("generate_walks: max_length must be >= 1");
-    }
-    if (config.max_length > 254) {
-        util::fatal("generate_walks: max_length must be <= 254");
-    }
-    if (config.walks_per_node == 0) {
-        util::fatal("generate_walks: walks_per_node must be >= 1");
-    }
-    if (config.start == StartKind::kTemporalEdge &&
-        graph.num_edges() == 0) {
-        util::fatal("generate_walks: edge-start walks need edges");
-    }
+    validate_walk_inputs(graph, config, "generate_walks");
 
     const obs::Span span("walk.generate");
 
-    const graph::NodeId n = graph.num_nodes();
     const std::size_t tokens_per_walk =
         static_cast<std::size_t>(config.max_length) + 1;
-
-    // Both policies generate walks_per_node * num_nodes walks so the
-    // corpus budget is comparable across start policies.
-    const std::size_t total_walks =
-        static_cast<std::size_t>(n) * config.walks_per_node;
+    const std::size_t total_walks = total_walk_slots(graph, config);
 
     Corpus corpus;
-    corpus.reserve(total_walks, total_walks * 3);
+    corpus.reserve(total_walks,
+                   total_walks * expected_tokens_per_walk(config));
 
     // Process walk slots in blocks: each block is walked in parallel
     // into a dense scratch buffer, then compacted serially in slot
@@ -203,28 +326,13 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
         util::parallel_for_ranked(
             block_begin, block_end,
             [&](std::size_t slot_index, unsigned rank) {
-                WalkProfile& local = rank_profiles[rank];
-                rng::Random random(
-                    rng::mix_seed(config.seed, slot_index));
                 const std::size_t slot = slot_index - block_begin;
                 graph::NodeId* tokens =
                     buffer.data() + slot * tokens_per_walk;
-                std::size_t written;
-                if (config.start == StartKind::kEveryNode) {
-                    // Slot (k, v) with v varying fastest: walk k of
-                    // vertex slot_index % n.
-                    const auto v = static_cast<graph::NodeId>(
-                        slot_index % n);
-                    written = run_node_start_walk(
-                        graph, config, cache, v, random, tokens,
-                        rank_scratch[rank], local);
-                } else {
-                    written = run_edge_start_walk(
-                        graph, config, cache, random, tokens,
-                        rank_scratch[rank], local);
-                }
+                const std::size_t written =
+                    walk_slot(graph, config, cache, slot_index, tokens,
+                              rank_scratch[rank], rank_profiles[rank]);
                 lengths[slot] = static_cast<std::uint8_t>(written);
-                ++local.walks_started;
             },
             {.num_threads = config.num_threads});
 
@@ -244,44 +352,14 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
     // free of shared writes, and the registry sees one add per total.
     WalkProfile totals;
     for (const WalkProfile& local : rank_profiles) {
-        totals.walks_started += local.walks_started;
-        totals.steps_taken += local.steps_taken;
-        totals.dead_ends += local.dead_ends;
-        totals.candidates_scanned += local.candidates_scanned;
-        totals.cached_steps += local.cached_steps;
-        totals.transition_cost.memory_ops +=
-            local.transition_cost.memory_ops;
-        totals.transition_cost.branch_ops +=
-            local.transition_cost.branch_ops;
-        totals.transition_cost.compute_ops +=
-            local.transition_cost.compute_ops;
+        accumulate_profile(totals, local);
     }
     totals.walks_kept = corpus.num_walks();
 
-    obs::Registry& registry = obs::Registry::global();
-    registry.counter("walk.walks.started").add(totals.walks_started);
-    registry.counter("walk.walks.kept").add(totals.walks_kept);
-    registry.counter("walk.steps").add(totals.steps_taken);
-    registry.counter("walk.steps.cached").add(totals.cached_steps);
-    registry.counter("walk.steps.direct")
-        .add(totals.steps_taken - totals.cached_steps);
-    registry.counter("walk.dead_ends").add(totals.dead_ends);
-    registry.counter("walk.candidates_scanned")
-        .add(totals.candidates_scanned);
+    report_walk_metrics(totals);
 
     if (profile != nullptr) {
-        profile->walks_started += totals.walks_started;
-        profile->steps_taken += totals.steps_taken;
-        profile->dead_ends += totals.dead_ends;
-        profile->candidates_scanned += totals.candidates_scanned;
-        profile->cached_steps += totals.cached_steps;
-        profile->walks_kept += totals.walks_kept;
-        profile->transition_cost.memory_ops +=
-            totals.transition_cost.memory_ops;
-        profile->transition_cost.branch_ops +=
-            totals.transition_cost.branch_ops;
-        profile->transition_cost.compute_ops +=
-            totals.transition_cost.compute_ops;
+        accumulate_profile(*profile, totals);
     }
     return corpus;
 }

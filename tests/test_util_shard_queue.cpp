@@ -1,0 +1,180 @@
+/// Concurrency tests for the bounded MPMC shard queue that feeds the
+/// overlapped walk→word2vec front end.
+#include "util/shard_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tgl::util {
+namespace {
+
+TEST(ShardQueue, FifoSingleThread)
+{
+    ShardQueue<int> queue(8);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    EXPECT_TRUE(queue.push(3));
+    EXPECT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), 3);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ShardQueue, ZeroCapacityPromotedToOne)
+{
+    ShardQueue<int> queue(0);
+    EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(ShardQueue, PopBlocksUntilPush)
+{
+    ShardQueue<int> queue(4);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        queue.push(42);
+    });
+    // pop() must block through the producer's delay and then deliver.
+    EXPECT_EQ(queue.pop(), 42);
+    producer.join();
+    EXPECT_GT(queue.consumer_stall_seconds(), 0.0);
+}
+
+TEST(ShardQueue, PushBlocksWhenFull)
+{
+    ShardQueue<int> queue(2);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&] {
+        queue.push(3); // must block: queue is at capacity
+        third_pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(third_pushed.load());
+    EXPECT_EQ(queue.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(third_pushed.load());
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), 3);
+    EXPECT_GT(queue.producer_stall_seconds(), 0.0);
+    EXPECT_LE(queue.max_depth(), queue.capacity());
+}
+
+TEST(ShardQueue, CloseDrainsThenSignalsEnd)
+{
+    ShardQueue<int> queue(4);
+    ASSERT_TRUE(queue.push(7));
+    ASSERT_TRUE(queue.push(8));
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    // Pending items survive close(); only then does pop() end.
+    EXPECT_EQ(queue.pop(), 7);
+    EXPECT_EQ(queue.pop(), 8);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+    EXPECT_EQ(queue.pop(), std::nullopt); // idempotent after drain
+}
+
+TEST(ShardQueue, PushAfterCloseFails)
+{
+    ShardQueue<int> queue(4);
+    queue.close();
+    EXPECT_FALSE(queue.push(1));
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ShardQueue, CloseUnblocksWaitingConsumers)
+{
+    ShardQueue<int> queue(4);
+    std::atomic<int> ended{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            while (queue.pop()) {
+            }
+            ended.fetch_add(1);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    for (std::thread& consumer : consumers) {
+        consumer.join();
+    }
+    EXPECT_EQ(ended.load(), 3);
+}
+
+TEST(ShardQueue, CloseUnblocksWaitingProducers)
+{
+    ShardQueue<int> queue(1);
+    ASSERT_TRUE(queue.push(0));
+    std::atomic<bool> rejected{false};
+    std::thread producer([&] {
+        rejected.store(!queue.push(1)); // blocks on full, then fails
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    producer.join();
+    EXPECT_TRUE(rejected.load());
+}
+
+TEST(ShardQueue, MultiProducerMultiConsumerDeliversEveryItemOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 250;
+    ShardQueue<int> queue(8);
+
+    std::atomic<int> live_producers{kProducers};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(p * kPerProducer + i));
+            }
+            // Last producer out closes — the overlap layer's protocol.
+            if (live_producers.fetch_sub(1) == 1) {
+                queue.close();
+            }
+        });
+    }
+
+    std::mutex seen_mutex;
+    std::set<int> seen;
+    std::atomic<int> total{0};
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (std::optional<int> item = queue.pop()) {
+                const std::lock_guard<std::mutex> lock(seen_mutex);
+                EXPECT_TRUE(seen.insert(*item).second)
+                    << "item " << *item << " delivered twice";
+                total.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(total.load(), kProducers * kPerProducer);
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    EXPECT_LE(queue.max_depth(), queue.capacity());
+}
+
+TEST(ShardQueue, MovesNonCopyableItems)
+{
+    ShardQueue<std::unique_ptr<int>> queue(2);
+    ASSERT_TRUE(queue.push(std::make_unique<int>(5)));
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(**item, 5);
+}
+
+} // namespace
+} // namespace tgl::util

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json files against committed baselines.
+
+The micro benches and the pipeline smoke run write machine-readable
+results in the shared bench schema (see bench/bench_json.hpp).  This
+script gates CI on them: for every baseline suite it computes the
+per-entry wall-time ratio (current / baseline) and the suite's median
+ratio.  A suite whose median regresses more than --fail-threshold
+(default 15%) fails the run; more than --warn-threshold (default 5%)
+prints a warning but stays green.  Medians, not means, so one noisy
+entry on a shared CI runner cannot flip the gate by itself.
+
+Usage:
+    python3 tools/bench_compare.py \
+        --baseline-dir bench/baselines --current-dir build
+
+    # refresh the committed baselines from a fresh run
+    python3 tools/bench_compare.py \
+        --baseline-dir bench/baselines --current-dir build --update
+
+Exit codes: 0 ok (including warnings), 1 regression, 2 usage/schema
+error (missing suite, malformed JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+class BenchError(Exception):
+    """Schema or usage problem — exit code 2, never a regression."""
+
+
+def load_bench(path: Path) -> dict[str, float]:
+    """Return {entry name: seconds} for one BENCH_*.json file."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise BenchError(f"{path}: unreadable bench JSON: {err}") from err
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise BenchError(
+            f"{path}: schema_version {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    entries = {}
+    for entry in doc.get("entries", []):
+        name = entry.get("name")
+        seconds = entry.get("seconds")
+        if not isinstance(name, str) or not isinstance(seconds, (int, float)):
+            raise BenchError(f"{path}: malformed entry {entry!r}")
+        entries[name] = float(seconds)
+    if not entries:
+        raise BenchError(f"{path}: no entries")
+    return entries
+
+
+def compare_suite(
+    baseline: dict[str, float], current: dict[str, float]
+) -> tuple[list[tuple[str, float]], float]:
+    """Per-entry (name, ratio) for shared entries plus the median ratio.
+
+    Entries present on only one side are skipped (renames and new
+    benches should not fail the gate); zero-second baselines are
+    skipped too, since their ratio is meaningless.
+    """
+    ratios = []
+    for name, base_seconds in sorted(baseline.items()):
+        if name not in current or base_seconds <= 0.0:
+            continue
+        ratios.append((name, current[name] / base_seconds))
+    if not ratios:
+        raise BenchError("no comparable entries between baseline and current")
+    return ratios, statistics.median(r for _, r in ratios)
+
+
+def compare_dirs(
+    baseline_dir: Path,
+    current_dir: Path,
+    fail_threshold: float,
+    warn_threshold: float,
+    out=sys.stdout,
+) -> bool:
+    """Compare every baseline suite; return True iff the gate passes."""
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        raise BenchError(f"{baseline_dir}: no BENCH_*.json baselines")
+
+    ok = True
+    for baseline_path in baseline_files:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            raise BenchError(
+                f"{current_path}: missing — the bench run did not produce "
+                f"this suite"
+            )
+        ratios, median = compare_suite(
+            load_bench(baseline_path), load_bench(current_path)
+        )
+        if median > 1.0 + fail_threshold:
+            verdict = "FAIL"
+            ok = False
+        elif median > 1.0 + warn_threshold:
+            verdict = "WARN"
+        else:
+            verdict = "ok"
+        print(
+            f"{verdict:>4}  {baseline_path.name}: median ratio "
+            f"{median:.3f} over {len(ratios)} entries "
+            f"(fail > {1.0 + fail_threshold:.2f}, "
+            f"warn > {1.0 + warn_threshold:.2f})",
+            file=out,
+        )
+        for name, ratio in ratios:
+            marker = ""
+            if ratio > 1.0 + fail_threshold:
+                marker = "  <-- slower"
+            elif ratio < 1.0 - fail_threshold:
+                marker = "  (faster)"
+            print(f"      {name}: {ratio:.3f}{marker}", file=out)
+    return ok
+
+
+def update_baselines(baseline_dir: Path, current_dir: Path, out=sys.stdout):
+    """Copy the current suites over the committed baselines."""
+    current_files = sorted(current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        raise BenchError(f"{current_dir}: no BENCH_*.json files to promote")
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for path in current_files:
+        load_bench(path)  # refuse to promote malformed files
+        shutil.copy2(path, baseline_dir / path.name)
+        print(f"updated {baseline_dir / path.name}", file=out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, required=True,
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--current-dir", type=Path, required=True,
+        help="directory holding the fresh BENCH_*.json results",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=0.15,
+        help="fail when a suite's median ratio exceeds 1 + this "
+        "(default 0.15)",
+    )
+    parser.add_argument(
+        "--warn-threshold", type=float, default=0.05,
+        help="warn when a suite's median ratio exceeds 1 + this "
+        "(default 0.05)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="promote the current results to baselines instead of "
+        "comparing",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.update:
+            update_baselines(args.baseline_dir, args.current_dir)
+            return 0
+        ok = compare_dirs(
+            args.baseline_dir,
+            args.current_dir,
+            args.fail_threshold,
+            args.warn_threshold,
+        )
+    except BenchError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if not ok:
+        print(
+            "benchmark regression: median suite time exceeded the fail "
+            "threshold (see above); if intentional, refresh the "
+            "baselines with --update",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py.
+
+The load-bearing case doctors a +30% slowdown into the current results
+and asserts the gate goes red — the proof the CI bench-regression job
+can actually fail.  Run with:
+
+    python3 -m unittest tools.test_bench_compare
+"""
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_compare
+
+
+def write_suite(path: Path, names_seconds: dict[str, float]):
+    doc = {
+        "benchmark": path.stem.removeprefix("BENCH_"),
+        "schema_version": 1,
+        "entries": [
+            {"name": name, "seconds": seconds, "items_per_second": 0.0,
+             "metrics": {}}
+            for name, seconds in names_seconds.items()
+        ],
+    }
+    path.write_text(json.dumps(doc))
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline_dir = root / "baselines"
+        self.current_dir = root / "current"
+        self.baseline_dir.mkdir()
+        self.current_dir.mkdir()
+        self.baseline = {
+            "walk/exponential/direct": 1.0,
+            "walk/exponential/cached": 0.4,
+            "walk/uniform/direct": 0.2,
+        }
+        write_suite(self.baseline_dir / "BENCH_walk.json", self.baseline)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def compare(self, current: dict[str, float]) -> tuple[bool, str]:
+        write_suite(self.current_dir / "BENCH_walk.json", current)
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        return ok, out.getvalue()
+
+    def test_identical_results_pass(self):
+        ok, out = self.compare(dict(self.baseline))
+        self.assertTrue(ok)
+        self.assertIn("ok", out)
+
+    def test_injected_30_percent_slowdown_fails(self):
+        doctored = {name: s * 1.30 for name, s in self.baseline.items()}
+        ok, out = self.compare(doctored)
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out)
+
+    def test_8_percent_slowdown_warns_but_passes(self):
+        doctored = {name: s * 1.08 for name, s in self.baseline.items()}
+        ok, out = self.compare(doctored)
+        self.assertTrue(ok)
+        self.assertIn("WARN", out)
+
+    def test_median_gate_tolerates_one_noisy_entry(self):
+        # One entry 2x slower, the other two unchanged: the median stays
+        # at 1.0, so a single outlier cannot flip the gate.
+        doctored = dict(self.baseline)
+        doctored["walk/uniform/direct"] *= 2.0
+        ok, out = self.compare(doctored)
+        self.assertTrue(ok)
+        self.assertIn("<-- slower", out)
+
+    def test_speedups_pass(self):
+        doctored = {name: s * 0.5 for name, s in self.baseline.items()}
+        ok, _ = self.compare(doctored)
+        self.assertTrue(ok)
+
+    def test_new_entries_are_ignored(self):
+        doctored = dict(self.baseline)
+        doctored["walk/brand_new_bench"] = 99.0
+        ok, _ = self.compare(doctored)
+        self.assertTrue(ok)
+
+    def test_missing_current_suite_is_a_schema_error(self):
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.compare_dirs(
+                self.baseline_dir, self.current_dir,
+                fail_threshold=0.15, warn_threshold=0.05,
+                out=io.StringIO(),
+            )
+
+    def test_malformed_json_is_a_schema_error(self):
+        (self.current_dir / "BENCH_walk.json").write_text("not json")
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.compare_dirs(
+                self.baseline_dir, self.current_dir,
+                fail_threshold=0.15, warn_threshold=0.05,
+                out=io.StringIO(),
+            )
+
+    def test_wrong_schema_version_is_rejected(self):
+        doc = {"benchmark": "walk", "schema_version": 2, "entries": []}
+        (self.current_dir / "BENCH_walk.json").write_text(json.dumps(doc))
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.compare_dirs(
+                self.baseline_dir, self.current_dir,
+                fail_threshold=0.15, warn_threshold=0.05,
+                out=io.StringIO(),
+            )
+
+    def test_update_promotes_current_to_baseline(self):
+        doctored = {name: s * 1.30 for name, s in self.baseline.items()}
+        write_suite(self.current_dir / "BENCH_walk.json", doctored)
+        bench_compare.update_baselines(
+            self.baseline_dir, self.current_dir, out=io.StringIO()
+        )
+        promoted = bench_compare.load_bench(
+            self.baseline_dir / "BENCH_walk.json"
+        )
+        self.assertEqual(promoted, doctored)
+
+    def test_cli_exit_codes(self):
+        write_suite(
+            self.current_dir / "BENCH_walk.json",
+            {name: s * 1.30 for name, s in self.baseline.items()},
+        )
+        argv = [
+            "--baseline-dir", str(self.baseline_dir),
+            "--current-dir", str(self.current_dir),
+        ]
+        self.assertEqual(bench_compare.main(argv), 1)
+        write_suite(
+            self.current_dir / "BENCH_walk.json", dict(self.baseline)
+        )
+        self.assertEqual(bench_compare.main(argv), 0)
+        self.assertEqual(
+            bench_compare.main(
+                ["--baseline-dir", str(self.baseline_dir / "missing"),
+                 "--current-dir", str(self.current_dir)]
+            ),
+            2,
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
