@@ -37,6 +37,13 @@ struct BenchEntry
     double seconds = 0.0;
     double items_per_second = 0.0;
     std::vector<std::pair<std::string, double>> metrics;
+    /// What `seconds` measures. "seconds" (default) marks a timing
+    /// entry the regression gate may compare; anything else (e.g.
+    /// "mix", "stall_share") marks a counter-valued entry tools must
+    /// not treat as a wall-clock measurement. Declared last so the
+    /// positional aggregate initializers at timing call sites keep
+    /// the default.
+    std::string unit = "seconds";
 };
 
 /// Serialize doubles with enough digits to round-trip; JSON has no
@@ -61,9 +68,11 @@ write_bench_json(const std::string& path, const std::string& suite,
         << "  \"schema_version\": 1,\n  \"entries\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const BenchEntry& entry = entries[i];
-        out << "    {\"name\": \"" << entry.name << "\", \"seconds\": "
-            << json_number(entry.seconds) << ", \"items_per_second\": "
-            << json_number(entry.items_per_second) << ", \"metrics\": {";
+        out << "    {\"name\": \"" << util::json_escape(entry.name)
+            << "\", \"seconds\": " << json_number(entry.seconds)
+            << ", \"items_per_second\": "
+            << json_number(entry.items_per_second) << ", \"unit\": \""
+            << util::json_escape(entry.unit) << "\", \"metrics\": {";
         for (std::size_t m = 0; m < entry.metrics.size(); ++m) {
             out << "\"" << entry.metrics[m].first
                 << "\": " << json_number(entry.metrics[m].second);

@@ -5,11 +5,59 @@
 /// Paper finding: every kernel mixes substantial compute AND memory
 /// operations — notably the random walk, which unlike classic graph
 /// traversals is compute-heavy because of the softmax transition
-/// (Eq. 1). Counts here come from the software operation accounting
-/// documented in profiling/op_counters.hpp (the MICA substitution).
+/// (Eq. 1).
+///
+/// Dual-source: --source=model uses the software operation accounting
+/// of profiling/op_counters.hpp (the MICA-Pintool substitution);
+/// --source=measured reads hardware counters (obs/perf_events: the
+/// memory share from L1D load+store events, the branch share from
+/// retired branches, both over retired instructions); --source=both
+/// prints the comparison and writes it into the BENCH JSON so
+/// EXPERIMENTS.md can report how well the substitution tracks reality.
+/// The measured taxonomy folds the model's compute and other buckets
+/// together (hardware counts loads/stores/branches directly but has no
+/// "other" class), so compare mem% and branch% one-to-one and
+/// compute%+other% against measured compute%.
 #include "tgl/tgl.hpp"
 
+#include "bench_json.hpp"
+#include "source_mode.hpp"
+
+#include <algorithm>
 #include <cstdio>
+
+namespace {
+
+/// Measured per-kernel mix derived from one phase's counter deltas.
+struct MeasuredMix
+{
+    bool available = false;
+    double mem = 0.0;
+    double branch = 0.0;
+    double compute = 0.0; ///< remainder: model compute + other
+    tgl::obs::PerfSample sample;
+};
+
+MeasuredMix
+measured_mix(const tgl::obs::PerfSample& sample)
+{
+    MeasuredMix mix;
+    mix.sample = sample;
+    if (!sample.valid ||
+        !sample.has(tgl::obs::PerfEvent::kInstructions) ||
+        (!sample.has(tgl::obs::PerfEvent::kL1dLoads) &&
+         !sample.has(tgl::obs::PerfEvent::kL1dStores)) ||
+        !sample.has(tgl::obs::PerfEvent::kBranches)) {
+        return mix;
+    }
+    mix.available = true;
+    mix.mem = sample.memory_op_fraction();
+    mix.branch = sample.branch_op_fraction();
+    mix.compute = std::max(0.0, 1.0 - mix.mem - mix.branch);
+    return mix;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -20,9 +68,21 @@ main(int argc, char** argv)
     cli.add_flag("dataset", "ia-email", "catalog dataset");
     cli.add_flag("scale", "0.03", "stand-in scale");
     cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("source", "model",
+                 "mix source: model (op-count substitution) | measured "
+                 "(hardware counters) | both (comparison + BENCH JSON)");
+    cli.add_flag("bench-out", "",
+                 "BENCH JSON path for the model-vs-measured comparison "
+                 "(default BENCH_fig09.json with --source=both)");
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
+        }
+        const bench::Source source =
+            bench::parse_source(cli.get_string("source"));
+        bool counters = false;
+        if (bench::wants_measured(source)) {
+            counters = bench::enable_measured_counters();
         }
         const auto seed =
             static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -32,6 +92,9 @@ main(int argc, char** argv)
             dataset.edges, {.symmetrize = true});
 
         // Run the pipeline kernels, collecting their measured profiles.
+        // The engine/trainer/classifier record their own counter scopes
+        // under the walk/sgns/train/test phases; diffing the phase
+        // aggregates around each kernel isolates its share.
         walk::WalkConfig walk_config;
         walk_config.walks_per_node = 10;
         walk_config.max_length = 6;
@@ -40,25 +103,38 @@ main(int argc, char** argv)
         // the prefix-CDF cache would change the instruction mix.
         walk_config.transition_cache = walk::TransitionCacheMode::kOff;
         walk::WalkProfile walk_profile;
+        obs::PerfSample before = obs::perf_phase_total("walk");
         const walk::Corpus corpus =
             walk::generate_walks(graph, walk_config, &walk_profile);
+        const MeasuredMix rwalk_measured =
+            measured_mix(obs::perf_phase_total("walk") - before);
 
         embed::SgnsConfig sgns;
         sgns.dim = 8;
         sgns.epochs = 3;
         sgns.seed = seed;
         embed::TrainStats w2v_stats;
+        before = obs::perf_phase_total("sgns");
         const embed::Embedding embedding = embed::train_sgns(
             corpus, graph.num_nodes(), sgns, &w2v_stats);
+        const MeasuredMix w2v_measured =
+            measured_mix(obs::perf_phase_total("sgns") - before);
 
         const core::LinkSplits splits =
             core::prepare_link_splits(dataset.edges, graph, {});
         core::ClassifierConfig classifier;
         classifier.max_epochs = 10;
+        const obs::PerfSample train_before =
+            obs::perf_phase_total("train");
+        const obs::PerfSample test_before = obs::perf_phase_total("test");
         const core::TaskResult task =
             core::run_link_prediction(splits, embedding, classifier);
+        const MeasuredMix train_measured = measured_mix(
+            obs::perf_phase_total("train") - train_before);
+        const MeasuredMix test_measured =
+            measured_mix(obs::perf_phase_total("test") - test_before);
 
-        // Derive the four mixes.
+        // Derive the four model mixes.
         const prof::OpCounts rwalk = prof::walk_op_counts(walk_profile);
         const prof::OpCounts w2v = prof::w2v_op_counts(w2v_stats, sgns);
         const std::vector<std::size_t> lp_dims = {
@@ -76,34 +152,130 @@ main(int argc, char** argv)
                     dataset.name.c_str(),
                     util::format_count(graph.num_nodes()).c_str(),
                     util::format_count(graph.num_edges()).c_str());
-        std::printf("# software operation accounting replaces the MICA "
-                    "Pintool; see EXPERIMENTS.md\n\n");
-        std::printf("%-10s %8s %8s %9s %8s\n", "kernel", "mem%",
-                    "branch%", "compute%", "other%");
+
         const struct
         {
             const char* name;
             const prof::OpCounts* counts;
-        } rows[] = {{"rwalk", &rwalk},
-                    {"word2vec", &w2v},
-                    {"train", &train},
-                    {"test", &test}};
-        double mem_sum = 0.0, compute_sum = 0.0;
-        for (const auto& row : rows) {
-            std::printf("%-10s %7.1f%% %7.1f%% %8.1f%% %7.1f%%\n",
-                        row.name, row.counts->memory_fraction() * 100.0,
-                        row.counts->branch_fraction() * 100.0,
-                        row.counts->compute_fraction() * 100.0,
-                        row.counts->other_fraction() * 100.0);
-            mem_sum += row.counts->memory_fraction();
-            compute_sum += row.counts->compute_fraction();
+            const MeasuredMix* measured;
+        } rows[] = {{"rwalk", &rwalk, &rwalk_measured},
+                    {"word2vec", &w2v, &w2v_measured},
+                    {"train", &train, &train_measured},
+                    {"test", &test, &test_measured}};
+
+        if (source != bench::Source::kMeasured) {
+            std::printf("# model: software operation accounting "
+                        "replaces the MICA Pintool; see EXPERIMENTS.md"
+                        "\n\n");
+            std::printf("%-10s %8s %8s %9s %8s\n", "kernel", "mem%",
+                        "branch%", "compute%", "other%");
+            double mem_sum = 0.0, compute_sum = 0.0;
+            for (const auto& row : rows) {
+                std::printf(
+                    "%-10s %7.1f%% %7.1f%% %8.1f%% %7.1f%%\n", row.name,
+                    row.counts->memory_fraction() * 100.0,
+                    row.counts->branch_fraction() * 100.0,
+                    row.counts->compute_fraction() * 100.0,
+                    row.counts->other_fraction() * 100.0);
+                mem_sum += row.counts->memory_fraction();
+                compute_sum += row.counts->compute_fraction();
+            }
+            std::printf("\n# averages: memory %.1f%%, compute %.1f%% "
+                        "(paper: 30.4%% / 36.6%%)\n",
+                        mem_sum / 4.0 * 100.0,
+                        compute_sum / 4.0 * 100.0);
+            std::printf("# paper shape check: compute and memory both "
+                        "dominant in every kernel; rwalk compute-heavy "
+                        "because of Eq. 1.\n");
         }
-        std::printf("\n# averages: memory %.1f%%, compute %.1f%% "
-                    "(paper: 30.4%% / 36.6%%)\n",
-                    mem_sum / 4.0 * 100.0, compute_sum / 4.0 * 100.0);
-        std::printf("# paper shape check: compute and memory both "
-                    "dominant in every kernel; rwalk compute-heavy "
-                    "because of Eq. 1.\n");
+
+        if (bench::wants_measured(source)) {
+            std::printf("\n# measured: hardware counters "
+                        "(instructions, branches, L1D accesses); "
+                        "compute%% = 1 - mem%% - branch%%\n\n");
+            std::printf("%-10s %8s %8s %9s %8s\n", "kernel", "mem%",
+                        "branch%", "compute%", "ipc");
+            for (const auto& row : rows) {
+                char mem[16], branch[16], compute[16], ipc[16];
+                bench::format_pct_cell(mem, sizeof(mem),
+                                       row.measured->available,
+                                       row.measured->mem);
+                bench::format_pct_cell(branch, sizeof(branch),
+                                       row.measured->available,
+                                       row.measured->branch);
+                bench::format_pct_cell(compute, sizeof(compute),
+                                       row.measured->available,
+                                       row.measured->compute);
+                if (row.measured->sample.has(
+                        obs::PerfEvent::kInstructions) &&
+                    row.measured->sample.has(obs::PerfEvent::kCycles)) {
+                    std::snprintf(ipc, sizeof(ipc), "%.2f",
+                                  row.measured->sample.ipc());
+                } else {
+                    std::snprintf(ipc, sizeof(ipc), "n/a");
+                }
+                std::printf("%-10s %8s %8s %9s %8s\n", row.name, mem,
+                            branch, compute, ipc);
+            }
+            if (!counters) {
+                std::printf("\n# all cells n/a: counters degraded "
+                            "(reason above)\n");
+            }
+        }
+
+        if (source == bench::Source::kBoth) {
+            std::printf("\n# model vs measured (mem / branch "
+                        "percentage points)\n");
+            for (const auto& row : rows) {
+                if (!row.measured->available) {
+                    std::printf("%-10s n/a (counters unavailable)\n",
+                                row.name);
+                    continue;
+                }
+                std::printf(
+                    "%-10s mem %+5.1fpp  branch %+5.1fpp\n", row.name,
+                    (row.measured->mem - row.counts->memory_fraction()) *
+                        100.0,
+                    (row.measured->branch -
+                     row.counts->branch_fraction()) *
+                        100.0);
+            }
+
+            std::string bench_out = cli.get_string("bench-out");
+            if (bench_out.empty()) {
+                bench_out = "BENCH_fig09.json";
+            }
+            std::vector<bench::BenchEntry> entries;
+            for (const auto& row : rows) {
+                bench::BenchEntry entry;
+                entry.name = std::string("fig09/") + row.name;
+                entry.unit = "mix"; // fractions, not a timing — the
+                                    // regression gate skips it
+                entry.metrics = {
+                    {"model_mem", row.counts->memory_fraction()},
+                    {"model_branch", row.counts->branch_fraction()},
+                    {"model_compute", row.counts->compute_fraction()},
+                    {"model_other", row.counts->other_fraction()},
+                    {"measured_available",
+                     row.measured->available ? 1.0 : 0.0},
+                };
+                if (row.measured->available) {
+                    entry.metrics.emplace_back("measured_mem",
+                                               row.measured->mem);
+                    entry.metrics.emplace_back("measured_branch",
+                                               row.measured->branch);
+                    entry.metrics.emplace_back("measured_compute",
+                                               row.measured->compute);
+                    entry.metrics.emplace_back(
+                        "measured_instructions",
+                        row.measured->sample.value(
+                            obs::PerfEvent::kInstructions));
+                }
+                entries.push_back(std::move(entry));
+            }
+            bench::write_bench_json(bench_out, "fig09_mix_comparison",
+                                    entries);
+        }
     } catch (const util::Error& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

@@ -7,10 +7,35 @@
 /// thanks to dynamically scheduled (work-stealing) threads; the GPU
 /// point lands near 32 CPU threads for the walk (transfer + divergence
 /// overheads) but beats the CPU clearly for batched word2vec.
+///
+/// Dual-source: --source=measured (or both) annotates each
+/// thread-count row with the kernels' measured IPC from hardware
+/// counters — the paper's evidence that flattening speedup curves are
+/// a memory-boundedness symptom (IPC drops as threads contend), not a
+/// scheduling artifact. Cells show n/a where the host exposes no PMU.
 #include "tgl/tgl.hpp"
+
+#include "source_mode.hpp"
 
 #include <cstdio>
 #include <vector>
+
+namespace {
+
+/// Per-row IPC cell from a phase-aggregate delta.
+void
+ipc_cell(char* buffer, std::size_t size,
+         const tgl::obs::PerfSample& sample)
+{
+    if (sample.has(tgl::obs::PerfEvent::kInstructions) &&
+        sample.has(tgl::obs::PerfEvent::kCycles)) {
+        std::snprintf(buffer, size, "%.2f", sample.ipc());
+    } else {
+        std::snprintf(buffer, size, "n/a");
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -21,9 +46,18 @@ main(int argc, char** argv)
     cli.add_flag("dataset", "stackoverflow", "catalog dataset");
     cli.add_flag("scale", "0.003", "stand-in scale");
     cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("source", "model",
+                 "timing source: model (wall clock only) | measured | "
+                 "both (adds per-row IPC from hardware counters)");
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
+        }
+        const bench::Source source =
+            bench::parse_source(cli.get_string("source"));
+        const bool measured = bench::wants_measured(source);
+        if (measured) {
+            bench::enable_measured_counters();
         }
         const auto seed =
             static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -64,17 +98,27 @@ main(int argc, char** argv)
                     util::format_count(graph.num_nodes()).c_str(),
                     util::format_count(graph.num_edges()).c_str(),
                     hardware);
-        std::printf("%10s %12s %12s %12s %12s\n", "threads", "rwalk(s)",
-                    "rw-speedup", "w2v(s)", "w2v-speedup");
+        if (measured) {
+            std::printf("%10s %12s %12s %8s %12s %12s %8s\n", "threads",
+                        "rwalk(s)", "rw-speedup", "rw-ipc", "w2v(s)",
+                        "w2v-speedup", "w2v-ipc");
+        } else {
+            std::printf("%10s %12s %12s %12s %12s\n", "threads",
+                        "rwalk(s)", "rw-speedup", "w2v(s)",
+                        "w2v-speedup");
+        }
 
         double rwalk_base = 0.0;
         double w2v_base = 0.0;
         for (const unsigned threads : thread_counts) {
             walk::WalkConfig wc = walk_config;
             wc.num_threads = threads;
+            obs::PerfSample walk_before = obs::perf_phase_total("walk");
             util::Timer timer;
             walk::generate_walks(graph, wc);
             const double rwalk_seconds = timer.seconds();
+            const obs::PerfSample walk_delta =
+                obs::perf_phase_total("walk") - walk_before;
 
             embed::SgnsConfig sgns;
             sgns.dim = 8;
@@ -82,15 +126,31 @@ main(int argc, char** argv)
             sgns.seed = seed;
             sgns.num_threads = threads;
             embed::TrainStats stats;
+            const obs::PerfSample sgns_before =
+                obs::perf_phase_total("sgns");
             embed::train_sgns(corpus, graph.num_nodes(), sgns, &stats);
+            const obs::PerfSample sgns_delta =
+                obs::perf_phase_total("sgns") - sgns_before;
 
             if (rwalk_base == 0.0) {
                 rwalk_base = rwalk_seconds;
                 w2v_base = stats.seconds;
             }
-            std::printf("%10u %12.3f %11.2fx %12.3f %11.2fx\n", threads,
-                        rwalk_seconds, rwalk_base / rwalk_seconds,
-                        stats.seconds, w2v_base / stats.seconds);
+            if (measured) {
+                char rw_ipc[16], w2v_ipc[16];
+                ipc_cell(rw_ipc, sizeof(rw_ipc), walk_delta);
+                ipc_cell(w2v_ipc, sizeof(w2v_ipc), sgns_delta);
+                std::printf(
+                    "%10u %12.3f %11.2fx %8s %12.3f %11.2fx %8s\n",
+                    threads, rwalk_seconds, rwalk_base / rwalk_seconds,
+                    rw_ipc, stats.seconds, w2v_base / stats.seconds,
+                    w2v_ipc);
+            } else {
+                std::printf("%10u %12.3f %11.2fx %12.3f %11.2fx\n",
+                            threads, rwalk_seconds,
+                            rwalk_base / rwalk_seconds, stats.seconds,
+                            w2v_base / stats.seconds);
+            }
         }
 
         // The batched execution model (the paper's GPU point).
@@ -101,11 +161,23 @@ main(int argc, char** argv)
             config.sgns.seed = seed;
             config.batch_size = 16384;
             embed::TrainStats stats;
+            const obs::PerfSample sgns_before =
+                obs::perf_phase_total("sgns");
             embed::train_sgns_batched(corpus, graph.num_nodes(), config,
                                       &stats);
-            std::printf("%10s %12s %12s %12.3f %11.2fx\n",
-                        "batched", "-", "-", stats.seconds,
-                        w2v_base / stats.seconds);
+            const obs::PerfSample sgns_delta =
+                obs::perf_phase_total("sgns") - sgns_before;
+            if (measured) {
+                char w2v_ipc[16];
+                ipc_cell(w2v_ipc, sizeof(w2v_ipc), sgns_delta);
+                std::printf("%10s %12s %12s %8s %12.3f %11.2fx %8s\n",
+                            "batched", "-", "-", "-", stats.seconds,
+                            w2v_base / stats.seconds, w2v_ipc);
+            } else {
+                std::printf("%10s %12s %12s %12.3f %11.2fx\n", "batched",
+                            "-", "-", stats.seconds,
+                            w2v_base / stats.seconds);
+            }
         }
         std::printf("\n# paper shape check: near-linear scaling at low "
                     "thread counts, flattening at high counts; the "

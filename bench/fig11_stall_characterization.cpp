@@ -9,9 +9,55 @@
 /// the paper: rwalk -> compute dependencies (54.1%), word2vec ->
 /// memory dependencies (46.2%), train/test -> IMC misses
 /// (23.6%/30.6%); overall ~65% of stalls from those three causes.
+///
+/// Dual-source: --source=measured (or both) reads the hardware
+/// stalled-cycles-frontend/backend counters per kernel. The PMU's
+/// two-way split is coarser than the model's eight categories, so the
+/// comparison folds the model to the same axes: frontend ~ icache-miss
+/// (instruction delivery), backend ~ everything else (data-side
+/// dependencies, IMC misses, execution-port pressure). --source=both
+/// writes the comparison into BENCH_fig11.json for EXPERIMENTS.md.
 #include "tgl/tgl.hpp"
 
+#include "bench_json.hpp"
+#include "source_mode.hpp"
+
 #include <cstdio>
+
+namespace {
+
+/// Measured frontend/backend stall shares (of their sum) from a phase
+/// delta; available only when both stalled-cycles events scheduled.
+struct MeasuredStalls
+{
+    bool available = false;
+    double frontend = 0.0;
+    double backend = 0.0;
+};
+
+MeasuredStalls
+measured_stalls(const tgl::obs::PerfSample& sample)
+{
+    MeasuredStalls out;
+    if (!sample.valid ||
+        !sample.has(tgl::obs::PerfEvent::kStalledFrontend) ||
+        !sample.has(tgl::obs::PerfEvent::kStalledBackend)) {
+        return out;
+    }
+    const double front =
+        sample.value(tgl::obs::PerfEvent::kStalledFrontend);
+    const double back =
+        sample.value(tgl::obs::PerfEvent::kStalledBackend);
+    if (front + back <= 0.0) {
+        return out;
+    }
+    out.available = true;
+    out.frontend = front / (front + back);
+    out.backend = back / (front + back);
+    return out;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -22,9 +68,22 @@ main(int argc, char** argv)
     cli.add_flag("nodes", "100000", "ER nodes (paper: 10M)");
     cli.add_flag("edges", "2000000", "ER edges (paper: 200M)");
     cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("source", "model",
+                 "stall source: model (analytical) | measured "
+                 "(stalled-cycles counters) | both (comparison + BENCH "
+                 "JSON)");
+    cli.add_flag("bench-out", "",
+                 "BENCH JSON path for the model-vs-measured comparison "
+                 "(default BENCH_fig11.json with --source=both)");
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
+        }
+        const bench::Source source =
+            bench::parse_source(cli.get_string("source"));
+        const bool measured = bench::wants_measured(source);
+        if (measured) {
+            bench::enable_measured_counters();
         }
         const auto seed =
             static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -44,17 +103,47 @@ main(int argc, char** argv)
         // the prefix-CDF cache would change the operation mix.
         walk_config.transition_cache = walk::TransitionCacheMode::kOff;
         walk::WalkProfile walk_profile;
+        obs::PerfSample before = obs::perf_phase_total("walk");
         const walk::Corpus corpus =
             walk::generate_walks(graph, walk_config, &walk_profile);
+        const MeasuredStalls rwalk_measured =
+            measured_stalls(obs::perf_phase_total("walk") - before);
 
         embed::SgnsConfig sgns;
         sgns.dim = 8;
         sgns.epochs = 1;
         sgns.seed = seed;
         embed::TrainStats w2v_stats;
-        embed::train_sgns(corpus, graph.num_nodes(), sgns, &w2v_stats);
+        before = obs::perf_phase_total("sgns");
+        const embed::Embedding embedding = embed::train_sgns(
+            corpus, graph.num_nodes(), sgns, &w2v_stats);
+        const MeasuredStalls w2v_measured =
+            measured_stalls(obs::perf_phase_total("sgns") - before);
 
         core::ClassifierConfig classifier;
+
+        // The model path derives train/test stalls analytically; the
+        // measured path needs the classifier to actually run, so only
+        // measured runs pay for the extra link-prediction pass.
+        MeasuredStalls train_measured;
+        MeasuredStalls test_measured;
+        if (measured) {
+            const core::LinkSplits splits =
+                core::prepare_link_splits(edges, graph, {});
+            const obs::PerfSample train_before =
+                obs::perf_phase_total("train");
+            const obs::PerfSample test_before =
+                obs::perf_phase_total("test");
+            core::ClassifierConfig measured_classifier = classifier;
+            measured_classifier.max_epochs = 10;
+            core::run_link_prediction(splits, embedding,
+                                      measured_classifier);
+            train_measured = measured_stalls(
+                obs::perf_phase_total("train") - train_before);
+            test_measured = measured_stalls(
+                obs::perf_phase_total("test") - test_before);
+        }
+
         const std::vector<std::size_t> lp_dims = {
             2 * sgns.dim, classifier.hidden_dim, 1};
         const prof::OpCounts train_ops = prof::classifier_op_counts(
@@ -66,55 +155,133 @@ main(int argc, char** argv)
         {
             const char* name;
             prof::StallModelInput input;
+            const MeasuredStalls* measured;
         } kernels[] = {
-            {"rwalk", prof::walk_stall_input(walk_profile,
-                                             walk_config.transition)},
-            {"word2vec", prof::w2v_stall_input(w2v_stats, sgns)},
+            {"rwalk",
+             prof::walk_stall_input(walk_profile,
+                                    walk_config.transition),
+             &rwalk_measured},
+            {"word2vec", prof::w2v_stall_input(w2v_stats, sgns),
+             &w2v_measured},
             {"train",
              prof::classifier_stall_input(classifier.batch_size,
                                           classifier.hidden_dim,
-                                          train_ops)},
-            {"test", prof::classifier_stall_input(4096,
-                                                  classifier.hidden_dim,
-                                                  test_ops)},
+                                          train_ops),
+             &train_measured},
+            {"test",
+             prof::classifier_stall_input(4096, classifier.hidden_dim,
+                                          test_ops),
+             &test_measured},
         };
 
         std::printf("# Fig. 11 reproduction — ER %s nodes / %s edges; "
                     "analytical stall model (see EXPERIMENTS.md)\n\n",
                     util::format_count(graph.num_nodes()).c_str(),
                     util::format_count(graph.num_edges()).c_str());
-        std::printf("%-10s", "kernel");
-        for (unsigned c = 0;
-             c < static_cast<unsigned>(prof::StallCategory::kCount);
-             ++c) {
-            std::printf(" %11s", prof::stall_category_name(
-                                     static_cast<prof::StallCategory>(c)));
-        }
-        std::printf("\n");
 
-        double three_cause_sum = 0.0;
-        for (const auto& kernel : kernels) {
-            const prof::StallDistribution stalls =
-                prof::attribute_stalls(kernel.input);
-            std::printf("%-10s", kernel.name);
-            for (double s : stalls) {
-                std::printf(" %10.1f%%", s * 100.0);
+        if (source != bench::Source::kMeasured) {
+            std::printf("%-10s", "kernel");
+            for (unsigned c = 0;
+                 c < static_cast<unsigned>(prof::StallCategory::kCount);
+                 ++c) {
+                std::printf(
+                    " %11s",
+                    prof::stall_category_name(
+                        static_cast<prof::StallCategory>(c)));
             }
             std::printf("\n");
-            three_cause_sum +=
-                stalls[static_cast<std::size_t>(
-                    prof::StallCategory::kImcMiss)] +
-                stalls[static_cast<std::size_t>(
-                    prof::StallCategory::kComputeDependency)] +
-                stalls[static_cast<std::size_t>(
-                    prof::StallCategory::kScoreboardMemory)];
+
+            double three_cause_sum = 0.0;
+            for (const auto& kernel : kernels) {
+                const prof::StallDistribution stalls =
+                    prof::attribute_stalls(kernel.input);
+                std::printf("%-10s", kernel.name);
+                for (double s : stalls) {
+                    std::printf(" %10.1f%%", s * 100.0);
+                }
+                std::printf("\n");
+                three_cause_sum +=
+                    stalls[static_cast<std::size_t>(
+                        prof::StallCategory::kImcMiss)] +
+                    stalls[static_cast<std::size_t>(
+                        prof::StallCategory::kComputeDependency)] +
+                    stalls[static_cast<std::size_t>(
+                        prof::StallCategory::kScoreboardMemory)];
+            }
+            std::printf("\n# IMC + compute-dep + memory-dep average: "
+                        "%.1f%% (paper: 65.5%%)\n",
+                        three_cause_sum / 4.0 * 100.0);
+            std::printf("# paper shape check: rwalk topped by "
+                        "compute-dep, word2vec by memory-dep, "
+                        "train/test by imc-miss — no single "
+                        "optimization helps all kernels.\n");
         }
-        std::printf("\n# IMC + compute-dep + memory-dep average: %.1f%% "
-                    "(paper: 65.5%%)\n",
-                    three_cause_sum / 4.0 * 100.0);
-        std::printf("# paper shape check: rwalk topped by compute-dep, "
-                    "word2vec by memory-dep, train/test by imc-miss — "
-                    "no single optimization helps all kernels.\n");
+
+        if (measured) {
+            std::printf("\n# measured: stalled-cycles "
+                        "frontend/backend shares (model folded to the "
+                        "same axes: frontend ~ icache-miss, backend ~ "
+                        "rest)\n\n");
+            std::printf("%-10s %14s %14s %14s %14s\n", "kernel",
+                        "model-front", "model-back", "meas-front",
+                        "meas-back");
+            for (const auto& kernel : kernels) {
+                const prof::FoldedStalls folded =
+                    prof::fold_stalls_frontend_backend(
+                        prof::attribute_stalls(kernel.input));
+                char front[16], back[16];
+                bench::format_pct_cell(front, sizeof(front),
+                                       kernel.measured->available,
+                                       kernel.measured->frontend);
+                bench::format_pct_cell(back, sizeof(back),
+                                       kernel.measured->available,
+                                       kernel.measured->backend);
+                std::printf("%-10s %13.1f%% %13.1f%% %14s %14s\n",
+                            kernel.name, folded.frontend * 100.0,
+                            folded.backend * 100.0, front, back);
+            }
+        }
+
+        if (source == bench::Source::kBoth) {
+            std::string bench_out = cli.get_string("bench-out");
+            if (bench_out.empty()) {
+                bench_out = "BENCH_fig11.json";
+            }
+            std::vector<bench::BenchEntry> entries;
+            for (const auto& kernel : kernels) {
+                const prof::StallDistribution stalls =
+                    prof::attribute_stalls(kernel.input);
+                const prof::FoldedStalls folded =
+                    prof::fold_stalls_frontend_backend(stalls);
+                bench::BenchEntry entry;
+                entry.name = std::string("fig11/") + kernel.name;
+                entry.unit = "stall_share"; // fractions, not a timing
+                entry.metrics = {
+                    {"model_frontend", folded.frontend},
+                    {"model_backend", folded.backend},
+                    {"measured_available",
+                     kernel.measured->available ? 1.0 : 0.0},
+                };
+                for (unsigned c = 0; c < static_cast<unsigned>(
+                                             prof::StallCategory::kCount);
+                     ++c) {
+                    entry.metrics.emplace_back(
+                        std::string("model_") +
+                            prof::stall_category_name(
+                                static_cast<prof::StallCategory>(c)),
+                        stalls[c]);
+                }
+                if (kernel.measured->available) {
+                    entry.metrics.emplace_back(
+                        "measured_frontend", kernel.measured->frontend);
+                    entry.metrics.emplace_back(
+                        "measured_backend", kernel.measured->backend);
+                }
+                entries.push_back(std::move(entry));
+            }
+            bench::write_bench_json(bench_out, "fig11_stall_comparison",
+                                    entries);
+        }
     } catch (const util::Error& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

@@ -1,0 +1,74 @@
+/// @file
+/// Shared --source flag handling for the paper-figure harnesses.
+///
+/// Each Fig. 9/10/11 harness can draw its numbers from the software
+/// models (profiling/op_counters, profiling/stall_model — the
+/// MICA/Nsight substitutions), from measured hardware counters
+/// (obs/perf_events), or from both side by side to report how well the
+/// substitutions track reality.
+#pragma once
+
+#include "obs/perf_events.hpp"
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+namespace tgl::bench {
+
+enum class Source
+{
+    kModel,
+    kMeasured,
+    kBoth,
+};
+
+inline Source
+parse_source(std::string_view text)
+{
+    if (text == "model") {
+        return Source::kModel;
+    }
+    if (text == "measured") {
+        return Source::kMeasured;
+    }
+    if (text == "both") {
+        return Source::kBoth;
+    }
+    util::fatal("--source expects model | measured | both");
+}
+
+inline bool
+wants_measured(Source source)
+{
+    return source != Source::kModel;
+}
+
+/// Turn counters on for a measured run and report whether the host
+/// grants them; prints the degradation reason once so a "measured"
+/// column full of n/a is explained in the output itself.
+inline bool
+enable_measured_counters()
+{
+    obs::set_perf_mode(obs::PerfMode::kOn);
+    const obs::PerfAvailability& availability = obs::perf_availability();
+    if (!availability.available) {
+        std::printf("# measured counters unavailable: %s\n",
+                    availability.reason.c_str());
+    }
+    return availability.available;
+}
+
+/// Table-cell rendering for a possibly-absent measured percentage.
+inline void
+format_pct_cell(char* buffer, std::size_t size, bool present,
+                double fraction)
+{
+    if (present) {
+        std::snprintf(buffer, size, "%.1f%%", fraction * 100.0);
+    } else {
+        std::snprintf(buffer, size, "n/a");
+    }
+}
+
+} // namespace tgl::bench

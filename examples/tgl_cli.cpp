@@ -417,6 +417,10 @@ cmd_pipeline(int argc, const char* const* argv)
                  "within 4x)");
     cli.add_flag("overlap-shards", "0",
                  "corpus shards for overlapped execution (0 = auto)");
+    cli.add_flag("perf", "auto",
+                 "hardware counters (perf_event_open) per phase: on | "
+                 "off | auto (on/auto degrade to no-ops when "
+                 "unavailable; see README for perf_event_paranoid)");
     cli.add_switch("batched", "use the batched (GPU-model) trainer");
     if (!cli.parse(argc, argv)) {
         return 0;
@@ -446,6 +450,12 @@ cmd_pipeline(int argc, const char* const* argv)
     config.overlap_shards =
         static_cast<std::size_t>(cli.get_int("overlap-shards"));
     config.checkpoint_dir = cli.get_string("checkpoint-dir");
+    if (const auto mode =
+            obs::parse_perf_mode(cli.get_string("perf"))) {
+        obs::set_perf_mode(*mode);
+    } else {
+        util::fatal("--perf expects on | off | auto");
+    }
 
     const std::string metrics_out = cli.get_string("metrics-out");
     const std::string trace_out = cli.get_string("trace-out");
@@ -454,6 +464,7 @@ cmd_pipeline(int argc, const char* const* argv)
     // Telemetry covers exactly this run: clear any previously scraped
     // registry state and trace only while the pipeline executes.
     obs::Registry::global().reset();
+    obs::perf_reset_phase_totals();
     obs::TraceSession session;
     if (!trace_out.empty()) {
         session.start();
@@ -476,6 +487,7 @@ cmd_pipeline(int argc, const char* const* argv)
 
     session.stop();
     if (!metrics_out.empty()) {
+        obs::record_process_gauges(obs::Registry::global());
         obs::Registry::global().write_json(metrics_out);
         std::printf("wrote metrics snapshot to %s\n",
                     metrics_out.c_str());

@@ -4,6 +4,7 @@
 #include "nn/mlp.hpp"
 #include "nn/optim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -106,6 +107,9 @@ run_link_prediction(const LinkSplits& splits,
 
     util::Timer train_timer;
     const auto train_begin = std::chrono::steady_clock::now();
+    // The MLP runs on the calling thread, so a plain per-thread scope
+    // captures the whole training loop.
+    obs::PerfScope train_perf("train");
     nn::Tensor batch_features;
     std::vector<float> batch_binary;
     std::vector<std::uint32_t> batch_classes;
@@ -155,9 +159,11 @@ run_link_prediction(const LinkSplits& splits,
         }
     }
     result.train_seconds = train_timer.seconds();
+    const obs::PerfSample train_sample = train_perf.close();
     if (obs::TraceSession* session = obs::TraceSession::current()) {
         session->record("pipeline.train", train_begin,
-                        std::chrono::steady_clock::now());
+                        std::chrono::steady_clock::now(),
+                        obs::perf_span_args(train_sample));
     }
     result.seconds_per_epoch =
         result.epochs_run == 0
@@ -181,7 +187,7 @@ run_link_prediction(const LinkSplits& splits,
         .set(result.valid_accuracy);
 
     util::Timer test_timer;
-    const obs::Span test_span("pipeline.test");
+    const obs::Span test_span("pipeline.test", "test");
     const nn::Tensor& test_out = net.forward(test_set.features);
     result.test_accuracy =
         binary_accuracy(test_out, test_set.binary_labels);

@@ -3,6 +3,7 @@
 #include "core/overlap.hpp"
 #include "embed/streaming_trainer.hpp"
 #include "graph/builder.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
@@ -81,14 +82,27 @@ overlap_mode_name(OverlapMode mode)
 namespace {
 
 /// Emit a pipeline-phase span covering the section timed since
-/// @p begin; a no-op when no trace session is active.
+/// @p begin; a no-op when no trace session is active. @p args carries
+/// numeric event arguments (perf counter deltas).
 void
 record_phase(const char* name,
-             std::chrono::steady_clock::time_point begin)
+             std::chrono::steady_clock::time_point begin,
+             std::vector<std::pair<std::string, double>> args = {})
 {
     if (obs::TraceSession* session = obs::TraceSession::current()) {
-        session->record(name, begin, std::chrono::steady_clock::now());
+        session->record(name, begin, std::chrono::steady_clock::now(),
+                        std::move(args));
     }
+}
+
+/// Counter args for a phase span whose work ran inside worker-side
+/// scopes (walk engine, SGNS trainers): the delta of the process-wide
+/// phase aggregate over the section, rather than a main-thread scope
+/// that would sit idle while the pool does the work.
+std::vector<std::pair<std::string, double>>
+phase_perf_args(std::string_view phase, const obs::PerfSample& before)
+{
+    return obs::perf_span_args(obs::perf_phase_total(phase) - before);
 }
 
 std::chrono::steady_clock::time_point
@@ -168,9 +182,13 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
     auto phase_begin = phase_now();
     graph::BuildOptions build_options;
     build_options.symmetrize = config.symmetrize_graph;
-    graph = graph::GraphBuilder::build(edges, build_options);
-    result.times.build_graph = timer.seconds();
-    record_phase("pipeline.build_graph", phase_begin);
+    {
+        obs::PerfScope build_perf("build_graph");
+        graph = graph::GraphBuilder::build(edges, build_options);
+        result.times.build_graph = timer.seconds();
+        record_phase("pipeline.build_graph", phase_begin,
+                     obs::perf_span_args(build_perf.close()));
+    }
     result.num_nodes = graph.num_nodes();
     result.num_edges = graph.num_edges();
 
@@ -185,6 +203,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
 
     timer.reset();
     phase_begin = phase_now();
+    const obs::PerfSample walk_before = obs::perf_phase_total("walk");
     walk::Corpus corpus;
     if (checkpoints != nullptr &&
         checkpoints->load_corpus(fingerprints.walk, corpus)) {
@@ -267,13 +286,15 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         }
     }
     result.times.random_walk = timer.seconds();
-    record_phase("pipeline.walk", phase_begin);
+    record_phase("pipeline.walk", phase_begin,
+                 phase_perf_args("walk", walk_before));
     result.corpus_walks = corpus.num_walks();
     result.corpus_tokens = corpus.num_tokens();
     util::fault_point("pipeline.after-walk");
 
     timer.reset();
     phase_begin = phase_now();
+    const obs::PerfSample sgns_before = obs::perf_phase_total("sgns");
     if (config.w2v_mode == W2vMode::kHogwild) {
         embedding = embed::train_sgns(corpus, graph.num_nodes(),
                                       config.sgns, &result.w2v_stats);
@@ -289,7 +310,8 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         result.checkpoints.embedding_stored = true;
     }
     result.times.word2vec = timer.seconds();
-    record_phase("pipeline.word2vec", phase_begin);
+    record_phase("pipeline.word2vec", phase_begin,
+                 phase_perf_args("sgns", sgns_before));
     util::fault_point("pipeline.after-word2vec");
     return embedding;
 }
@@ -360,10 +382,12 @@ run_link_prediction_pipeline(const graph::EdgeList& edges,
 
     util::Timer timer;
     const auto prep_begin = phase_now();
+    obs::PerfScope prep_perf("data_prep");
     const LinkSplits splits =
         prepare_link_splits(edges, graph, config.split);
     result.times.data_prep = timer.seconds();
-    record_phase("pipeline.data_prep", prep_begin);
+    record_phase("pipeline.data_prep", prep_begin,
+                 obs::perf_span_args(prep_perf.close()));
 
     ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
         config, "link-predictor", nullptr, 0);
@@ -394,10 +418,12 @@ run_node_classification_pipeline(const graph::EdgeList& edges,
 
     util::Timer timer;
     const auto prep_begin = phase_now();
+    obs::PerfScope prep_perf("data_prep");
     const NodeSplits splits =
         prepare_node_splits(graph.num_nodes(), config.split);
     result.times.data_prep = timer.seconds();
-    record_phase("pipeline.data_prep", prep_begin);
+    record_phase("pipeline.data_prep", prep_begin,
+                 obs::perf_span_args(prep_perf.close()));
 
     ClassifierCheckpoint checkpoint = context.classifier_checkpoint(
         config, "node-classifier", &labels, num_classes);

@@ -1,6 +1,7 @@
 #include "embed/batched_trainer.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
@@ -37,7 +38,7 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
     if (sgns.epochs == 0 || sgns.window == 0) {
         util::fatal("train_sgns_batched: epochs and window must be >= 1");
     }
-    const obs::Span span("sgns.train");
+    obs::Span span("sgns.train");
     util::Timer timer;
 
     const Vocab vocab(corpus, sgns.min_count);
@@ -66,6 +67,8 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
     std::uint64_t pairs_trained = 0;
     std::vector<Pair> batch_pairs;
     std::vector<WordId> words;
+
+    obs::PerfRankScopes perf_scopes("sgns", max_team);
 
     for (unsigned epoch = 0; epoch < sgns.epochs; ++epoch) {
         const obs::Span epoch_span("sgns.epoch");
@@ -141,6 +144,7 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
             util::parallel_for_ranked(
                 0, batch_pairs.size(),
                 [&](std::size_t p, unsigned rank) {
+                    perf_scopes.ensure(rank);
                     const Pair& pair = batch_pairs[p];
                     if (config.shared_negatives) {
                         sgns_update_pair_shared(
@@ -183,6 +187,11 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
         .set(seconds > 0.0
                  ? static_cast<double>(pairs_trained) / seconds
                  : 0.0);
+
+    const obs::PerfSample perf = perf_scopes.close();
+    for (const auto& [key, value] : obs::perf_span_args(perf)) {
+        span.arg(key, value);
+    }
 
     if (stats != nullptr) {
         stats->pairs_trained = pairs_trained;

@@ -1,6 +1,7 @@
 #include "embed/streaming_trainer.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
@@ -140,6 +141,9 @@ train_sgns_streaming(util::ShardQueue<walk::CorpusShard>& queue,
     std::size_t next_shard = 0;
 
     const auto consume = [&]() {
+        // Consumers are plain threads (not pool workers), so each
+        // carries its own per-thread counter scope for the phase.
+        obs::PerfScope perf_scope("sgns");
         std::vector<float> scratch(config.dim);
         std::uint64_t pairs = 0;
         while (std::optional<walk::CorpusShard> shard = queue.pop()) {
@@ -233,11 +237,14 @@ train_sgns_streaming(util::ShardQueue<walk::CorpusShard>& queue,
             state.scratch.resize(config.dim);
         }
 
+        obs::PerfRankScopes perf_scopes("sgns", max_team);
+
         for (unsigned epoch = 1; epoch < config.epochs; ++epoch) {
             const obs::Span epoch_span("sgns.epoch");
             util::parallel_for_ranked(
                 0, num_sentences,
                 [&](std::size_t s, unsigned rank) {
+                    perf_scopes.ensure(rank);
                     RankState& state = ranks[rank];
                     const auto sentence = corpus.walk(s);
                     const float alpha = decayed_alpha(

@@ -1,6 +1,7 @@
 #include "embed/trainer.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
@@ -80,7 +81,7 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     if (config.window == 0) {
         util::fatal("train_sgns: window must be >= 1");
     }
-    const obs::Span span("sgns.train");
+    obs::Span span("sgns.train");
     util::Timer timer;
 
     const Vocab vocab(corpus, config.min_count);
@@ -111,11 +112,17 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
         state.scratch.resize(config.dim);
     }
 
+    // One counter scope spanning all epochs: the rank→worker mapping
+    // is stable across dispatches, so each thread's set is opened once
+    // and the close() below aggregates the whole training run.
+    obs::PerfRankScopes perf_scopes("sgns", max_team);
+
     for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
         const obs::Span epoch_span("sgns.epoch");
         util::parallel_for_ranked(
             0, num_sentences,
             [&](std::size_t s, unsigned rank) {
+                perf_scopes.ensure(rank);
                 RankState& state = ranks[rank];
                 const auto sentence = corpus.walk(s);
 
@@ -170,6 +177,11 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
         .set(static_cast<double>(config.alpha));
     registry.gauge("sgns.pairs_per_second")
         .set(seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0);
+
+    const obs::PerfSample perf = perf_scopes.close();
+    for (const auto& [key, value] : obs::perf_span_args(perf)) {
+        span.arg(key, value);
+    }
 
     if (stats != nullptr) {
         stats->pairs_trained = pairs;

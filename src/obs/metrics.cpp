@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 #include <algorithm>
 #include <bit>
@@ -391,8 +392,8 @@ MetricsSnapshot::to_json() const
     std::string out = "{\n  \"schema_version\": 1,\n  \"metrics\": [\n";
     for (std::size_t i = 0; i < metrics.size(); ++i) {
         const MetricValue& metric = metrics[i];
-        out += "    {\"name\": \"" + metric.name + "\", \"type\": \"" +
-               kind_name(metric.kind) + "\"";
+        out += "    {\"name\": \"" + util::json_escape(metric.name) +
+               "\", \"type\": \"" + kind_name(metric.kind) + "\"";
         if (metric.kind == MetricKind::kHistogram) {
             out += ", \"count\": " +
                    std::to_string(metric.count) + ", \"sum\": " +

@@ -1,0 +1,54 @@
+#include "obs/process_stats.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace tgl::obs {
+
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+double
+timeval_seconds(const timeval& tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+#endif
+
+} // namespace
+
+ProcessUsage
+query_process_usage()
+{
+    ProcessUsage usage;
+#if defined(__unix__) || defined(__APPLE__)
+    rusage self{};
+    if (getrusage(RUSAGE_SELF, &self) == 0) {
+#if defined(__APPLE__)
+        // macOS reports ru_maxrss in bytes.
+        usage.peak_rss_bytes = static_cast<std::uint64_t>(self.ru_maxrss);
+#else
+        // Linux reports ru_maxrss in KiB.
+        usage.peak_rss_bytes =
+            static_cast<std::uint64_t>(self.ru_maxrss) * 1024ULL;
+#endif
+        usage.utime_seconds = timeval_seconds(self.ru_utime);
+        usage.stime_seconds = timeval_seconds(self.ru_stime);
+    }
+#endif
+    return usage;
+}
+
+void
+record_process_gauges(Registry& registry)
+{
+    const ProcessUsage usage = query_process_usage();
+    registry.gauge("process.peak_rss_bytes")
+        .set(static_cast<double>(usage.peak_rss_bytes));
+    registry.gauge("process.utime_seconds").set(usage.utime_seconds);
+    registry.gauge("process.stime_seconds").set(usage.stime_seconds);
+}
+
+} // namespace tgl::obs

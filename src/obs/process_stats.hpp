@@ -1,0 +1,33 @@
+/// @file
+/// Process-level resource usage gauges (getrusage) for the metrics
+/// snapshot: peak RSS and user/system CPU seconds. These complement
+/// the per-phase counters — when a run regresses, the first question
+/// is "did it burn CPU or blow memory", and wall-clock alone answers
+/// neither.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+
+namespace tgl::obs {
+
+/// One getrusage(RUSAGE_SELF) reading, normalized to SI units.
+struct ProcessUsage
+{
+    std::uint64_t peak_rss_bytes = 0; ///< ru_maxrss (KiB on Linux) * 1024
+    double utime_seconds = 0.0;       ///< user CPU time
+    double stime_seconds = 0.0;       ///< system CPU time
+};
+
+/// Query the current process. Always succeeds (zeros on platforms
+/// without getrusage).
+ProcessUsage query_process_usage();
+
+/// Record the current usage as gauges on @p registry:
+/// process.peak_rss_bytes, process.utime_seconds,
+/// process.stime_seconds. Call just before snapshotting so the JSON
+/// export reflects end-of-run usage.
+void record_process_gauges(Registry& registry);
+
+} // namespace tgl::obs

@@ -1,8 +1,11 @@
 #include "obs/trace.hpp"
 
+#include "obs/perf_events.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -25,23 +28,22 @@ format_us(double value)
     return buffer;
 }
 
-/// Minimal JSON string escaping for event names.
+/// Arg values are either counter readings (large integers) or derived
+/// ratios; keep integers exact and ratios short.
 std::string
-escape(const std::string& text)
+format_arg_value(double value)
 {
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            out += ' ';
-        } else {
-            out += c;
-        }
+    if (!std::isfinite(value)) {
+        return "0";
     }
-    return out;
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+        return buffer;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
 }
 
 } // namespace
@@ -85,6 +87,15 @@ TraceSession::record(std::string name,
                      std::chrono::steady_clock::time_point start,
                      std::chrono::steady_clock::time_point end)
 {
+    record(std::move(name), start, end, {});
+}
+
+void
+TraceSession::record(std::string name,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end,
+                     std::vector<std::pair<std::string, double>> args)
+{
     const auto to_us = [this](std::chrono::steady_clock::time_point t) {
         return std::chrono::duration<double, std::micro>(t - origin_)
             .count();
@@ -101,7 +112,8 @@ TraceSession::record(std::string name,
         thread_ids_.push_back(self);
     }
     events_.push_back({std::move(name), to_us(start),
-                       to_us(end) - to_us(start), tid + 1});
+                       to_us(end) - to_us(start), tid + 1,
+                       std::move(args)});
 }
 
 std::vector<TraceEvent>
@@ -119,11 +131,23 @@ TraceSession::to_chrome_json() const
         "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
     for (std::size_t i = 0; i < snapshot.size(); ++i) {
         const TraceEvent& event = snapshot[i];
-        out += "    {\"name\": \"" + escape(event.name) +
+        out += "    {\"name\": \"" + util::json_escape(event.name) +
                "\", \"cat\": \"tgl\", \"ph\": \"X\", \"ts\": " +
                format_us(event.ts_us) + ", \"dur\": " +
                format_us(event.dur_us) + ", \"pid\": 1, \"tid\": " +
-               std::to_string(event.tid) + "}";
+               std::to_string(event.tid);
+        if (!event.args.empty()) {
+            out += ", \"args\": {";
+            for (std::size_t a = 0; a < event.args.size(); ++a) {
+                if (a != 0) {
+                    out += ", ";
+                }
+                out += "\"" + util::json_escape(event.args[a].first) +
+                       "\": " + format_arg_value(event.args[a].second);
+            }
+            out += "}";
+        }
+        out += "}";
         if (i + 1 < snapshot.size()) {
             out += ",";
         }
@@ -155,11 +179,36 @@ Span::Span(std::string_view name) : session_(TraceSession::current())
     }
 }
 
+Span::Span(std::string_view name, std::string_view perf_phase)
+    : Span(name)
+{
+    // The PerfScope exists even when tracing is off: its metrics
+    // recording is independent of the trace session.
+    perf_ = std::make_unique<PerfScope>(perf_phase);
+}
+
+void
+Span::arg(std::string_view key, double value)
+{
+    if (session_ != nullptr) {
+        args_.emplace_back(std::string(key), value);
+    }
+}
+
 Span::~Span()
 {
+    if (perf_ != nullptr) {
+        const PerfSample sample = perf_->close();
+        if (session_ != nullptr) {
+            for (auto& entry : perf_span_args(sample)) {
+                args_.push_back(std::move(entry));
+            }
+        }
+    }
     if (session_ != nullptr && TraceSession::current() == session_) {
         session_->record(std::move(name_), start_,
-                         std::chrono::steady_clock::now());
+                         std::chrono::steady_clock::now(),
+                         std::move(args_));
     }
 }
 

@@ -27,21 +27,28 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tgl::obs {
 
-/// One complete duration event.
+class PerfScope;
+
+/// One complete duration event. `args` render as the event's "args"
+/// JSON object (numeric values only — counter readings and ratios);
+/// empty means no "args" key is emitted.
 struct TraceEvent
 {
     std::string name;
     double ts_us = 0.0;  ///< start, microseconds since session start
     double dur_us = 0.0; ///< duration in microseconds
     std::uint32_t tid = 0;
+    std::vector<std::pair<std::string, double>> args;
 };
 
 /// Collects span events while installed as the process-wide active
@@ -75,10 +82,15 @@ class TraceSession
     void write_chrome_json(const std::string& path) const;
 
     /// Record one complete event (called by Span; public for custom
-    /// instrumentation).
+    /// instrumentation). The overload with @p args attaches numeric
+    /// event arguments (e.g. perf counter readings).
     void record(std::string name,
                 std::chrono::steady_clock::time_point start,
                 std::chrono::steady_clock::time_point end);
+    void record(std::string name,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::vector<std::pair<std::string, double>> args);
 
   private:
     mutable std::mutex mutex_;
@@ -93,14 +105,28 @@ class Span
 {
   public:
     explicit Span(std::string_view name);
+
+    /// Span that also measures hardware counters (obs/perf_events)
+    /// over its lifetime under phase @p perf_phase: the scope records
+    /// `perf.<phase>.<event>` metrics on close and the scaled deltas
+    /// are attached to this event as args. Works with tracing off
+    /// (metrics still record) and with counters off (plain span).
+    Span(std::string_view name, std::string_view perf_phase);
+
     ~Span();
     Span(const Span&) = delete;
     Span& operator=(const Span&) = delete;
+
+    /// Attach one numeric argument to the event (no-op when tracing
+    /// is off).
+    void arg(std::string_view key, double value);
 
   private:
     TraceSession* session_ = nullptr;
     std::string name_;
     std::chrono::steady_clock::time_point start_{};
+    std::vector<std::pair<std::string, double>> args_;
+    std::unique_ptr<PerfScope> perf_;
 };
 
 } // namespace tgl::obs

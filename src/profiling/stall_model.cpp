@@ -152,4 +152,19 @@ format_stalls(const std::string& kernel, const StallDistribution& stalls)
     return text;
 }
 
+FoldedStalls
+fold_stalls_frontend_backend(const StallDistribution& stalls)
+{
+    FoldedStalls folded;
+    for (std::size_t c = 0; c < stalls.size(); ++c) {
+        if (static_cast<StallCategory>(c) ==
+            StallCategory::kInstructionCacheMiss) {
+            folded.frontend += stalls[c];
+        } else {
+            folded.backend += stalls[c];
+        }
+    }
+    return folded;
+}
+
 } // namespace tgl::prof

@@ -81,4 +81,18 @@ StallModelInput classifier_stall_input(std::size_t batch,
 std::string format_stalls(const std::string& kernel,
                           const StallDistribution& stalls);
 
+/// The model's eight categories folded onto the PMU's two
+/// stalled-cycles axes, for comparison against measured
+/// `stalled_cycles_{frontend,backend}` (obs/perf_events): frontend is
+/// instruction delivery (icache-miss), backend is everything else
+/// (data-side dependencies, IMC misses, execution-port pressure).
+/// Fractions of the whole distribution; they sum to 1.
+struct FoldedStalls
+{
+    double frontend = 0.0;
+    double backend = 0.0;
+};
+
+FoldedStalls fold_stalls_frontend_backend(const StallDistribution& stalls);
+
 } // namespace tgl::prof

@@ -37,6 +37,8 @@
 
 // obs: metrics registry + tracing spans (pipeline-wide telemetry)
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
+#include "obs/process_stats.hpp"
 #include "obs/trace.hpp"
 
 // graph: temporal CSR substrate

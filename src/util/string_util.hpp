@@ -30,4 +30,10 @@ std::string format_fixed(double value, int precision);
 /// Thousands-separated integer rendering, e.g. 1234567 -> "1,234,567".
 std::string format_count(unsigned long long value);
 
+/// Escape @p text for embedding inside a JSON string literal per RFC
+/// 8259: quote, backslash, and the C0 control range (\b \f \n \r \t
+/// get their short forms, everything else below 0x20 becomes \u00XX).
+/// Non-ASCII bytes pass through untouched (JSON is UTF-8).
+std::string json_escape(std::string_view text);
+
 } // namespace tgl::util

@@ -1,6 +1,7 @@
 #include "walk/engine.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/error.hpp"
@@ -258,6 +259,10 @@ generate_walk_shard(const graph::TemporalGraph& graph,
     shard.reserve(slots.size(),
                   slots.size() * expected_tokens_per_walk(config));
 
+    // Shards run on overlap-producer threads; the scope attributes
+    // their work to the same "walk" phase as the block-parallel path.
+    obs::PerfScope perf_scope("walk");
+
     std::vector<graph::NodeId> buffer(tokens_per_walk);
     std::vector<std::uint32_t> scratch;
     WalkProfile local;
@@ -294,7 +299,7 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
 {
     validate_walk_inputs(graph, config, "generate_walks");
 
-    const obs::Span span("walk.generate");
+    obs::Span span("walk.generate");
 
     const std::size_t tokens_per_walk =
         static_cast<std::size_t>(config.max_length) + 1;
@@ -318,6 +323,11 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
     std::vector<WalkProfile> rank_profiles(max_team);
     std::vector<std::vector<std::uint32_t>> rank_scratch(max_team);
 
+    // Hardware counters for the whole block loop: each worker opens
+    // its per-thread set on first touch, the join below makes the
+    // cross-thread reads in close() safe.
+    obs::PerfRankScopes perf_scopes("walk", max_team);
+
     for (std::size_t block_begin = 0; block_begin < total_walks;
          block_begin += block) {
         const std::size_t block_end =
@@ -326,6 +336,7 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
         util::parallel_for_ranked(
             block_begin, block_end,
             [&](std::size_t slot_index, unsigned rank) {
+                perf_scopes.ensure(rank);
                 const std::size_t slot = slot_index - block_begin;
                 graph::NodeId* tokens =
                     buffer.data() + slot * tokens_per_walk;
@@ -357,6 +368,11 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
     totals.walks_kept = corpus.num_walks();
 
     report_walk_metrics(totals);
+
+    const obs::PerfSample perf = perf_scopes.close();
+    for (const auto& [key, value] : obs::perf_span_args(perf)) {
+        span.arg(key, value);
+    }
 
     if (profile != nullptr) {
         accumulate_profile(*profile, totals);

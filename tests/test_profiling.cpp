@@ -114,6 +114,20 @@ TEST(StallModel, DistributionSumsToOne)
     }
 }
 
+TEST(StallModel, FoldedAxesPartitionTheDistribution)
+{
+    const StallDistribution stalls = attribute_stalls(walk_stall_input(
+        measured_walk_profile(walk::TransitionKind::kExponential),
+        walk::TransitionKind::kExponential));
+    const FoldedStalls folded = fold_stalls_frontend_backend(stalls);
+    EXPECT_NEAR(folded.frontend + folded.backend, 1.0, 1e-9);
+    // Frontend is exactly the instruction-delivery share.
+    EXPECT_DOUBLE_EQ(folded.frontend,
+                     stalls[static_cast<std::size_t>(
+                         StallCategory::kInstructionCacheMiss)]);
+    EXPECT_GT(folded.backend, folded.frontend); // data-side dominates
+}
+
 TEST(StallModel, WalkKernelDominatedByComputeDependency)
 {
     // Fig. 11: the walk kernel's top stall cause is compute

@@ -39,7 +39,15 @@ class BenchError(Exception):
 
 
 def load_bench(path: Path) -> dict[str, float]:
-    """Return {entry name: seconds} for one BENCH_*.json file."""
+    """Return {entry name: seconds} for one BENCH_*.json file.
+
+    Only timing entries participate: an entry whose "unit" is anything
+    other than "seconds" (the fig09/fig11 model-vs-measured comparisons
+    use "mix" / "stall_share") carries counter values in its `seconds`
+    slot and is excluded from the regression gate.  A missing "unit" is
+    treated as "seconds" for backward compatibility with pre-unit
+    baselines.
+    """
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as err:
@@ -49,14 +57,18 @@ def load_bench(path: Path) -> dict[str, float]:
             f"{path}: schema_version {doc.get('schema_version')!r}, "
             f"expected {SCHEMA_VERSION}"
         )
+    raw_entries = doc.get("entries", [])
     entries = {}
-    for entry in doc.get("entries", []):
+    for entry in raw_entries:
         name = entry.get("name")
         seconds = entry.get("seconds")
+        unit = entry.get("unit", "seconds")
         if not isinstance(name, str) or not isinstance(seconds, (int, float)):
             raise BenchError(f"{path}: malformed entry {entry!r}")
+        if unit != "seconds":
+            continue
         entries[name] = float(seconds)
-    if not entries:
+    if not raw_entries:
         raise BenchError(f"{path}: no entries")
     return entries
 

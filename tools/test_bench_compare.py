@@ -20,12 +20,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_compare
 
 
-def write_suite(path: Path, names_seconds: dict[str, float]):
+def write_suite(
+    path: Path,
+    names_seconds: dict[str, float],
+    units: dict[str, str] | None = None,
+):
+    units = units or {}
     doc = {
         "benchmark": path.stem.removeprefix("BENCH_"),
         "schema_version": 1,
         "entries": [
             {"name": name, "seconds": seconds, "items_per_second": 0.0,
+             **({"unit": units[name]} if name in units else {}),
              "metrics": {}}
             for name, seconds in names_seconds.items()
         ],
@@ -96,6 +102,34 @@ class BenchCompareTest(unittest.TestCase):
         doctored["walk/brand_new_bench"] = 99.0
         ok, _ = self.compare(doctored)
         self.assertTrue(ok)
+
+    def test_counter_entries_are_excluded_from_the_gate(self):
+        # A counter-valued entry (unit != "seconds", e.g. the fig09
+        # model-vs-measured mix) may drift by orders of magnitude run to
+        # run — it must never participate in the timing gate.
+        units = {"walk/perf_counter": "mix"}
+        baseline = dict(self.baseline)
+        baseline["walk/perf_counter"] = 1.0
+        write_suite(
+            self.baseline_dir / "BENCH_walk.json", baseline, units
+        )
+        doctored = dict(self.baseline)
+        doctored["walk/perf_counter"] = 5_000_000.0  # huge "drift"
+        write_suite(self.current_dir / "BENCH_walk.json", doctored, units)
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        self.assertTrue(ok)
+        self.assertNotIn("perf_counter", out.getvalue())
+
+    def test_missing_unit_defaults_to_seconds(self):
+        # Pre-unit baselines (no "unit" field) still gate as timings.
+        doctored = {name: s * 1.30 for name, s in self.baseline.items()}
+        ok, out = self.compare(doctored)
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out)
 
     def test_missing_current_suite_is_a_schema_error(self):
         with self.assertRaises(bench_compare.BenchError):
