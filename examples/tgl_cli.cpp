@@ -421,6 +421,16 @@ cmd_pipeline(int argc, const char* const* argv)
                  "hardware counters (perf_event_open) per phase: on | "
                  "off | auto (on/auto degrade to no-ops when "
                  "unavailable; see README for perf_event_paranoid)");
+    cli.add_flag("failpoints", "",
+                 "chaos-testing fault spec: site=action[:param][@N] "
+                 "entries joined by ';' (overrides TGL_FAILPOINTS; see "
+                 "README)");
+    cli.add_flag("failpoints-seed", "0",
+                 "seed for probabilistic failpoint triggers");
+    cli.add_flag("watchdog-timeout", "0",
+                 "overlap stall watchdog deadline in seconds (0 "
+                 "disables); on a stall the run aborts with a resumable "
+                 "checkpoint instead of hanging");
     cli.add_switch("batched", "use the batched (GPU-model) trainer");
     if (!cli.parse(argc, argv)) {
         return 0;
@@ -450,11 +460,19 @@ cmd_pipeline(int argc, const char* const* argv)
     config.overlap_shards =
         static_cast<std::size_t>(cli.get_int("overlap-shards"));
     config.checkpoint_dir = cli.get_string("checkpoint-dir");
+    config.watchdog_timeout_seconds =
+        util::parse_double(cli.get_string("watchdog-timeout"));
     if (const auto mode =
             obs::parse_perf_mode(cli.get_string("perf"))) {
         obs::set_perf_mode(*mode);
     } else {
         util::fatal("--perf expects on | off | auto");
+    }
+    if (const std::string failpoints = cli.get_string("failpoints");
+        !failpoints.empty()) {
+        util::FailpointRegistry::configure(
+            failpoints,
+            static_cast<std::uint64_t>(cli.get_int("failpoints-seed")));
     }
 
     const std::string metrics_out = cli.get_string("metrics-out");
@@ -470,19 +488,29 @@ cmd_pipeline(int argc, const char* const* argv)
         session.start();
     }
 
+    // Ctrl-C / SIGTERM cancel cooperatively: the run stops at the next
+    // phase boundary with checkpoints intact, telemetry still flushes
+    // below, and the exit code is 130 (interrupted shell job).
+    util::install_signal_handlers();
+
     core::PipelineResult result;
-    if (const std::string dataset_name = cli.get_string("dataset");
-        !dataset_name.empty()) {
-        const gen::Dataset dataset = gen::make_dataset(
-            dataset_name, util::parse_double(cli.get_string("scale")),
-            static_cast<std::uint64_t>(cli.get_int("seed")));
-        result = core::run_pipeline(dataset, config);
-    } else if (!cli.get_string("input").empty()) {
-        const graph::EdgeList edges =
-            graph::load_wel_file(cli.get_string("input"));
-        result = core::run_link_prediction_pipeline(edges, config);
-    } else {
-        util::fatal("pipeline needs --input or --dataset");
+    std::string cancelled;
+    try {
+        if (const std::string dataset_name = cli.get_string("dataset");
+            !dataset_name.empty()) {
+            const gen::Dataset dataset = gen::make_dataset(
+                dataset_name, util::parse_double(cli.get_string("scale")),
+                static_cast<std::uint64_t>(cli.get_int("seed")));
+            result = core::run_pipeline(dataset, config);
+        } else if (!cli.get_string("input").empty()) {
+            const graph::EdgeList edges =
+                graph::load_wel_file(cli.get_string("input"));
+            result = core::run_link_prediction_pipeline(edges, config);
+        } else {
+            util::fatal("pipeline needs --input or --dataset");
+        }
+    } catch (const util::Cancelled& interrupt) {
+        cancelled = interrupt.what();
     }
 
     session.stop();
@@ -496,6 +524,13 @@ cmd_pipeline(int argc, const char* const* argv)
         session.write_chrome_json(trace_out);
         std::printf("wrote trace (%zu spans) to %s\n",
                     session.events().size(), trace_out.c_str());
+    }
+    if (!cancelled.empty()) {
+        // Partial run: metrics/trace above reflect the work actually
+        // done, but the phase/accuracy summary and bench JSON would be
+        // misleading, so skip them.
+        std::fprintf(stderr, "interrupted: %s\n", cancelled.c_str());
+        return 130;
     }
     if (!bench_out.empty()) {
         write_pipeline_bench(bench_out, result);
@@ -534,6 +569,11 @@ cmd_pipeline(int argc, const char* const* argv)
                         "%u stored\n",
                         s.corpus_shards_loaded, s.corpus_shards_stored);
         }
+        if (s.artifacts_quarantined > 0 || s.artifacts_regenerated > 0) {
+            std::printf("recovery: %u artifacts quarantined, "
+                        "%u regenerated\n",
+                        s.artifacts_quarantined, s.artifacts_regenerated);
+        }
     }
     return 0;
 }
@@ -555,6 +595,9 @@ main(int argc, char** argv)
     const int sub_argc = argc - 1;
     const char* const* sub_argv = argv + 1;
     try {
+        // Every command honors TGL_FAILPOINTS so chaos schedules can
+        // target single-stage invocations, not just `pipeline`.
+        tgl::util::FailpointRegistry::configure_from_env();
         if (command == "generate") {
             return cmd_generate(sub_argc, sub_argv);
         }

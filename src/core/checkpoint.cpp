@@ -1,8 +1,11 @@
 #include "core/checkpoint.hpp"
 
 #include "core/link_prediction.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
 
 #include <filesystem>
 #include <fstream>
@@ -146,36 +149,116 @@ CheckpointManager::transition_cache_path() const
 
 namespace {
 
+/// Flip one byte near the middle of @p path — the `corrupt` failpoint
+/// action damages the real on-disk artifact so the CRC/validation and
+/// quarantine machinery is exercised end to end, not simulated.
+void
+corrupt_file_in_place(const std::string& path)
+{
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    if (!file) {
+        return; // nothing to corrupt; the load will report "missing"
+    }
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    if (size <= 0) {
+        return;
+    }
+    const std::streamoff pos = size / 2;
+    char byte = 0;
+    file.seekg(pos);
+    file.read(&byte, 1);
+    byte ^= 0x5a;
+    file.seekp(pos);
+    file.write(&byte, 1);
+}
+
+/// Bump the shared recovery.regenerated counter (the metric the chaos
+/// harness asserts on) alongside the per-manager count.
+void
+note_regenerated(std::atomic<unsigned>& regenerated)
+{
+    static const obs::Counter counter =
+        obs::Registry::global().counter("recovery.regenerated");
+    counter.inc();
+    regenerated.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
 /// Run @p loader against @p path, mapping every non-resume outcome
 /// (absent file, stale fingerprint, failed container validation) to
 /// false so the caller regenerates. @p loader receives the open stream
 /// and the expected fingerprint and returns whether it matched.
+/// Transient I/O failures are retried with bounded backoff; container
+/// validation failures quarantine the damaged file; cancellation
+/// propagates untouched.
 template <typename Loader>
 bool
-load_checkpoint(const std::string& path, std::uint64_t fingerprint,
-                const char* what, const Loader& loader)
+CheckpointManager::load_checkpoint(const std::string& path,
+                                   std::uint64_t fingerprint,
+                                   const char* what,
+                                   const Loader& loader) const
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        return false; // nothing checkpointed yet
-    }
-    try {
-        if (!loader(in, fingerprint)) {
-            util::inform(util::strcat("checkpoint ", path, " is stale (",
-                                      what,
-                                      " inputs changed) — regenerating"));
-            return false;
+    enum Outcome { kMissing, kStale, kLoaded };
+    const auto attempt = [&]() -> Outcome {
+        if (util::fault_point("checkpoint.load") ==
+            util::FailpointAction::kCorrupt) {
+            corrupt_file_in_place(path);
         }
-    } catch (const util::Error& error) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            return kMissing; // nothing checkpointed yet
+        }
+        return loader(in, fingerprint) ? kLoaded : kStale;
+    };
+
+    util::RetryPolicy policy;
+    policy.seed =
+        util::Fingerprint().mix(std::string_view(path)).value();
+    Outcome outcome;
+    try {
+        outcome = util::retry_transient(
+            policy, util::strcat(what, " checkpoint load"), attempt);
+    } catch (const util::Cancelled&) {
+        throw; // a cancelled run must stop, not silently rebuild
+    } catch (const util::FaultInjected& error) {
+        // Injected terminal fault: the artifact on disk is fine, so
+        // regenerate without quarantining it.
         util::warn(util::strcat("checkpoint ", path, " is unusable (",
                                 error.what(), ") — regenerating"));
+        note_regenerated(regenerated_);
         return false;
+    } catch (const util::TransientError& error) {
+        // Retry budget exhausted: treat like an unusable read and
+        // rebuild — a flaky disk must cost time, never the run.
+        util::warn(util::strcat("checkpoint ", path, " is unreadable (",
+                                error.what(), ") — regenerating"));
+        note_regenerated(regenerated_);
+        return false;
+    } catch (const util::Error& error) {
+        // Container validation failed (truncation, checksum mismatch,
+        // wrong kind): move the damaged file aside and rebuild.
+        util::quarantine_artifact(path, error.what());
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        note_regenerated(regenerated_);
+        return false;
+    }
+
+    switch (outcome) {
+    case kMissing:
+        return false;
+    case kStale:
+        util::inform(util::strcat("checkpoint ", path, " is stale (",
+                                  what, " inputs changed) — regenerating"));
+        return false;
+    case kLoaded:
+        break;
     }
     util::inform(util::strcat("resumed ", what, " from checkpoint ", path));
     return true;
 }
-
-} // namespace
 
 bool
 CheckpointManager::load_corpus(std::uint64_t fingerprint,

@@ -23,6 +23,7 @@
 #include "walk/corpus.hpp"
 #include "walk/transition_cache.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -53,10 +54,15 @@ void mix_config(util::Fingerprint& fp, const ClassifierConfig& config);
 
 /// Stores and restores phase artifacts in one directory.
 ///
-/// load_* returns false — never throws — when the artifact is missing,
-/// was produced by a different configuration (fingerprint mismatch), or
+/// load_* returns false — never throws, except to propagate
+/// cooperative cancellation — when the artifact is missing, was
+/// produced by a different configuration (fingerprint mismatch), or
 /// fails container validation (truncation, corruption); the caller
-/// regenerates and store_* replaces the file atomically.
+/// regenerates and store_* replaces the file atomically. A load that
+/// fails container validation additionally quarantines the damaged
+/// file (rename to `<name>.corrupt.<ts>`) so the next run does not
+/// trip over it, and transient I/O failures are retried with bounded
+/// backoff before the load is declared failed.
 class CheckpointManager
 {
   public:
@@ -105,8 +111,29 @@ class CheckpointManager
     void store_classifier(const std::string& name, std::uint64_t fingerprint,
                           nn::Mlp& net) const;
 
+    /// Corrupt artifacts this manager renamed to *.corrupt.<ts>.
+    unsigned
+    quarantined_count() const
+    {
+        return quarantined_.load(std::memory_order_relaxed);
+    }
+
+    /// Artifacts this manager declared unusable and fell back to
+    /// regenerating (quarantined or not).
+    unsigned
+    regenerated_count() const
+    {
+        return regenerated_.load(std::memory_order_relaxed);
+    }
+
   private:
+    template <typename Loader>
+    bool load_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                         const char* what, const Loader& loader) const;
+
     std::string directory_;
+    mutable std::atomic<unsigned> quarantined_{0};
+    mutable std::atomic<unsigned> regenerated_{0};
 };
 
 /// Optional classifier-phase checkpoint hookup for the task runners.

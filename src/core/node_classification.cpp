@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -73,6 +74,7 @@ run_node_classification(const NodeSplits& splits,
 
     for (unsigned epoch = 0; !restored && epoch < config.max_epochs;
          ++epoch) {
+        util::check_cancellation("the classifier epoch loop");
         const obs::Span epoch_span("classifier.epoch");
         loader.start_epoch();
         double epoch_loss = 0.0;

@@ -3,12 +3,14 @@
 #include "embed/streaming_trainer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 #include "util/shard_queue.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
+#include "util/watchdog.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -16,6 +18,7 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace tgl::core {
@@ -154,6 +157,43 @@ run_overlapped_front_end(const graph::TemporalGraph& graph,
         walk::total_walk_slots(graph, config.walk);
     util::ShardQueue<walk::CorpusShard> queue(plan.queue_capacity);
 
+    // Liveness instrumentation for the stall watchdog: workers post
+    // their current phase to the board, and the queue's completed-ops
+    // counter plus the board version form the progress heartbeat. When
+    // neither advances for the configured deadline, the watchdog dumps
+    // this state, requests cooperative cancellation, and closes the
+    // queue so every blocked worker unwinds — the run fails with the
+    // per-shard checkpoints already on disk instead of hanging.
+    util::PhaseBoard board;
+    std::optional<util::StallWatchdog> watchdog;
+    if (config.watchdog_timeout_seconds > 0.0) {
+        util::StallWatchdog::Options options;
+        options.deadline = std::chrono::milliseconds(
+            static_cast<long>(config.watchdog_timeout_seconds * 1000.0));
+        options.name = "overlap front end";
+        watchdog.emplace(
+            options,
+            [&queue, &board] { return queue.ops() + board.version(); },
+            [&queue, &board] {
+                return util::strcat(
+                    board.dump(), "  shard queue: depth ", queue.size(),
+                    "/", queue.capacity(), ", ", queue.ops(),
+                    " completed ops, ",
+                    queue.closed() ? "closed" : "open",
+                    ", producer stall ",
+                    util::format_fixed(queue.producer_stall_seconds(), 3),
+                    "s, consumer stall ",
+                    util::format_fixed(queue.consumer_stall_seconds(), 3),
+                    "s\n");
+            },
+            [&queue](const std::string& report) {
+                util::warn(report);
+                util::request_cancellation(
+                    "stall watchdog deadline exceeded");
+                queue.close();
+            });
+    }
+
     // Producers claim shard indices off a shared counter, generate (or
     // resume) each shard serially, and push it. The last producer out
     // stamps the walk window and closes the queue — the consumers'
@@ -170,13 +210,16 @@ run_overlapped_front_end(const graph::TemporalGraph& graph,
     auto walk_end = region_begin;
 
     const auto producer = [&](unsigned p) {
+        const std::string who = util::strcat("producer-", p);
         try {
             while (true) {
+                util::check_cancellation("the overlap producer loop");
                 const std::size_t i = shard_counter.fetch_add(
                     1, std::memory_order_relaxed);
                 if (i >= plan.num_shards) {
                     break;
                 }
+                board.set(who, util::strcat("working on shard ", i));
                 const walk::SlotRange range = walk::walk_shard_range(
                     total_slots, plan.num_shards, i);
                 walk::Corpus shard;
@@ -204,11 +247,14 @@ run_overlapped_front_end(const graph::TemporalGraph& graph,
                             1, std::memory_order_relaxed);
                     }
                 }
+                board.set(who, util::strcat("pushing shard ", i));
                 if (!queue.push({i, std::move(shard)})) {
                     break; // closed under us — the consumer side failed
                 }
             }
+            board.set(who, "done");
         } catch (...) {
+            board.set(who, "failed");
             producer_errors[p] = std::current_exception();
         }
         if (active_producers.fetch_sub(1) == 1) {
@@ -244,15 +290,36 @@ run_overlapped_front_end(const graph::TemporalGraph& graph,
 
     embed::StreamingResult trained;
     std::exception_ptr trainer_error;
+    board.set("trainer", "consuming the shard stream");
     try {
         trained = embed::train_sgns_streaming(queue, graph.num_nodes(),
                                               prior, streaming);
+        board.set("trainer", "done");
     } catch (...) {
+        board.set("trainer", "failed");
         trainer_error = std::current_exception();
         queue.close(); // unblock producers waiting in push()
     }
     for (std::thread& thread : producers) {
         thread.join();
+    }
+    if (watchdog) {
+        watchdog->stop();
+        if (watchdog->fired()) {
+            // The stall is the root cause: the cancellation/close it
+            // issued is what made the workers throw. Every worker has
+            // joined, so clear the watchdog's cancellation request —
+            // it must not outlive this run — unless a real signal is
+            // also pending. Shards stored before the stall are on
+            // disk, so a rerun resumes there.
+            if (util::cancellation_signal() == 0) {
+                util::reset_cancellation();
+            }
+            util::fatal(util::strcat(
+                "pipeline stalled — ", watchdog->report(),
+                "  run aborted with a resumable checkpoint (rerun to "
+                "resume from the last stored shard)"));
+        }
     }
     // A producer failure is the root cause when both sides threw (the
     // trainer then fails on the shard that never arrived).

@@ -5,12 +5,14 @@
 #include "graph/builder.hpp"
 #include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
+#include "util/cancellation.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <optional>
 
 namespace tgl::core {
@@ -33,6 +35,11 @@ PipelineConfig::validate() const
     if (w2v_mode == W2vMode::kBatched && w2v_batch_size == 0) {
         problems.push_back(
             "w2v_batch_size must be >= 1 in batched word2vec mode");
+    }
+    if (!(watchdog_timeout_seconds >= 0.0) ||
+        !std::isfinite(watchdog_timeout_seconds)) {
+        problems.push_back(
+            "watchdog_timeout_seconds must be finite and >= 0");
     }
     if (overlap == OverlapMode::kOn) {
         // kAuto degrades to sequential on these; an explicit kOn is a
@@ -178,6 +185,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
               const CheckpointManager* checkpoints,
               const PipelineFingerprints& fingerprints)
 {
+    util::check_cancellation("the build-graph phase boundary");
     util::Timer timer;
     auto phase_begin = phase_now();
     graph::BuildOptions build_options;
@@ -201,6 +209,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
         return embedding;
     }
 
+    util::check_cancellation("the walk phase boundary");
     timer.reset();
     phase_begin = phase_now();
     const obs::PerfSample walk_before = obs::perf_phase_total("walk");
@@ -292,6 +301,7 @@ run_front_end(const graph::EdgeList& edges, const PipelineConfig& config,
     result.corpus_tokens = corpus.num_tokens();
     util::fault_point("pipeline.after-walk");
 
+    util::check_cancellation("the word2vec phase boundary");
     timer.reset();
     phase_begin = phase_now();
     const obs::PerfSample sgns_before = obs::perf_phase_total("sgns");
@@ -365,6 +375,20 @@ struct PipelineContext
         checkpoint.fingerprint = fp.value();
         return checkpoint;
     }
+
+    /// Copy the manager's recovery tallies into the run's checkpoint
+    /// status (the metrics snapshot carries the recovery.* counters;
+    /// this makes the same numbers part of the structured result).
+    void
+    record_recoveries(PipelineResult& result) const
+    {
+        if (manager) {
+            result.checkpoints.artifacts_quarantined =
+                manager->quarantined_count();
+            result.checkpoints.artifacts_regenerated =
+                manager->regenerated_count();
+        }
+    }
 };
 
 } // namespace
@@ -380,6 +404,7 @@ run_link_prediction_pipeline(const graph::EdgeList& edges,
     const embed::Embedding embedding = run_front_end(
         edges, config, graph, result, context.get(), context.fingerprints);
 
+    util::check_cancellation("the data-preparation phase boundary");
     util::Timer timer;
     const auto prep_begin = phase_now();
     obs::PerfScope prep_perf("data_prep");
@@ -399,6 +424,7 @@ run_link_prediction_pipeline(const graph::EdgeList& edges,
     result.times.train = result.task.train_seconds;
     result.times.train_per_epoch = result.task.seconds_per_epoch;
     result.times.test = result.task.test_seconds;
+    context.record_recoveries(result);
     util::fault_point("pipeline.after-train");
     return result;
 }
@@ -416,6 +442,7 @@ run_node_classification_pipeline(const graph::EdgeList& edges,
     const embed::Embedding embedding = run_front_end(
         edges, config, graph, result, context.get(), context.fingerprints);
 
+    util::check_cancellation("the data-preparation phase boundary");
     util::Timer timer;
     const auto prep_begin = phase_now();
     obs::PerfScope prep_perf("data_prep");
@@ -435,6 +462,7 @@ run_node_classification_pipeline(const graph::EdgeList& edges,
     result.times.train = result.task.train_seconds;
     result.times.train_per_epoch = result.task.seconds_per_epoch;
     result.times.test = result.task.test_seconds;
+    context.record_recoveries(result);
     util::fault_point("pipeline.after-train");
     return result;
 }

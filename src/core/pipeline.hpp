@@ -76,8 +76,15 @@ struct PipelineConfig
     /// Directory for crash-safe phase checkpoints (empty disables
     /// checkpointing). On restart, artifacts whose fingerprints match
     /// the current configuration and input are reloaded and their
-    /// phases skipped; stale or corrupt artifacts are regenerated.
+    /// phases skipped; stale or corrupt artifacts are regenerated
+    /// (corrupt ones quarantined as *.corrupt.<ts>).
     std::string checkpoint_dir;
+    /// Stall-watchdog deadline for the overlapped front end, in
+    /// seconds: when the shard queue and worker phase board make no
+    /// progress for this long, the run dumps per-thread state and
+    /// fails with a resumable checkpoint instead of hanging.
+    /// 0 disables the watchdog.
+    double watchdog_timeout_seconds = 0.0;
 
     /// All configuration problems across every sub-config, each
     /// prefixed with its section ("walk.", "sgns.", ...). The pipeline
@@ -129,6 +136,12 @@ struct CheckpointStatus
     bool embedding_stored = false;
     bool classifier_loaded = false;
     bool classifier_stored = false;
+    /// Corrupt artifacts quarantined (renamed *.corrupt.<ts>) during
+    /// this run; each one was regenerated from scratch.
+    unsigned artifacts_quarantined = 0;
+    /// Artifacts that failed to load (corrupt or unreadable) and were
+    /// regenerated.
+    unsigned artifacts_regenerated = 0;
 };
 
 /// Everything a pipeline run produces.

@@ -4,6 +4,7 @@
 #include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
+#include "util/cancellation.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel_for.hpp"
@@ -118,6 +119,7 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     obs::PerfRankScopes perf_scopes("sgns", max_team);
 
     for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        util::check_cancellation("the sgns epoch loop");
         const obs::Span epoch_span("sgns.epoch");
         util::parallel_for_ranked(
             0, num_sentences,

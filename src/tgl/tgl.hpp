@@ -18,15 +18,18 @@
 
 // util: errors, logging, timing, threading, crash-safe artifact I/O
 #include "util/artifact_io.hpp"
+#include "util/cancellation.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/parallel_for.hpp"
+#include "util/retry.hpp"
 #include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/watchdog.hpp"
 
 // rng: generators and samplers
 #include "rng/alias_table.hpp"

@@ -2,14 +2,21 @@
 
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
+
+#include "obs/metrics.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <set>
 
 #include <unistd.h>
 
@@ -35,6 +42,20 @@ crc_table()
         return t;
     }();
     return table;
+}
+
+/// Classify a failed stream operation by the errno the underlying
+/// syscall left behind: interrupted/again-style failures are worth a
+/// retry, everything else (ENOSPC, EIO, EROFS, ...) is terminal.
+[[noreturn]] void
+stream_failure(int saved_errno, const std::string& message)
+{
+    if (saved_errno == EINTR || saved_errno == EAGAIN ||
+        saved_errno == EWOULDBLOCK || saved_errno == EBUSY) {
+        throw TransientError(strcat(message, " (",
+                                    std::strerror(saved_errno), ")"));
+    }
+    fatal(message);
 }
 
 std::array<char, ArtifactWriter::kKindSize>
@@ -99,47 +120,103 @@ atomic_write_file(const std::string& path,
         fs::remove(tmp, ec);
     };
 
-    {
-        std::ios::openmode mode = std::ios::out | std::ios::trunc;
-        if (binary) {
-            mode |= std::ios::binary;
-        }
-        std::ofstream out(tmp, mode);
-        if (!out) {
-            fatal(strcat("cannot open for writing: ", tmp));
-        }
-        try {
-            writer(out);
-        } catch (...) {
+    // One complete temp-write-rename cycle; retried on TransientError
+    // (EINTR/EAGAIN-style flush failures, injected transient faults).
+    // The writer callback is a pure serializer, so rerunning it is
+    // safe, and each attempt starts from a fresh truncated temporary.
+    const auto attempt = [&] {
+        fault_point("artifact_io.write");
+        {
+            std::ios::openmode mode = std::ios::out | std::ios::trunc;
+            if (binary) {
+                mode |= std::ios::binary;
+            }
+            std::ofstream out(tmp, mode);
+            if (!out) {
+                fatal(strcat("cannot open for writing: ", tmp));
+            }
+            try {
+                writer(out);
+            } catch (...) {
+                out.close();
+                discard();
+                throw;
+            }
+            // Flush buffered data before testing the stream so
+            // deferred write failures (ENOSPC, quota) are observed
+            // here, not lost when the ofstream destructor swallows
+            // them.
+            errno = 0;
+            out.flush();
+            if (!out) {
+                const int saved_errno = errno;
+                discard();
+                stream_failure(saved_errno,
+                               strcat("write failed: ", tmp,
+                                      " (disk full or quota exceeded?)"));
+            }
             out.close();
-            discard();
-            throw;
+            if (out.fail()) {
+                const int saved_errno = errno;
+                discard();
+                stream_failure(saved_errno, strcat("close failed: ", tmp));
+            }
         }
-        // Flush buffered data before testing the stream so deferred
-        // write failures (ENOSPC, quota) are observed here, not lost
-        // when the ofstream destructor swallows them.
-        out.flush();
-        if (!out) {
-            discard();
-            fatal(strcat("write failed: ", tmp,
-                         " (disk full or quota exceeded?)"));
-        }
-        out.close();
-        if (out.fail()) {
-            discard();
-            fatal(strcat("close failed: ", tmp));
-        }
-    }
 
-    fault_point("artifact_io.before-rename");
+        fault_point("artifact_io.before-rename");
 
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) {
+            discard();
+            fatal(strcat("cannot rename ", tmp, " -> ", path, ": ",
+                         ec.message()));
+        }
+    };
+
+    RetryPolicy policy;
+    policy.seed = Fingerprint().mix(std::string_view(path)).value();
+    try {
+        retry_transient(policy, strcat("atomic write of ", path), attempt);
+    } catch (...) {
         discard();
-        fatal(strcat("cannot rename ", tmp, " -> ", path, ": ",
-                     ec.message()));
+        throw;
     }
+}
+
+std::string
+quarantine_artifact(const std::string& path, const std::string& why)
+{
+    namespace fs = std::filesystem;
+
+    // Warn once per path: a retry loop or a second loader tripping over
+    // the same corrupt artifact must not flood the log.
+    static std::mutex logged_mutex;
+    static std::set<std::string> logged;
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(logged_mutex);
+        first = logged.insert(path).second;
+    }
+
+    const auto stamp =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    const std::string target = strcat(path, ".corrupt.", stamp);
+    std::error_code ec;
+    fs::rename(path, target, ec);
+
+    static const obs::Counter quarantined =
+        obs::Registry::global().counter("recovery.quarantined");
+    quarantined.inc();
+
+    if (first) {
+        warn(strcat("quarantined corrupt artifact ", path, " (", why,
+                    ec ? strcat(") — rename failed: ", ec.message())
+                       : strcat(") -> ", target)));
+    }
+    return ec ? std::string() : target;
 }
 
 ArtifactWriter::ArtifactWriter(std::ostream& out, std::string_view kind,

@@ -79,10 +79,21 @@ class Fingerprint
 /// checked for write errors (ENOSPC and quota failures surface here,
 /// not silently), and renamed over @p path. On any failure the
 /// temporary is removed, the original file is left untouched, and a
-/// tgl::util::Error is thrown.
+/// tgl::util::Error is thrown. Transient stream failures
+/// (EINTR/EAGAIN-style) are retried with bounded backoff before the
+/// error propagates.
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& writer,
                        bool binary = false);
+
+/// Move a corrupt artifact out of the way: rename @p path to
+/// `<path>.corrupt.<timestamp>`, warn once per path (with @p why), and
+/// bump the `recovery.quarantined` counter. Returns the quarantine
+/// path, or "" if the rename failed (the warning still fires). The
+/// caller regenerates the artifact; the quarantined file is kept for
+/// post-mortem inspection.
+std::string quarantine_artifact(const std::string& path,
+                                const std::string& why);
 
 /// Serializes one artifact into the container format. The payload is
 /// buffered in memory so the CRC and size can be written up front;

@@ -23,6 +23,25 @@ class Error : public std::runtime_error
     explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A failure that is expected to succeed if simply tried again
+/// (EINTR/EAGAIN-style I/O hiccups, injected transient faults).
+/// util::retry_transient() retries exactly this type; every other
+/// Error is terminal and propagates on the first throw.
+class TransientError : public Error
+{
+  public:
+    explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// Cooperative-cancellation signal (SIGINT/SIGTERM, stall watchdog).
+/// Distinct from Error recovery paths: checkpoint loaders and retry
+/// loops must always propagate it instead of degrading or retrying.
+class Cancelled : public Error
+{
+  public:
+    explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 /// Throw a tgl::util::Error with a formatted message.
 [[noreturn]] inline void
 fatal(const std::string& message)

@@ -1,14 +1,34 @@
 /// @file
-/// Deterministic fault injection for crash-path testing.
+/// Multi-site failpoint registry for chaos testing and crash-path tests.
 ///
 /// Production code marks interesting failure boundaries with
 /// fault_point("site"); the call is a single relaxed atomic load unless
-/// a test has armed that site via FaultInjector, in which case the Nth
-/// hit throws FaultInjected. This is how the checkpoint/resume tests
-/// "kill" a pipeline between phases without spawning processes.
+/// at least one site is armed. Sites are armed either programmatically
+/// (FailpointRegistry::configure / the legacy FaultInjector test API)
+/// or at process start from the TGL_FAILPOINTS environment variable.
 ///
-/// FailAfterOStream complements it on the I/O side: a stream whose
-/// buffer accepts a byte budget and then fails every write — a
+/// Spec grammar (';'-separated entries):
+///
+///     site=action[:param][@N]
+///
+///     actions   error             throw FaultInjected (terminal)
+///               error:transient   throw TransientError (retryable)
+///               delay:<N>ms       sleep N milliseconds (interruptible)
+///               corrupt           return kCorrupt — the call site
+///                                 flips bytes in its own artifact
+///     triggers  @N                fire on the Nth hit, then deactivate
+///               :p=<float>        fire each hit with probability p
+///                                 (seeded RNG, deterministic)
+///
+/// Example: "artifact_io.write=error@3;shard_queue.pop=delay:50ms;
+///           checkpoint.load=corrupt:p=0.1"
+///
+/// Every armed site exports a `failpoint.<site>.hits` counter through
+/// the obs metrics registry, so chaos runs can assert which faults a
+/// schedule actually exercised.
+///
+/// FailAfterOStream complements the registry on the I/O side: a stream
+/// whose buffer accepts a byte budget and then fails every write — a
 /// deterministic stand-in for ENOSPC/quota failures, used to prove the
 /// save paths actually report stream errors instead of dropping them.
 #pragma once
@@ -19,6 +39,7 @@
 #include <ostream>
 #include <streambuf>
 #include <string>
+#include <vector>
 
 namespace tgl::util {
 
@@ -31,11 +52,57 @@ class FaultInjected : public Error
     explicit FaultInjected(const std::string& what) : Error(what) {}
 };
 
-/// Trigger point. No-op unless @p site is armed; then throws
-/// FaultInjected on the Nth matching hit.
-void fault_point(const char* site);
+/// What a fault_point call site should do after returning. Error and
+/// delay actions are handled inside fault_point itself (throw / sleep);
+/// corruption cannot be — only the call site knows which artifact to
+/// damage — so it is returned as a verdict instead.
+enum class FailpointAction : std::uint8_t {
+    kNone,    ///< site not armed or trigger did not fire
+    kCorrupt, ///< damage the artifact about to be read/written
+};
 
-/// Process-global switchboard arming fault_point sites (test-only).
+/// Trigger point. A single relaxed atomic load when nothing is armed;
+/// otherwise consults the registry and may throw FaultInjected /
+/// TransientError, sleep, or return kCorrupt.
+FailpointAction fault_point(const char* site);
+
+/// Process-global registry of armed failpoints.
+class FailpointRegistry
+{
+  public:
+    /// Replace the armed set with @p spec (grammar above). An empty
+    /// spec disarms everything. @p seed drives probabilistic triggers
+    /// and is remembered for reproducibility. Throws Error on a
+    /// malformed spec, leaving the previous configuration armed.
+    static void configure(const std::string& spec, std::uint64_t seed = 0);
+
+    /// Arm from TGL_FAILPOINTS / TGL_FAILPOINTS_SEED if set; no-op
+    /// otherwise. Called once from tool main()s, never from the
+    /// library, so tests stay hermetic.
+    static void configure_from_env();
+
+    /// Disarm every site (legacy FaultInjector sites included).
+    static void clear();
+
+    /// True if any site is currently armed.
+    static bool active();
+
+    /// Hits recorded against @p site since it was (re)armed; 0 for
+    /// unknown sites.
+    static std::uint64_t hits(const std::string& site);
+
+    /// Names of all armed sites, sorted (diagnostics / tests).
+    static std::vector<std::string> armed_sites();
+
+    /// Bumped on every configure()/clear(). In-flight delay actions
+    /// poll it and cut their sleep short when the configuration that
+    /// scheduled them is gone — this is how the watchdog's recovery
+    /// path unwedges a simulated stall.
+    static std::uint64_t generation();
+};
+
+/// Legacy single-site test API, now a thin wrapper over the registry:
+/// arm(site, n) == configure entry "site=error@n" (plus hit counting).
 class FaultInjector
 {
   public:

@@ -1,0 +1,62 @@
+#include "util/retry.hpp"
+
+#include "obs/metrics.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgl::util {
+
+std::vector<std::chrono::microseconds>
+backoff_schedule(const RetryPolicy& policy)
+{
+    TGL_ASSERT(policy.max_attempts >= 1);
+    TGL_ASSERT(policy.multiplier >= 1.0);
+    TGL_ASSERT(policy.jitter >= 0.0 && policy.jitter < 1.0);
+
+    std::vector<std::chrono::microseconds> schedule;
+    schedule.reserve(policy.max_attempts - 1);
+    rng::SplitMix64 rng(rng::mix_seed(policy.seed, 0x7e747279ULL));
+    double wait = static_cast<double>(policy.initial_backoff.count());
+    const double cap = static_cast<double>(policy.max_backoff.count());
+    std::int64_t budget = policy.max_total_backoff.count();
+    for (unsigned i = 0; i + 1 < policy.max_attempts; ++i) {
+        const double uniform =
+            static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+        const double factor =
+            1.0 + policy.jitter * (2.0 * uniform - 1.0);
+        const double jittered = std::min(wait, cap) * factor;
+        const std::int64_t micros = std::min<std::int64_t>(
+            budget, static_cast<std::int64_t>(std::llround(jittered)));
+        schedule.emplace_back(std::max<std::int64_t>(micros, 0));
+        budget -= schedule.back().count();
+        wait *= policy.multiplier;
+    }
+    return schedule;
+}
+
+namespace detail {
+
+void
+note_transient(std::string_view what, const char* error,
+               unsigned attempt, unsigned max_attempts, bool will_retry)
+{
+    static const obs::Counter failures =
+        obs::Registry::global().counter("retry.transient_failures");
+    static const obs::Counter giveups =
+        obs::Registry::global().counter("retry.giveups");
+    failures.inc();
+    if (!will_retry) {
+        giveups.inc();
+    }
+    warn(strcat("transient failure in ", what, " (attempt ", attempt,
+                "/", max_attempts, "): ", error,
+                will_retry ? " — backing off and retrying"
+                           : " — retry budget exhausted"));
+}
+
+} // namespace detail
+
+} // namespace tgl::util

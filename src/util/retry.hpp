@@ -1,0 +1,98 @@
+/// @file
+/// Bounded retry with deterministic exponential backoff.
+///
+/// retry_transient() retries exactly util::TransientError — the
+/// EINTR/EAGAIN-style hiccups and injected transient faults that are
+/// expected to succeed on a second attempt. Every other exception
+/// (terminal Error, Cancelled, FaultInjected) propagates on the first
+/// throw: retrying a corrupt artifact or a cancelled run only wastes
+/// the backoff budget.
+///
+/// The backoff schedule is precomputed from the policy alone —
+/// exponential growth with seeded multiplicative jitter, per-wait and
+/// cumulative caps — so tests can assert the exact schedule a seed
+/// produces without sleeping through it.
+#pragma once
+
+#include "util/error.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace tgl::util {
+
+/// Knobs for one retry loop. Defaults keep the worst case short
+/// (4 attempts, < ~100 ms of total sleeping) — artifact I/O either
+/// recovers quickly or the failure is not transient after all.
+struct RetryPolicy
+{
+    /// Total attempts including the first (>= 1); attempts-1 backoffs.
+    unsigned max_attempts = 4;
+    /// Wait before the first retry.
+    std::chrono::microseconds initial_backoff{2000};
+    /// Growth factor between consecutive waits (>= 1).
+    double multiplier = 4.0;
+    /// Per-wait ceiling, applied before jitter.
+    std::chrono::microseconds max_backoff{50000};
+    /// Cumulative ceiling: later waits are clipped so the schedule
+    /// never sleeps more than this in total.
+    std::chrono::microseconds max_total_backoff{100000};
+    /// Multiplicative jitter fraction in [0, 1): each wait is scaled
+    /// by a seeded uniform draw from [1 - jitter, 1 + jitter].
+    double jitter = 0.25;
+    /// Seed for the jitter draws; same seed, same schedule.
+    std::uint64_t seed = 0;
+};
+
+/// The exact waits retry_transient() will sleep between attempts
+/// (max_attempts - 1 entries). Deterministic in the policy.
+std::vector<std::chrono::microseconds>
+backoff_schedule(const RetryPolicy& policy);
+
+namespace detail {
+
+/// Log one transient failure and bump the retry.* counters.
+/// @p will_retry is false on the attempt that exhausts the budget.
+void note_transient(std::string_view what, const char* error,
+                    unsigned attempt, unsigned max_attempts,
+                    bool will_retry);
+
+} // namespace detail
+
+/// Run @p attempt, retrying on TransientError per @p policy. Returns
+/// the first successful result; rethrows the last TransientError once
+/// the budget is exhausted. @p sleep overrides the real clock in tests.
+template <typename Attempt>
+auto
+retry_transient(const RetryPolicy& policy, std::string_view what,
+                Attempt&& attempt,
+                const std::function<void(std::chrono::microseconds)>&
+                    sleep = {}) -> decltype(attempt())
+{
+    const std::vector<std::chrono::microseconds> schedule =
+        backoff_schedule(policy);
+    for (unsigned tried = 0;; ++tried) {
+        try {
+            return attempt();
+        } catch (const TransientError& error) {
+            const bool will_retry = tried + 1 < policy.max_attempts;
+            detail::note_transient(what, error.what(), tried + 1,
+                                   policy.max_attempts, will_retry);
+            if (!will_retry) {
+                throw;
+            }
+            const std::chrono::microseconds wait = schedule[tried];
+            if (sleep) {
+                sleep(wait);
+            } else if (wait.count() > 0) {
+                std::this_thread::sleep_for(wait);
+            }
+        }
+    }
+}
+
+} // namespace tgl::util

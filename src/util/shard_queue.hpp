@@ -9,10 +9,14 @@
 /// ThreadSanitizer).
 #pragma once
 
+#include "util/fault_injection.hpp"
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -43,10 +47,13 @@ class ShardQueue
 
     /// Block until there is room, then enqueue. Returns false — and
     /// drops @p item — iff the queue was closed (shutdown while
-    /// waiting, or push after close).
+    /// waiting, or push after close). Failpoint `shard_queue.push`
+    /// fires before the wait (chaos schedules stall/fault producers
+    /// here).
     bool
     push(T item)
     {
+        fault_point("shard_queue.push");
         std::unique_lock<std::mutex> lock(mutex_);
         if (items_.size() >= capacity_ && !closed_) {
             const auto begin = std::chrono::steady_clock::now();
@@ -62,6 +69,7 @@ class ShardQueue
         }
         items_.push_back(std::move(item));
         max_depth_ = std::max(max_depth_, items_.size());
+        ops_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
         not_empty_.notify_one();
         return true;
@@ -69,10 +77,13 @@ class ShardQueue
 
     /// Block until an item is available, then dequeue it. Returns
     /// nullopt iff the queue is closed and fully drained — the
-    /// consumer's termination signal.
+    /// consumer's termination signal. Failpoint `shard_queue.pop`
+    /// fires before the wait (chaos schedules stall/fault consumers
+    /// here).
     std::optional<T>
     pop()
     {
+        fault_point("shard_queue.pop");
         std::unique_lock<std::mutex> lock(mutex_);
         if (items_.empty() && !closed_) {
             const auto begin = std::chrono::steady_clock::now();
@@ -87,6 +98,7 @@ class ShardQueue
         }
         T item = std::move(items_.front());
         items_.pop_front();
+        ops_.fetch_add(1, std::memory_order_relaxed);
         lock.unlock();
         not_full_.notify_one();
         return item;
@@ -121,6 +133,14 @@ class ShardQueue
 
     std::size_t capacity() const { return capacity_; }
 
+    /// Completed push+pop operations — a lock-free liveness heartbeat
+    /// the stall watchdog samples. Blocked waiters do not advance it.
+    std::uint64_t
+    ops() const
+    {
+        return ops_.load(std::memory_order_relaxed);
+    }
+
     /// High-water mark of the queue depth since construction.
     std::size_t
     max_depth() const
@@ -152,6 +172,7 @@ class ShardQueue
     std::deque<T> items_;
     std::size_t capacity_;
     bool closed_ = false;
+    std::atomic<std::uint64_t> ops_{0};
     std::size_t max_depth_ = 0;
     double producer_stall_ = 0.0;
     double consumer_stall_ = 0.0;

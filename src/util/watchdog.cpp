@@ -1,0 +1,130 @@
+#include "util/watchdog.hpp"
+
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tgl::util {
+
+void
+PhaseBoard::set(const std::string& who, const std::string& state)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        states_[who] = state;
+    }
+    version_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+PhaseBoard::version() const
+{
+    return version_.load(std::memory_order_relaxed);
+}
+
+std::string
+PhaseBoard::dump() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto& [who, state] : states_) {
+        out += strcat("  ", who, ": ", state, "\n");
+    }
+    return out;
+}
+
+StallWatchdog::StallWatchdog(
+    Options options, std::function<std::uint64_t()> progress,
+    std::function<std::string()> dump_state,
+    std::function<void(const std::string& report)> on_stall)
+    : options_(std::move(options)), progress_(std::move(progress)),
+      dump_state_(std::move(dump_state)), on_stall_(std::move(on_stall))
+{
+    if (options_.poll.count() <= 0) {
+        options_.poll = std::clamp(options_.deadline / 8,
+                                   std::chrono::milliseconds(10),
+                                   std::chrono::milliseconds(1000));
+    }
+    monitor_ = std::thread([this] { run(); });
+}
+
+StallWatchdog::~StallWatchdog()
+{
+    stop();
+}
+
+void
+StallWatchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (monitor_.joinable()) {
+        monitor_.join();
+    }
+}
+
+bool
+StallWatchdog::fired() const
+{
+    return fired_.load(std::memory_order_acquire);
+}
+
+std::string
+StallWatchdog::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return report_;
+}
+
+void
+StallWatchdog::run()
+{
+    std::uint64_t last_progress = progress_();
+    auto last_advance = std::chrono::steady_clock::now();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        wake_.wait_for(lock, options_.poll);
+        if (stopping_) {
+            return;
+        }
+        lock.unlock();
+        const std::uint64_t current = progress_();
+        const auto now = std::chrono::steady_clock::now();
+        if (current != last_progress) {
+            last_progress = current;
+            last_advance = now;
+            lock.lock();
+            continue;
+        }
+        if (now - last_advance < options_.deadline) {
+            lock.lock();
+            continue;
+        }
+
+        // Stall confirmed: capture the report, then run the recovery
+        // action exactly once and retire the monitor.
+        const auto stalled_for =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - last_advance);
+        const std::string report = strcat(
+            options_.name, " stall watchdog: no progress for ",
+            stalled_for.count(), " ms (deadline ",
+            options_.deadline.count(), " ms); worker state:\n",
+            dump_state_ ? dump_state_() : std::string("  (none)\n"));
+        lock.lock();
+        report_ = report;
+        lock.unlock();
+        fired_.store(true, std::memory_order_release);
+        if (on_stall_) {
+            on_stall_(report);
+        }
+        return;
+    }
+}
+
+} // namespace tgl::util

@@ -1,0 +1,106 @@
+/// @file
+/// Stall watchdog + phase board for the overlapped walk/word2vec path.
+///
+/// A wedged shard_queue consumer (or a failpoint-simulated one) used to
+/// hang the pipeline forever: producers block on a full queue, the
+/// trainer blocks on an empty one, and nothing ever times out.
+/// StallWatchdog runs a monitor thread that samples a caller-supplied
+/// progress counter (queue ops + phase-board version); when the counter
+/// stops advancing for longer than the deadline it captures a report —
+/// per-thread phase state plus queue statistics — and invokes the
+/// on_stall callback exactly once. The callback requests cooperative
+/// cancellation and closes the queue, so every blocked worker unwinds
+/// and the run fails with a resumable checkpoint instead of hanging.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tgl::util {
+
+/// Shared whiteboard where worker threads post what they are doing
+/// ("producer-1: generating shard 7"). Cheap enough for per-shard
+/// updates; the watchdog folds version() into its progress signal and
+/// dumps the board when a stall fires.
+class PhaseBoard
+{
+  public:
+    /// Post/update one worker's state line.
+    void set(const std::string& who, const std::string& state);
+
+    /// Bumped on every set(); a progress heartbeat in its own right.
+    std::uint64_t version() const;
+
+    /// "  <who>: <state>" lines, sorted by worker, newline-terminated.
+    std::string dump() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::string> states_;
+    std::atomic<std::uint64_t> version_{0};
+};
+
+/// Monitor thread that fails a run instead of letting it hang.
+class StallWatchdog
+{
+  public:
+    struct Options
+    {
+        /// No-progress window after which the watchdog fires.
+        std::chrono::milliseconds deadline{30000};
+        /// Sampling cadence; 0 derives deadline/8 clamped to
+        /// [10 ms, 1 s].
+        std::chrono::milliseconds poll{0};
+        /// Label used in the stall report.
+        std::string name = "pipeline";
+    };
+
+    /// @p progress is sampled from the monitor thread and must be
+    /// thread-safe; any advance counts as liveness. @p dump_state is
+    /// called once when the stall fires (also from the monitor thread)
+    /// to snapshot worker/queue state for the report. @p on_stall
+    /// performs the recovery action (request cancellation, close the
+    /// queue); it runs at most once.
+    StallWatchdog(Options options, std::function<std::uint64_t()> progress,
+                  std::function<std::string()> dump_state,
+                  std::function<void(const std::string& report)> on_stall);
+
+    /// Joins the monitor thread (stop() if still running).
+    ~StallWatchdog();
+
+    StallWatchdog(const StallWatchdog&) = delete;
+    StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+    /// Shut the monitor down without firing; idempotent.
+    void stop();
+
+    /// True once the watchdog has fired.
+    bool fired() const;
+
+    /// The captured stall report ("" until fired).
+    std::string report() const;
+
+  private:
+    void run();
+
+    Options options_;
+    std::function<std::uint64_t()> progress_;
+    std::function<std::string()> dump_state_;
+    std::function<void(const std::string&)> on_stall_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    std::atomic<bool> fired_{false};
+    std::string report_; // guarded by mutex_
+    std::thread monitor_;
+};
+
+} // namespace tgl::util

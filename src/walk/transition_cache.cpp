@@ -2,6 +2,7 @@
 
 #include "util/artifact_io.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/parallel_for.hpp"
 
@@ -266,6 +267,7 @@ void
 TransitionCache::save_binary_file(const std::string& path,
                                   std::uint64_t fingerprint) const
 {
+    util::fault_point("transition_cache.save");
     util::atomic_write_file(
         path, [&](std::ostream& out) { save_binary(out, fingerprint); },
         /*binary=*/true);
@@ -323,11 +325,22 @@ TransitionCache
 TransitionCache::load_binary_file(const std::string& path,
                                   std::uint64_t* fingerprint)
 {
+    util::fault_point("transition_cache.load");
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         util::fatal(util::strcat("cannot open: ", path));
     }
-    return load_binary(in, fingerprint);
+    try {
+        return load_binary(in, fingerprint);
+    } catch (const util::Error& error) {
+        // Direct file loads (CLI cache tooling) have no regeneration
+        // path of their own, but quarantining the damaged file here
+        // means the next pipeline run rebuilds instead of tripping
+        // over it again.
+        in.close();
+        util::quarantine_artifact(path, error.what());
+        throw;
+    }
 }
 
 } // namespace tgl::walk

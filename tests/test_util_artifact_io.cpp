@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace tgl::util {
 namespace {
@@ -273,6 +275,185 @@ TEST(FaultInjector, ArmsNthHitAndCountsHits)
     // Auto-disarmed after firing.
     fault_point("test.site");
     FaultInjector::disarm();
+}
+
+class FailpointRegistryTest : public testing::Test
+{
+  protected:
+    void TearDown() override { FailpointRegistry::clear(); }
+};
+
+TEST_F(FailpointRegistryTest, ParsesMultiSiteSpec)
+{
+    FailpointRegistry::configure(
+        "a.write=error@3;b.pop=delay:5ms;c.load=corrupt:p=0.5");
+    EXPECT_TRUE(FailpointRegistry::active());
+    const std::vector<std::string> armed =
+        FailpointRegistry::armed_sites();
+    ASSERT_EQ(armed.size(), 3u);
+    EXPECT_EQ(armed[0], "a.write");
+    EXPECT_EQ(armed[1], "b.pop");
+    EXPECT_EQ(armed[2], "c.load");
+    FailpointRegistry::clear();
+    EXPECT_FALSE(FailpointRegistry::active());
+}
+
+TEST_F(FailpointRegistryTest, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(FailpointRegistry::configure("no-equals"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site="), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site=explode"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site=delay"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site=delay:xms"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site=error@zero"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("site=corrupt:p=2"), Error);
+    EXPECT_THROW(FailpointRegistry::configure("=error"), Error);
+    // A malformed spec must leave the previous configuration armed.
+    FailpointRegistry::configure("keep.me=error@5");
+    EXPECT_THROW(FailpointRegistry::configure("broken"), Error);
+    ASSERT_EQ(FailpointRegistry::armed_sites().size(), 1u);
+    EXPECT_EQ(FailpointRegistry::armed_sites()[0], "keep.me");
+}
+
+TEST_F(FailpointRegistryTest, NthHitFiresOnceThenDeactivates)
+{
+    FailpointRegistry::configure("test.nth=error@2");
+    fault_point("test.nth");
+    EXPECT_THROW(fault_point("test.nth"), FaultInjected);
+    // Deactivated after firing: later hits pass and stop counting.
+    fault_point("test.nth");
+    EXPECT_EQ(FailpointRegistry::hits("test.nth"), 2u);
+}
+
+TEST_F(FailpointRegistryTest, TransientActionThrowsRetryable)
+{
+    FailpointRegistry::configure("test.flaky=error:transient@1");
+    EXPECT_THROW(fault_point("test.flaky"), TransientError);
+    fault_point("test.flaky"); // @1 deactivated after firing
+}
+
+TEST_F(FailpointRegistryTest, CorruptActionReturnsVerdict)
+{
+    FailpointRegistry::configure("test.rot=corrupt");
+    EXPECT_EQ(fault_point("test.rot"), FailpointAction::kCorrupt);
+    EXPECT_EQ(fault_point("test.unarmed"), FailpointAction::kNone);
+}
+
+TEST_F(FailpointRegistryTest, DelayActionSleeps)
+{
+    FailpointRegistry::configure("test.slow=delay:20ms");
+    const auto begin = std::chrono::steady_clock::now();
+    EXPECT_EQ(fault_point("test.slow"), FailpointAction::kNone);
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  elapsed).count(), 15);
+}
+
+TEST_F(FailpointRegistryTest, ProbabilisticTriggerIsSeedDeterministic)
+{
+    const auto firing_pattern = [](std::uint64_t seed) {
+        FailpointRegistry::configure("test.maybe=corrupt:p=0.5", seed);
+        std::string pattern;
+        for (int i = 0; i < 64; ++i) {
+            pattern += fault_point("test.maybe") ==
+                               FailpointAction::kCorrupt
+                           ? '1'
+                           : '0';
+        }
+        return pattern;
+    };
+    const std::string first = firing_pattern(7);
+    EXPECT_EQ(first, firing_pattern(7));
+    EXPECT_NE(first, firing_pattern(8));
+    // p=0.5 over 64 draws: both outcomes must appear.
+    EXPECT_NE(first.find('0'), std::string::npos);
+    EXPECT_NE(first.find('1'), std::string::npos);
+}
+
+TEST_F(FailpointRegistryTest, CountsHitsPerSite)
+{
+    FailpointRegistry::configure("test.a=corrupt:p=0;test.b=corrupt:p=0");
+    fault_point("test.a");
+    fault_point("test.a");
+    fault_point("test.b");
+    EXPECT_EQ(FailpointRegistry::hits("test.a"), 2u);
+    EXPECT_EQ(FailpointRegistry::hits("test.b"), 1u);
+    EXPECT_EQ(FailpointRegistry::hits("test.unknown"), 0u);
+}
+
+TEST_F(FailpointRegistryTest, GenerationBumpsOnReconfigure)
+{
+    const std::uint64_t before = FailpointRegistry::generation();
+    FailpointRegistry::configure("test.site=error@99");
+    EXPECT_GT(FailpointRegistry::generation(), before);
+    const std::uint64_t armed = FailpointRegistry::generation();
+    FailpointRegistry::clear();
+    EXPECT_GT(FailpointRegistry::generation(), armed);
+}
+
+TEST(Quarantine, RenamesCorruptArtifactAside)
+{
+    const std::string dir =
+        testing::TempDir() + "/tgl_quarantine_test";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/artifact.bin";
+    { std::ofstream(path) << "rotten"; }
+    const std::string moved = quarantine_artifact(path, "unit test");
+    EXPECT_FALSE(std::filesystem::exists(path));
+    ASSERT_FALSE(moved.empty());
+    EXPECT_TRUE(std::filesystem::exists(moved));
+    EXPECT_NE(moved.find("artifact.bin.corrupt."), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Quarantine, MissingFileReturnsEmpty)
+{
+    EXPECT_TRUE(quarantine_artifact(
+                    testing::TempDir() + "/tgl_quarantine_missing.bin",
+                    "unit test")
+                    .empty());
+}
+
+TEST(FailAfterStreambuf, ExactLimitWriteIsAcceptedThenNextFails)
+{
+    // A bulk write that lands exactly on the byte budget must succeed
+    // in full; only the next byte fails.
+    std::ostringstream target;
+    FailAfterOStream out(target, 4);
+    out.write("abcd", 4);
+    EXPECT_TRUE(out.good());
+    out.put('e');
+    EXPECT_FALSE(out.good());
+    EXPECT_EQ(target.str(), "abcd");
+}
+
+TEST(FailAfterStreambuf, StraddlingWriteForwardsOnlyRemaining)
+{
+    // A bulk write straddling the budget forwards the remaining bytes
+    // and reports a short count, which ostream::write turns into
+    // badbit — the partial-write shape real ENOSPC produces.
+    std::ostringstream target;
+    FailAfterOStream out(target, 4);
+    out.write("abc", 3);
+    EXPECT_TRUE(out.good());
+    out.write("defg", 4);
+    EXPECT_FALSE(out.good());
+    EXPECT_EQ(target.str(), "abcd");
+    // The budget is pinned at zero, not wrapped around: clearing the
+    // stream and writing again must still forward nothing.
+    out.clear();
+    out.write("hi", 2);
+    EXPECT_FALSE(out.good());
+    EXPECT_EQ(target.str(), "abcd");
+}
+
+TEST(FailAfterStreambuf, ZeroBudgetRejectsFirstWrite)
+{
+    std::ostringstream target;
+    FailAfterOStream out(target, 0);
+    out.write("abc", 3);
+    EXPECT_FALSE(out.good());
+    EXPECT_TRUE(target.str().empty());
 }
 
 } // namespace

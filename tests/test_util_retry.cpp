@@ -1,0 +1,242 @@
+/// Unit tests for bounded retry with deterministic exponential
+/// backoff: schedule determinism, per-wait and cumulative caps, and
+/// the retry loop's taxonomy (transient retried, terminal rethrown).
+#include "util/retry.hpp"
+
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace tgl::util {
+namespace {
+
+using std::chrono::microseconds;
+
+std::int64_t
+total_micros(const std::vector<microseconds>& schedule)
+{
+    return std::accumulate(schedule.begin(), schedule.end(),
+                           std::int64_t{0},
+                           [](std::int64_t sum, microseconds wait) {
+                               return sum + wait.count();
+                           });
+}
+
+TEST(BackoffSchedule, SameSeedSameSchedule)
+{
+    RetryPolicy policy;
+    policy.seed = 42;
+    const auto first = backoff_schedule(policy);
+    const auto second = backoff_schedule(policy);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.size(), policy.max_attempts - 1);
+}
+
+TEST(BackoffSchedule, DifferentSeedsDiffer)
+{
+    RetryPolicy a;
+    a.seed = 1;
+    RetryPolicy b;
+    b.seed = 2;
+    // With 25% jitter, three draws colliding across seeds would mean
+    // the jitter stream is not actually keyed on the seed.
+    EXPECT_NE(backoff_schedule(a), backoff_schedule(b));
+}
+
+TEST(BackoffSchedule, GrowsExponentiallyWithoutJitter)
+{
+    RetryPolicy policy;
+    policy.jitter = 0.0;
+    policy.initial_backoff = microseconds{100};
+    policy.multiplier = 2.0;
+    policy.max_backoff = microseconds{1000000};
+    policy.max_total_backoff = microseconds{1000000};
+    const auto schedule = backoff_schedule(policy);
+    ASSERT_EQ(schedule.size(), 3u);
+    EXPECT_EQ(schedule[0], microseconds{100});
+    EXPECT_EQ(schedule[1], microseconds{200});
+    EXPECT_EQ(schedule[2], microseconds{400});
+}
+
+TEST(BackoffSchedule, JitterStaysWithinFraction)
+{
+    RetryPolicy policy;
+    policy.jitter = 0.25;
+    policy.initial_backoff = microseconds{10000};
+    policy.multiplier = 1.0;
+    policy.max_total_backoff = microseconds{10000000};
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        policy.seed = seed;
+        for (const microseconds wait : backoff_schedule(policy)) {
+            EXPECT_GE(wait.count(), 7500) << "seed " << seed;
+            EXPECT_LE(wait.count(), 12500) << "seed " << seed;
+        }
+    }
+}
+
+TEST(BackoffSchedule, PerWaitCapAppliesBeforeJitter)
+{
+    RetryPolicy policy;
+    policy.initial_backoff = microseconds{40000};
+    policy.multiplier = 100.0;
+    policy.max_backoff = microseconds{50000};
+    policy.max_total_backoff = microseconds{10000000};
+    policy.jitter = 0.25;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        policy.seed = seed;
+        for (const microseconds wait : backoff_schedule(policy)) {
+            // cap * (1 + jitter) bounds every wait even though the raw
+            // exponential passes the cap after one step.
+            EXPECT_LE(wait.count(), 62500) << "seed " << seed;
+        }
+    }
+}
+
+TEST(BackoffSchedule, TotalBudgetCapsCumulativeSleep)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.initial_backoff = microseconds{30000};
+    policy.multiplier = 2.0;
+    policy.max_backoff = microseconds{1000000};
+    policy.max_total_backoff = microseconds{100000};
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        policy.seed = seed;
+        const auto schedule = backoff_schedule(policy);
+        EXPECT_LE(total_micros(schedule), 100000) << "seed " << seed;
+    }
+}
+
+TEST(BackoffSchedule, DefaultPolicyStaysUnderBudget)
+{
+    const RetryPolicy policy;
+    const auto schedule = backoff_schedule(policy);
+    ASSERT_EQ(schedule.size(), 3u);
+    EXPECT_LE(total_micros(schedule),
+              policy.max_total_backoff.count());
+}
+
+TEST(RetryTransient, SucceedsWithoutRetryOnFirstAttempt)
+{
+    unsigned calls = 0;
+    const int result = retry_transient(
+        RetryPolicy{}, "unit test", [&] {
+            ++calls;
+            return 7;
+        },
+        [](microseconds) { FAIL() << "no sleep expected"; });
+    EXPECT_EQ(result, 7);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTransient, RetriesTransientThenSucceeds)
+{
+    RetryPolicy policy;
+    policy.seed = 3;
+    unsigned calls = 0;
+    std::vector<microseconds> slept;
+    const int result = retry_transient(
+        policy, "unit test",
+        [&] {
+            if (++calls < 3) {
+                throw TransientError("flaky");
+            }
+            return 11;
+        },
+        [&](microseconds wait) { slept.push_back(wait); });
+    EXPECT_EQ(result, 11);
+    EXPECT_EQ(calls, 3u);
+    // The injected sleeps are exactly the precomputed schedule prefix.
+    const auto schedule = backoff_schedule(policy);
+    ASSERT_EQ(slept.size(), 2u);
+    EXPECT_EQ(slept[0], schedule[0]);
+    EXPECT_EQ(slept[1], schedule[1]);
+}
+
+TEST(RetryTransient, ExhaustedBudgetRethrowsTransient)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    unsigned calls = 0;
+    unsigned sleeps = 0;
+    EXPECT_THROW(retry_transient(
+                     policy, "unit test",
+                     [&]() -> int {
+                         ++calls;
+                         throw TransientError("still flaky");
+                     },
+                     [&](microseconds) { ++sleeps; }),
+                 TransientError);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(sleeps, 2u);
+}
+
+TEST(RetryTransient, TerminalErrorNeverRetried)
+{
+    unsigned calls = 0;
+    EXPECT_THROW(retry_transient(
+                     RetryPolicy{}, "unit test",
+                     [&]() -> int {
+                         ++calls;
+                         throw Error("broken for good");
+                     },
+                     [](microseconds) { FAIL() << "no sleep expected"; }),
+                 Error);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTransient, InjectedFaultNeverRetried)
+{
+    // FaultInjected models a deliberately-armed terminal fault; a
+    // retry would silently defeat the injection site it tests.
+    unsigned calls = 0;
+    EXPECT_THROW(retry_transient(
+                     RetryPolicy{}, "unit test",
+                     [&]() -> int {
+                         ++calls;
+                         throw FaultInjected("armed");
+                     },
+                     [](microseconds) { FAIL() << "no sleep expected"; }),
+                 FaultInjected);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTransient, CancelledNeverRetried)
+{
+    unsigned calls = 0;
+    EXPECT_THROW(retry_transient(
+                     RetryPolicy{}, "unit test",
+                     [&]() -> int {
+                         ++calls;
+                         throw Cancelled("interrupted");
+                     },
+                     [](microseconds) { FAIL() << "no sleep expected"; }),
+                 Cancelled);
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(RetryTransient, SingleAttemptPolicyNeverSleeps)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    EXPECT_TRUE(backoff_schedule(policy).empty());
+    unsigned calls = 0;
+    EXPECT_THROW(retry_transient(
+                     policy, "unit test",
+                     [&]() -> int {
+                         ++calls;
+                         throw TransientError("flaky");
+                     },
+                     [](microseconds) { FAIL() << "no sleep expected"; }),
+                 TransientError);
+    EXPECT_EQ(calls, 1u);
+}
+
+} // namespace
+} // namespace tgl::util

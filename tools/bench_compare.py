@@ -75,21 +75,30 @@ def load_bench(path: Path) -> dict[str, float]:
 
 def compare_suite(
     baseline: dict[str, float], current: dict[str, float]
-) -> tuple[list[tuple[str, float]], float]:
-    """Per-entry (name, ratio) for shared entries plus the median ratio.
+) -> tuple[list[tuple[str, float]], float | None, list[str]]:
+    """Per-entry (name, ratio) for shared entries, the median ratio,
+    and the baseline entries missing from the current run.
 
-    Entries present on only one side are skipped (renames and new
-    benches should not fail the gate); zero-second baselines are
-    skipped too, since their ratio is meaningless.
+    Entries present only in the current run are skipped (new benches
+    should not fail the gate); baseline entries missing from the
+    current run are reported so the caller can warn — a rename or a
+    bench that stopped emitting must be visible, but neither is a
+    regression.  Zero-second baselines are skipped too, since their
+    ratio is meaningless.  With nothing comparable at all the median
+    is None and the caller decides (warn, not fail).
     """
     ratios = []
+    missing = []
     for name, base_seconds in sorted(baseline.items()):
-        if name not in current or base_seconds <= 0.0:
+        if name not in current:
+            missing.append(name)
+            continue
+        if base_seconds <= 0.0:
             continue
         ratios.append((name, current[name] / base_seconds))
     if not ratios:
-        raise BenchError("no comparable entries between baseline and current")
-    return ratios, statistics.median(r for _, r in ratios)
+        return [], None, missing
+    return ratios, statistics.median(r for _, r in ratios), missing
 
 
 def compare_dirs(
@@ -112,9 +121,23 @@ def compare_dirs(
                 f"{current_path}: missing — the bench run did not produce "
                 f"this suite"
             )
-        ratios, median = compare_suite(
+        ratios, median, missing = compare_suite(
             load_bench(baseline_path), load_bench(current_path)
         )
+        for name in missing:
+            print(
+                f"WARN  {baseline_path.name}: baseline entry {name} "
+                f"missing from the current run — skipped (renamed or "
+                f"no longer emitted? refresh with --update)",
+                file=out,
+            )
+        if median is None:
+            print(
+                f"WARN  {baseline_path.name}: no comparable entries "
+                f"between baseline and current — suite skipped",
+                file=out,
+            )
+            continue
         if median > 1.0 + fail_threshold:
             verdict = "FAIL"
             ok = False

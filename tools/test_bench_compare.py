@@ -124,6 +124,42 @@ class BenchCompareTest(unittest.TestCase):
         self.assertTrue(ok)
         self.assertNotIn("perf_counter", out.getvalue())
 
+    def test_missing_baseline_entry_warns_but_passes(self):
+        # A baseline entry the current run no longer emits (renamed or
+        # retired bench) must be a visible warning, never a hard error.
+        doctored = dict(self.baseline)
+        del doctored["walk/uniform/direct"]
+        ok, out = self.compare(doctored)
+        self.assertTrue(ok)
+        self.assertIn("WARN", out)
+        self.assertIn("walk/uniform/direct", out)
+        self.assertIn("missing from the current run", out)
+
+    def test_fully_disjoint_suite_warns_but_passes(self):
+        # Nothing comparable at all (every entry renamed): the suite is
+        # skipped with a warning instead of raising BenchError, so one
+        # stale baseline file cannot take the whole gate down.
+        ok, out = self.compare({"walk/renamed_everything": 1.0})
+        self.assertTrue(ok)
+        self.assertIn("no comparable entries", out)
+        self.assertNotIn("FAIL", out)
+
+    def test_missing_entry_warning_keeps_other_suites_gating(self):
+        # The warn path must not weaken the gate: a second suite with a
+        # real regression still fails the run.
+        write_suite(
+            self.baseline_dir / "BENCH_w2v.json", {"w2v/train": 1.0}
+        )
+        write_suite(
+            self.current_dir / "BENCH_w2v.json", {"w2v/train": 1.5}
+        )
+        doctored = dict(self.baseline)
+        del doctored["walk/uniform/direct"]
+        ok, out = self.compare(doctored)
+        self.assertFalse(ok)
+        self.assertIn("missing from the current run", out)
+        self.assertIn("FAIL", out)
+
     def test_missing_unit_defaults_to_seconds(self):
         # Pre-unit baselines (no "unit" field) still gate as timings.
         doctored = {name: s * 1.30 for name, s in self.baseline.items()}
