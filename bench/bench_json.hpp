@@ -9,6 +9,7 @@
 ///   {
 ///     "benchmark": "<suite name>",
 ///     "schema_version": 1,
+///     "meta": {"<key>": "<string>", ...},        // optional
 ///     "entries": [
 ///       {"name": "...", "seconds": s, "items_per_second": r,
 ///        "metrics": {"<key>": v, ...}},
@@ -18,7 +19,10 @@
 ///
 /// `seconds` is the best-of-N wall time of the measured region,
 /// `items_per_second` the work rate at that time, and `metrics` a
-/// free-form numeric bag (speedups, counts, sizes).
+/// free-form numeric bag (speedups, counts, sizes). `meta` holds
+/// string-valued run provenance (e.g. the SIMD ISA the binary was
+/// compiled for); tools/bench_compare.py refuses to compare timing
+/// suites whose `simd_isa` values differ.
 #pragma once
 
 #include "util/string_util.hpp"
@@ -61,11 +65,25 @@ json_number(double value)
 
 inline void
 write_bench_json(const std::string& path, const std::string& suite,
-                 const std::vector<BenchEntry>& entries)
+                 const std::vector<BenchEntry>& entries,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     meta = {})
 {
     std::ofstream out(path);
     out << "{\n  \"benchmark\": \"" << suite << "\",\n"
-        << "  \"schema_version\": 1,\n  \"entries\": [\n";
+        << "  \"schema_version\": 1,\n";
+    if (!meta.empty()) {
+        out << "  \"meta\": {";
+        for (std::size_t m = 0; m < meta.size(); ++m) {
+            out << "\"" << util::json_escape(meta[m].first) << "\": \""
+                << util::json_escape(meta[m].second) << "\"";
+            if (m + 1 < meta.size()) {
+                out << ", ";
+            }
+        }
+        out << "},\n";
+    }
+    out << "  \"entries\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const BenchEntry& entry = entries[i];
         out << "    {\"name\": \"" << util::json_escape(entry.name)

@@ -1,6 +1,7 @@
 #include "core/overlap.hpp"
 
 #include "embed/streaming_trainer.hpp"
+#include "walk/batch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cancellation.hpp"
@@ -126,6 +127,24 @@ plan_overlap(const graph::TemporalGraph& graph,
             ? config.overlap_shards
             : std::clamp<std::size_t>(4 * static_cast<std::size_t>(threads),
                                       8, 64);
+    // Batched walkers want shards of at least a few full batches:
+    // every shard's ragged tail runs below the configured width, so
+    // slicing the slot space into shards smaller than ~4 batches
+    // would erode the lockstep speedup the width was chosen for.
+    // Lane RNG streams are per-slot, so re-sharding never changes
+    // walk output — this is a speed-only adjustment.
+    const unsigned batch_width = walk::resolve_batch_width(
+        config.walk, graph, walk::use_transition_cache(config.walk, graph));
+    std::string batch_note;
+    if (batch_width > 1 && config.overlap_shards == 0) {
+        const std::size_t max_batched_shards = std::max<std::size_t>(
+            1, total_slots / (4 * static_cast<std::size_t>(batch_width)));
+        if (shards > max_batched_shards) {
+            shards = max_batched_shards;
+            batch_note = util::strcat(
+                ", shards capped for batch width ", batch_width);
+        }
+    }
     plan.num_shards = std::max<std::size_t>(
         1, std::min(shards, total_slots));
     plan.queue_capacity =
@@ -134,7 +153,7 @@ plan_overlap(const graph::TemporalGraph& graph,
         overlap_mode_name(config.overlap), ": on (", producers,
         " producers / ", consumers, " consumers, ", plan.num_shards,
         " shards, walk/w2v cost ratio ", util::format_fixed(ratio, 3),
-        ")");
+        batch_note, ")");
     return plan;
 }
 

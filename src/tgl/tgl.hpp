@@ -63,6 +63,7 @@
 #include "gen/timestamps.hpp"
 
 // walk: temporal random walk engine
+#include "walk/batch.hpp"
 #include "walk/config.hpp"
 #include "walk/corpus.hpp"
 #include "walk/engine.hpp"

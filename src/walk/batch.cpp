@@ -1,0 +1,570 @@
+#include "walk/batch.hpp"
+
+#include "obs/metrics.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace tgl::walk {
+
+namespace {
+
+namespace simd = util::simd;
+
+// The timestamp gather reinterprets the Neighbor array as doubles:
+// record i's time lives at double-index 2i + 1. Lock the layout the
+// index arithmetic assumes.
+static_assert(sizeof(graph::Neighbor) == 2 * sizeof(double),
+              "batched time gather assumes 16-byte Neighbor records");
+static_assert(offsetof(graph::Neighbor, time) == sizeof(double),
+              "batched time gather assumes time at offset 8");
+
+/// One lockstep branchless binary-search step shared by all three
+/// search kinds: go right when value <= / < target, halving the
+/// remaining length either way. Lanes finish independently (their
+/// search_len hits 0) without leaving the vector loop; inactive lanes
+/// keep search_len == 0 so they never gather or move.
+///
+/// Search kinds (what `val` is and when the search goes right):
+///   time:   val = neighbor time at 2*mid+1, right on val <= clock
+///           (strict) or val < clock (non-strict) -> first valid edge
+///   prefix: val = prefix[mid], right on val <= target -> upper_bound
+///   linear: val = linear_cumulative(m, mid), right on val <= target
+enum class SearchKind
+{
+    kTimeStrict,
+    kTimeNonStrict,
+    kPrefix,
+    kLinear,
+};
+
+template <SearchKind kSearch>
+void
+lockstep_search(WalkerBatch& batch, const double* gather_base)
+{
+    constexpr unsigned kMaxChunks = kMaxBatchWidth / simd::kF64Lanes;
+    const simd::VDouble zero = simd::vsplat(0.0);
+    const simd::VDouble one = simd::vsplat(1.0);
+    const simd::VDouble two = simd::vsplat(2.0);
+    const simd::VDouble half_scale = simd::vsplat(0.5);
+    const double kInf = std::numeric_limits<double>::infinity();
+
+    simd::VDouble lo[kMaxChunks];
+    simd::VDouble len[kMaxChunks];
+    simd::VDouble target[kMaxChunks];
+    [[maybe_unused]] simd::VDouble m[kMaxChunks];
+    const unsigned chunks =
+        (batch.width + simd::kF64Lanes - 1) / simd::kF64Lanes;
+    std::uint32_t pending = 0;
+    for (unsigned ch = 0; ch < chunks; ++ch) {
+        const unsigned c = ch * simd::kF64Lanes;
+        lo[ch] = simd::vload(&batch.search_lo[c]);
+        len[ch] = simd::vload(&batch.search_len[c]);
+        target[ch] = simd::vload(&batch.search_target[c]);
+        if constexpr (kSearch == SearchKind::kLinear) {
+            m[ch] = simd::vload(&batch.count[c]);
+        }
+        if (simd::vany(simd::vgt(len[ch], zero))) {
+            pending |= std::uint32_t{1} << ch;
+        }
+    }
+
+    // Round-robin: one halving step per unconverged chunk per round.
+    // The chunks' searches are independent, so issuing their (long
+    // latency) gathers back to back overlaps them instead of
+    // serializing each chunk into its own dependent gather chain —
+    // this interleaving is worth ~3x on gather-bound searches.
+    while (pending != 0) {
+        for (std::uint32_t rest = pending; rest != 0; rest &= rest - 1) {
+            const auto ch =
+                static_cast<unsigned>(std::countr_zero(rest));
+            const simd::VBool active = simd::vgt(len[ch], zero);
+            const simd::VDouble half =
+                simd::vfloor(simd::vmul(len[ch], half_scale));
+            const simd::VDouble mid = simd::vadd(lo[ch], half);
+            simd::VDouble val;
+            simd::VBool right;
+            if constexpr (kSearch == SearchKind::kTimeStrict ||
+                          kSearch == SearchKind::kTimeNonStrict) {
+                val = simd::vgather(
+                    gather_base,
+                    simd::vadd(simd::vadd(mid, mid), one), active, kInf);
+                right = kSearch == SearchKind::kTimeStrict
+                            ? simd::vle(val, target[ch])
+                            : simd::vlt(val, target[ch]);
+            } else if constexpr (kSearch == SearchKind::kPrefix) {
+                val = simd::vgather(gather_base, mid, active, kInf);
+                right = simd::vle(val, target[ch]);
+            } else {
+                // linear_cumulative(m, mid) vectorized:
+                // (mid+1)(2m-mid)/2.
+                val = simd::vmul(
+                    simd::vmul(simd::vadd(mid, one),
+                               simd::vsub(simd::vmul(two, m[ch]), mid)),
+                    half_scale);
+                right = simd::vle(val, target[ch]);
+            }
+            right = simd::vand(active, right);
+            lo[ch] = simd::vselect(right, simd::vadd(mid, one), lo[ch]);
+            // Right half keeps len - half - 1 elements, left keeps
+            // half; inactive lanes stay at 0 (half of 0 is 0).
+            len[ch] = simd::vselect(
+                right, simd::vsub(simd::vsub(len[ch], half), one), half);
+            if (!simd::vany(simd::vgt(len[ch], zero))) {
+                pending &= ~(std::uint32_t{1} << ch);
+            }
+        }
+    }
+    for (unsigned ch = 0; ch < chunks; ++ch) {
+        simd::vstore(&batch.search_lo[ch * simd::kF64Lanes], lo[ch]);
+        simd::vstore(&batch.search_len[ch * simd::kF64Lanes], len[ch]);
+    }
+}
+
+/// pick = min(floor(draw * count), count - 1) across all lanes — the
+/// batched uniform draw. Lanes with count == 0 produce -1, never read.
+void
+lockstep_uniform_pick(WalkerBatch& batch)
+{
+    const simd::VDouble one = simd::vsplat(1.0);
+    for (unsigned c = 0; c < batch.width; c += simd::kF64Lanes) {
+        const simd::VDouble u = simd::vload(&batch.draw[c]);
+        const simd::VDouble m = simd::vload(&batch.count[c]);
+        const simd::VDouble p = simd::vmin(simd::vfloor(simd::vmul(u, m)),
+                                           simd::vsub(m, one));
+        simd::vstore(&batch.pick[c], p);
+    }
+}
+
+/// Replicate TransitionCache::sample's per-draw cost accounting for
+/// one batched step (same MICA categories, same constants), so Fig. 9
+/// instruction-mix models see the same work whether a draw ran scalar
+/// or batched.
+void
+account_step_cost(TransitionKind kind, std::size_t m, TransitionCost& cost)
+{
+    if (m == 1) {
+        cost.memory_ops += 1;
+        cost.branch_ops += 1;
+        return;
+    }
+    switch (kind) {
+      case TransitionKind::kUniform:
+        cost.compute_ops += 2;
+        cost.branch_ops += 1;
+        break;
+      case TransitionKind::kLinear: {
+        const std::uint64_t probes = search_probes(m);
+        cost.compute_ops += 4 * probes + 3;
+        cost.branch_ops += probes;
+        break;
+      }
+      case TransitionKind::kExponential:
+      case TransitionKind::kExponentialDecay: {
+        const std::uint64_t probes = search_probes(m);
+        cost.memory_ops += probes + 2;
+        cost.branch_ops += probes;
+        cost.compute_ops += 3;
+        break;
+      }
+    }
+}
+
+/// Slices at or below this many candidates resolve by sequential scan
+/// in the scalar seeding phases; only larger slices enter the lockstep
+/// vector searches. One to two cache lines of sequential loads beat
+/// the equivalent dependent gather rounds well past this size.
+constexpr std::uint64_t kSmallSlice = 16;
+
+} // namespace
+
+const char*
+batch_isa_name()
+{
+    return simd::kIsaName;
+}
+
+std::size_t
+batch_f64_lanes()
+{
+    return simd::kF64Lanes;
+}
+
+unsigned
+resolve_batch_width(const WalkConfig& config,
+                    const graph::TemporalGraph& graph, bool has_cache)
+{
+    unsigned width =
+        config.batch_width == 0 ? kAutoBatchWidth : config.batch_width;
+    if (width <= 1) {
+        return 1;
+    }
+    width = std::min(width, kMaxBatchWidth);
+    if (!config.temporal) {
+        // The static (DeepWalk) baseline has no temporal search to
+        // vectorize and keeps its historical draw sequence.
+        return 1;
+    }
+    if (config.linear_neighbor_search) {
+        // The paper-faithful O(max-degree) scan ablation pins the
+        // scalar loop; batching would silently measure binary search.
+        return 1;
+    }
+    if (graph.num_edges() >= kMaxBatchedEdges || graph.num_nodes() == 0) {
+        return 1;
+    }
+    const bool softmax = config.transition == TransitionKind::kExponential ||
+                         config.transition ==
+                             TransitionKind::kExponentialDecay;
+    if (softmax && !has_cache) {
+        // Without the prefix-CDF table a softmax draw is the O(d)
+        // exp-scan, which batching cannot express; stay scalar.
+        return 1;
+    }
+    return width;
+}
+
+void
+log_batch_dispatch(unsigned width)
+{
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter(util::strcat("simd.dispatch.", simd::kIsaName)).add(1);
+    registry.gauge("walk.batch.width").set(static_cast<double>(width));
+    static std::atomic<bool> logged{false};
+    if (!logged.exchange(true)) {
+        util::inform(util::strcat(
+            "walk: batched engine dispatched (isa=", simd::kIsaName,
+            ", f64 lanes=", simd::kF64Lanes, ", batch width=", width, ")"));
+    }
+}
+
+void
+run_walk_batch(const graph::TemporalGraph& graph, const WalkConfig& config,
+               const TransitionCache* cache, SlotRange slots,
+               unsigned width, graph::NodeId* rows, std::size_t row_stride,
+               std::uint8_t* lengths, WalkProfile& profile)
+{
+    TGL_ASSERT(width >= 1 && width <= kMaxBatchWidth);
+    TGL_ASSERT(slots.size() >= 1);
+    width = static_cast<unsigned>(
+        std::min<std::size_t>(width, slots.size()));
+    TGL_ASSERT(row_stride >= static_cast<std::size_t>(config.max_length) + 1);
+    const bool softmax = config.transition == TransitionKind::kExponential ||
+                         config.transition ==
+                             TransitionKind::kExponentialDecay;
+    TGL_ASSERT(!softmax || cache != nullptr);
+
+    const auto& offsets = graph.offsets();
+    const graph::Neighbor* neighbors = graph.neighbors().data();
+    const double* times = reinterpret_cast<const double*>(neighbors);
+    const std::span<const double> prefix =
+        cache != nullptr ? cache->prefix() : std::span<const double>{};
+
+    // The member initializers zero every SoA array, so the padded
+    // lanes past `width` (up to the next kF64Lanes multiple) always
+    // carry search_len == 0 and never gather.
+    WalkerBatch batch;
+    batch.width = width;
+
+    const bool node_start = config.start == StartKind::kEveryNode;
+    const std::size_t num_nodes = graph.num_nodes();
+    const unsigned steps_budget =
+        node_start ? config.max_length : config.max_length - 1;
+
+    // Lane-refill bookkeeping: a lane that retires its walk (dead end
+    // or full length) immediately starts the next unwalked slot of the
+    // range, so the batch stays near-full occupancy even though most
+    // temporal walks die long before max_length. Slots are mutually
+    // independent (per-slot RNG streams), so the refill schedule
+    // cannot change any walk's bytes.
+    std::uint64_t slot_of[kMaxBatchWidth];
+    std::uint32_t steps_left[kMaxBatchWidth];
+    std::uint8_t fresh[kMaxBatchWidth];
+    std::uint32_t degree[kMaxBatchWidth];
+    std::size_t next = slots.begin;
+    unsigned live = 0;
+
+    // Start lane `lane` on the next unwalked slot; walks that complete
+    // at init (edge-start with max_length == 1) retire inline and the
+    // lane moves on to the following slot.
+    const auto start_lane = [&](unsigned lane) {
+        while (next < slots.end) {
+            const std::size_t slot = next++;
+            batch.rng[lane] = rng::Random(rng::mix_seed(config.seed, slot));
+            graph::NodeId* row = rows + (slot - slots.begin) * row_stride;
+            ++profile.walks_started;
+            if (node_start) {
+                const auto v = static_cast<graph::NodeId>(slot % num_nodes);
+                row[0] = v;
+                batch.emitted[lane] = 1;
+                batch.current[lane] = v;
+                batch.clock[lane] = graph.min_time();
+            } else {
+                // CTDNE edge-start: pick a flat edge id, recover its
+                // source via the offsets array (same draw pattern as
+                // the scalar path so slot RNG streams stay aligned).
+                const graph::EdgeId edge =
+                    batch.rng[lane].next_index(graph.num_edges());
+                const auto it =
+                    std::upper_bound(offsets.begin(), offsets.end(), edge);
+                const auto src = static_cast<graph::NodeId>(
+                    std::distance(offsets.begin(), it) - 1);
+                const graph::Neighbor& hop = neighbors[edge];
+                row[0] = src;
+                row[1] = hop.dst;
+                batch.emitted[lane] = 2;
+                batch.current[lane] = hop.dst;
+                batch.clock[lane] = hop.time;
+                ++profile.steps_taken;
+            }
+            slot_of[lane] = slot;
+            steps_left[lane] = steps_budget;
+            fresh[lane] = 1;
+            if (steps_budget == 0) {
+                lengths[slot - slots.begin] = batch.emitted[lane];
+                continue;
+            }
+            batch.alive[lane] = true;
+            ++live;
+            return;
+        }
+        batch.alive[lane] = false;
+    };
+
+    const auto retire_lane = [&](unsigned lane) {
+        lengths[slot_of[lane] - slots.begin] = batch.emitted[lane];
+        batch.alive[lane] = false;
+        --live;
+        start_lane(lane);
+    };
+
+    for (unsigned lane = 0; lane < width; ++lane) {
+        start_lane(lane);
+    }
+
+    while (live > 0) {
+
+        // Phase 1 (scalar): per-lane CSR bounds, then seed the lockstep
+        // temporal-suffix search. Probing the slice's first and last
+        // timestamps resolves the two commonest cases — whole slice
+        // valid (every first-step non-strict lane) and empty suffix
+        // (the lane is about to dead-end) — without any search
+        // iterations; only lanes whose boundary lies strictly inside
+        // the slice enter the vector search. A fresh node-start lane is
+        // exempt from strictness for its first step (like the scalar
+        // engine) and always resolves to "whole slice valid" here, so
+        // the lockstep search below can use one strictness for all
+        // lanes.
+        for (unsigned lane = 0; lane < width; ++lane) {
+            if (!batch.alive[lane]) {
+                batch.search_len[lane] = 0.0;
+                batch.count[lane] = 0.0;
+                continue;
+            }
+            const bool lane_strict =
+                config.strict_time && !(node_start && fresh[lane]);
+            fresh[lane] = 0;
+            const graph::NodeId u = batch.current[lane];
+            const std::uint64_t begin = offsets[u];
+            const std::uint64_t end = offsets[u + 1];
+            batch.slice_end[lane] = end;
+            degree[lane] = static_cast<std::uint32_t>(end - begin);
+            const double clk = batch.clock[lane];
+            if (begin == end ||
+                (lane_strict ? !(times[2 * end - 1] > clk)
+                             : !(times[2 * end - 1] >= clk))) {
+                batch.search_lo[lane] = static_cast<double>(end);
+                batch.search_len[lane] = 0.0;
+            } else if (lane_strict ? times[2 * begin + 1] > clk
+                                   : times[2 * begin + 1] >= clk) {
+                batch.search_lo[lane] = static_cast<double>(begin);
+                batch.search_len[lane] = 0.0;
+            } else if (end - begin <= kSmallSlice) {
+                // Small slice: resolve the boundary with a sequential
+                // scan (1-2 cache lines) instead of 3-4 dependent
+                // gather rounds. Same comparisons as the binary
+                // search, so the resolved index is identical.
+                std::uint64_t i = begin + 1;
+                if (lane_strict) {
+                    while (!(times[2 * i + 1] > clk)) {
+                        ++i;
+                    }
+                } else {
+                    while (!(times[2 * i + 1] >= clk)) {
+                        ++i;
+                    }
+                }
+                batch.search_lo[lane] = static_cast<double>(i);
+                batch.search_len[lane] = 0.0;
+            } else {
+                simd::prefetch_read(neighbors + (begin + end) / 2);
+                batch.search_lo[lane] = static_cast<double>(begin);
+                batch.search_len[lane] = static_cast<double>(end - begin);
+                batch.search_target[lane] = clk;
+            }
+        }
+        if (config.strict_time) {
+            lockstep_search<SearchKind::kTimeStrict>(batch, times);
+        } else {
+            lockstep_search<SearchKind::kTimeNonStrict>(batch, times);
+        }
+
+        // Phase 2 (scalar): candidate counts, dead-end retirement, one
+        // uniform draw per surviving lane, cost accounting.
+        for (unsigned lane = 0; lane < width; ++lane) {
+            batch.count[lane] = 0.0;
+            batch.search_len[lane] = 0.0;
+            if (!batch.alive[lane]) {
+                continue;
+            }
+            const auto first =
+                static_cast<std::uint64_t>(batch.search_lo[lane]);
+            const std::uint64_t m = batch.slice_end[lane] - first;
+            // Same probe accounting as the scalar binary-search path.
+            profile.candidates_scanned += search_probes(degree[lane]);
+            if (m == 0) {
+                ++profile.dead_ends;
+                // Retire and refill; the incoming walk sits this step
+                // out (count stays 0) and seeds in the next Phase 1.
+                retire_lane(lane);
+                continue;
+            }
+            batch.suffix_first[lane] = first;
+            batch.count[lane] = static_cast<double>(m);
+            batch.draw[lane] = batch.rng[lane].next_double();
+            account_step_cost(config.transition, m,
+                              profile.transition_cost);
+        }
+
+        // Phase 3: invert the per-lane transition CDF in lockstep.
+        switch (config.transition) {
+          case TransitionKind::kUniform:
+            lockstep_uniform_pick(batch);
+            break;
+          case TransitionKind::kLinear:
+            for (unsigned lane = 0; lane < width; ++lane) {
+                const auto m = static_cast<std::size_t>(batch.count[lane]);
+                if (m == 0) {
+                    continue; // search_len already 0
+                }
+                batch.search_lo[lane] = 0.0;
+                if (m == 1) {
+                    continue; // pick = min(lo, m-1) = 0, no search
+                }
+                batch.search_len[lane] = batch.count[lane];
+                batch.search_target[lane] =
+                    batch.draw[lane] * linear_cumulative(m, m - 1);
+            }
+            lockstep_search<SearchKind::kLinear>(batch, nullptr);
+            for (unsigned lane = 0; lane < width; ++lane) {
+                if (batch.count[lane] == 0.0) {
+                    continue;
+                }
+                batch.pick[lane] = std::min(batch.search_lo[lane],
+                                            batch.count[lane] - 1.0);
+            }
+            break;
+          case TransitionKind::kExponential:
+          case TransitionKind::kExponentialDecay:
+            for (unsigned lane = 0; lane < width; ++lane) {
+                batch.search_len[lane] = 0.0;
+                if (!batch.alive[lane] || batch.count[lane] == 0.0) {
+                    continue;
+                }
+                const std::uint64_t first = batch.suffix_first[lane];
+                if (batch.count[lane] == 1.0) {
+                    // Forced pick: converge without a prefix gather.
+                    batch.search_lo[lane] = static_cast<double>(first);
+                    continue;
+                }
+                const std::uint64_t end = batch.slice_end[lane];
+                const std::uint64_t slice_begin =
+                    offsets[batch.current[lane]];
+                const double base =
+                    first == slice_begin ? 0.0 : prefix[first - 1];
+                const double top = prefix[end - 1];
+                const double total = top - base;
+                if (!(total > 0.0) || !std::isfinite(total)) {
+                    // Degenerate suffix mass: per-lane scalar fallback
+                    // through the cache (which itself falls back to
+                    // the direct sampler), exactly like the scalar
+                    // engine. The lane sits out the lockstep search
+                    // (search_len stays 0, so the searcher leaves its
+                    // search_lo untouched) with search_lo pre-set to
+                    // the converged answer in global coordinates.
+                    const std::span<const graph::Neighbor> candidates{
+                        neighbors + first,
+                        static_cast<std::size_t>(end - first)};
+                    const std::size_t local = cache->sample(
+                        graph, batch.current[lane], candidates,
+                        batch.clock[lane], batch.rng[lane]);
+                    batch.search_lo[lane] =
+                        static_cast<double>(first + local);
+                    continue;
+                }
+                const double target = base + batch.draw[lane] * total;
+                if (end - first <= kSmallSlice) {
+                    // Small suffix: sequential upper_bound over the
+                    // prefix row — same comparisons, same index as
+                    // the lockstep search, no gather rounds.
+                    std::uint64_t i = first;
+                    while (i + 1 < end && !(prefix[i] > target)) {
+                        ++i;
+                    }
+                    batch.search_lo[lane] = static_cast<double>(i);
+                    continue;
+                }
+                batch.search_lo[lane] = static_cast<double>(first);
+                batch.search_len[lane] = batch.count[lane];
+                batch.search_target[lane] = target;
+            }
+            lockstep_search<SearchKind::kPrefix>(batch, prefix.data());
+            for (unsigned lane = 0; lane < width; ++lane) {
+                if (!batch.alive[lane] || batch.count[lane] == 0.0) {
+                    continue;
+                }
+                const double first =
+                    static_cast<double>(batch.suffix_first[lane]);
+                batch.pick[lane] =
+                    std::min(batch.search_lo[lane] - first,
+                             batch.count[lane] - 1.0);
+            }
+            break;
+        }
+
+        // Phase 4 (scalar): advance lanes along their chosen edges.
+        for (unsigned lane = 0; lane < width; ++lane) {
+            if (!batch.alive[lane] || batch.count[lane] == 0.0) {
+                continue;
+            }
+            const auto pick = static_cast<std::uint64_t>(batch.pick[lane]);
+            TGL_DASSERT(pick <
+                        static_cast<std::uint64_t>(batch.count[lane]));
+            const graph::Neighbor& chosen =
+                neighbors[batch.suffix_first[lane] + pick];
+            graph::NodeId* row =
+                rows + (slot_of[lane] - slots.begin) * row_stride;
+            row[batch.emitted[lane]++] = chosen.dst;
+            batch.current[lane] = chosen.dst;
+            batch.clock[lane] = chosen.time;
+            ++profile.steps_taken;
+            ++profile.batched_steps;
+            if (softmax) {
+                ++profile.cached_steps;
+            }
+            if (--steps_left[lane] == 0) {
+                retire_lane(lane);
+            }
+        }
+    }
+}
+
+} // namespace tgl::walk

@@ -1,6 +1,7 @@
 #include "walk/engine.hpp"
 
 #include "obs/metrics.hpp"
+#include "walk/batch.hpp"
 #include "obs/perf_events.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
@@ -225,6 +226,7 @@ accumulate_profile(WalkProfile& into, const WalkProfile& from)
     into.dead_ends += from.dead_ends;
     into.candidates_scanned += from.candidates_scanned;
     into.cached_steps += from.cached_steps;
+    into.batched_steps += from.batched_steps;
     into.transition_cost.memory_ops += from.transition_cost.memory_ops;
     into.transition_cost.branch_ops += from.transition_cost.branch_ops;
     into.transition_cost.compute_ops += from.transition_cost.compute_ops;
@@ -238,6 +240,7 @@ report_walk_metrics(const WalkProfile& totals)
     registry.counter("walk.walks.kept").add(totals.walks_kept);
     registry.counter("walk.steps").add(totals.steps_taken);
     registry.counter("walk.steps.cached").add(totals.cached_steps);
+    registry.counter("walk.steps.batched").add(totals.batched_steps);
     registry.counter("walk.steps.direct")
         .add(totals.steps_taken - totals.cached_steps);
     registry.counter("walk.dead_ends").add(totals.dead_ends);
@@ -263,15 +266,41 @@ generate_walk_shard(const graph::TemporalGraph& graph,
     // their work to the same "walk" phase as the block-parallel path.
     obs::PerfScope perf_scope("walk");
 
-    std::vector<graph::NodeId> buffer(tokens_per_walk);
-    std::vector<std::uint32_t> scratch;
     WalkProfile local;
-    for (std::size_t slot_index = slots.begin; slot_index < slots.end;
-         ++slot_index) {
-        const std::size_t len = walk_slot(graph, config, cache, slot_index,
-                                          buffer.data(), scratch, local);
-        if (len >= config.min_walk_tokens) {
-            shard.add_walk({buffer.data(), len});
+    const unsigned batch_width =
+        resolve_batch_width(config, graph, cache != nullptr);
+    if (batch_width > 1) {
+        log_batch_dispatch(batch_width);
+        // Lanes are fully independent (per-slot RNG streams), so
+        // grouping relative to the shard start reproduces exactly the
+        // per-slot tokens of any other partition of the same slots.
+        const std::size_t group = batch_width * kBatchRefillFactor;
+        std::vector<graph::NodeId> rows(group * tokens_per_walk);
+        std::vector<std::uint8_t> lens(group);
+        for (std::size_t begin = slots.begin; begin < slots.end;
+             begin += group) {
+            const std::size_t end = std::min(slots.end, begin + group);
+            run_walk_batch(graph, config, cache, {begin, end},
+                           batch_width, rows.data(), tokens_per_walk,
+                           lens.data(), local);
+            for (std::size_t i = 0; i < end - begin; ++i) {
+                if (lens[i] >= config.min_walk_tokens) {
+                    shard.add_walk(
+                        {rows.data() + i * tokens_per_walk, lens[i]});
+                }
+            }
+        }
+    } else {
+        std::vector<graph::NodeId> buffer(tokens_per_walk);
+        std::vector<std::uint32_t> scratch;
+        for (std::size_t slot_index = slots.begin;
+             slot_index < slots.end; ++slot_index) {
+            const std::size_t len =
+                walk_slot(graph, config, cache, slot_index, buffer.data(),
+                          scratch, local);
+            if (len >= config.min_walk_tokens) {
+                shard.add_walk({buffer.data(), len});
+            }
         }
     }
     local.walks_kept = shard.num_walks();
@@ -285,7 +314,17 @@ Corpus
 generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
                WalkProfile* profile)
 {
-    if (use_transition_cache(config, graph)) {
+    bool build = use_transition_cache(config, graph);
+    if (!build && config.transition_cache != TransitionCacheMode::kOff &&
+        (config.transition == TransitionKind::kExponential ||
+         config.transition == TransitionKind::kExponentialDecay) &&
+        resolve_batch_width(config, graph, /*has_cache=*/true) > 1) {
+        // Batched softmax draws need the prefix-CDF table even where
+        // kAuto's mean-degree heuristic would skip it; an explicit
+        // kOff still wins (and pins the scalar engine).
+        build = true;
+    }
+    if (build) {
         const TransitionCache cache = TransitionCache::build(
             graph, config.transition, config.num_threads);
         return generate_walks(graph, config, &cache, profile);
@@ -328,24 +367,58 @@ generate_walks(const graph::TemporalGraph& graph, const WalkConfig& config,
     // cross-thread reads in close() safe.
     obs::PerfRankScopes perf_scopes("walk", max_team);
 
+    const unsigned batch_width =
+        resolve_batch_width(config, graph, cache != nullptr);
+    if (batch_width > 1) {
+        log_batch_dispatch(batch_width);
+    }
+
     for (std::size_t block_begin = 0; block_begin < total_walks;
          block_begin += block) {
         const std::size_t block_end =
             std::min(total_walks, block_begin + block);
 
-        util::parallel_for_ranked(
-            block_begin, block_end,
-            [&](std::size_t slot_index, unsigned rank) {
-                perf_scopes.ensure(rank);
-                const std::size_t slot = slot_index - block_begin;
-                graph::NodeId* tokens =
-                    buffer.data() + slot * tokens_per_walk;
-                const std::size_t written =
-                    walk_slot(graph, config, cache, slot_index, tokens,
-                              rank_scratch[rank], rank_profiles[rank]);
-                lengths[slot] = static_cast<std::uint8_t>(written);
-            },
-            {.num_threads = config.num_threads});
+        if (batch_width > 1) {
+            // Batched path: each parallel work item is one lane pool
+            // over kBatchRefillFactor x batch_width consecutive slots
+            // writing its rows into the shared block buffer. Lane RNG
+            // streams stay per-slot, so the corpus is identical for
+            // any thread count.
+            const std::size_t group_slots =
+                batch_width * kBatchRefillFactor;
+            const std::size_t groups =
+                (block_end - block_begin + group_slots - 1) / group_slots;
+            util::parallel_for_ranked(
+                0, groups,
+                [&](std::size_t group, unsigned rank) {
+                    perf_scopes.ensure(rank);
+                    const std::size_t begin =
+                        block_begin + group * group_slots;
+                    const std::size_t end =
+                        std::min(block_end, begin + group_slots);
+                    const std::size_t slot = begin - block_begin;
+                    run_walk_batch(graph, config, cache, {begin, end},
+                                   batch_width,
+                                   buffer.data() + slot * tokens_per_walk,
+                                   tokens_per_walk, lengths.data() + slot,
+                                   rank_profiles[rank]);
+                },
+                {.num_threads = config.num_threads});
+        } else {
+            util::parallel_for_ranked(
+                block_begin, block_end,
+                [&](std::size_t slot_index, unsigned rank) {
+                    perf_scopes.ensure(rank);
+                    const std::size_t slot = slot_index - block_begin;
+                    graph::NodeId* tokens =
+                        buffer.data() + slot * tokens_per_walk;
+                    const std::size_t written =
+                        walk_slot(graph, config, cache, slot_index, tokens,
+                                  rank_scratch[rank], rank_profiles[rank]);
+                    lengths[slot] = static_cast<std::uint8_t>(written);
+                },
+                {.num_threads = config.num_threads});
+        }
 
         for (std::size_t slot_index = block_begin;
              slot_index < block_end; ++slot_index) {

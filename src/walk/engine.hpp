@@ -34,6 +34,8 @@ struct WalkProfile
     std::uint64_t dead_ends = 0;       ///< empty temporal neighborhood
     std::uint64_t candidates_scanned = 0; ///< neighbor records examined
     std::uint64_t cached_steps = 0;    ///< steps drawn via the cache
+    std::uint64_t batched_steps = 0;   ///< steps advanced by the SIMD
+                                       ///< batch kernel (walk/batch.hpp)
     TransitionCost transition_cost;
 };
 

@@ -17,29 +17,6 @@ namespace {
 constexpr std::string_view kCacheKind = "trcache";
 constexpr std::uint32_t kCachePayloadVersion = 1;
 
-/// ceil(log2(n)) for n >= 1 — the probe count of one binary search.
-std::uint64_t
-search_probes(std::size_t n)
-{
-    std::uint64_t probes = 1;
-    while (n > 1) {
-        n >>= 1;
-        ++probes;
-    }
-    return probes;
-}
-
-/// Cumulative descending-rank weight of kLinear: candidates 0..j of a
-/// suffix of size m carry weights m, m-1, ..., m-j, summing to
-/// (j+1)(2m-j)/2. Exact in doubles for any realistic degree (< 2^26).
-double
-linear_cumulative(std::size_t m, std::size_t j)
-{
-    const double dm = static_cast<double>(m);
-    const double dj = static_cast<double>(j);
-    return (dj + 1.0) * (2.0 * dm - dj) / 2.0;
-}
-
 } // namespace
 
 TransitionCacheMode

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 namespace tgl::walk {
@@ -27,6 +28,14 @@ empirical_distribution(std::span<const graph::Neighbor> candidates,
                        graph::Timestamp now, graph::Timestamp range,
                        TransitionKind kind, int draws)
 {
+    // Nightly CI raises the sample budget of every distribution check
+    // in the `equivalence` label via TGL_EQUIV_DRAWS (multiplier).
+    if (const char* env = std::getenv("TGL_EQUIV_DRAWS")) {
+        const int mult = std::atoi(env);
+        if (mult > 1) {
+            draws *= mult;
+        }
+    }
     rng::Random random(77);
     std::vector<int> counts(candidates.size(), 0);
     for (int i = 0; i < draws; ++i) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
@@ -138,7 +139,19 @@ total_variation(const std::vector<int>& a, const std::vector<int>& b,
     return tv / 2.0;
 }
 
-constexpr int kDraws = 200000;
+/// Draws per equivalence check. The nightly `ctest -L equivalence`
+/// job sets TGL_EQUIV_DRAWS to multiply the sample size for tighter
+/// statistical power; per-commit runs use the base count.
+int
+equiv_draws()
+{
+    const char* env = std::getenv("TGL_EQUIV_DRAWS");
+    const long mult =
+        env != nullptr ? std::strtol(env, nullptr, 10) : 1;
+    return 200000 * (mult > 1 ? static_cast<int>(mult) : 1);
+}
+
+const int kDraws = equiv_draws();
 
 /// One fixture = one candidate-suffix query on one graph.
 struct EquivalenceCase

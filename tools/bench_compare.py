@@ -10,6 +10,14 @@ ratio.  A suite whose median regresses more than --fail-threshold
 prints a warning but stays green.  Medians, not means, so one noisy
 entry on a shared CI runner cannot flip the gate by itself.
 
+Suites may carry a "meta" block (bench_json.hpp).  When the baseline
+and the current run disagree on meta["simd_isa"] — including when only
+one side records it — their timings were produced by different vector
+backends (e.g. an AVX2 baseline against a scalar-fallback build) and
+the suite is skipped with a warning instead of gated: a 2x "regression"
+that is really an ISA change must not page anyone, and a scalar
+baseline must not mask a real AVX2 regression.
+
 Usage:
     python3 tools/bench_compare.py \
         --baseline-dir bench/baselines --current-dir build
@@ -73,6 +81,25 @@ def load_bench(path: Path) -> dict[str, float]:
     return entries
 
 
+def load_meta(path: Path) -> dict[str, str]:
+    """Return the suite's "meta" block ({} when absent).
+
+    Meta is optional and free-form string-to-string; anything else is a
+    schema error so a half-written block cannot silently disable the
+    ISA gate.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise BenchError(f"{path}: unreadable bench JSON: {err}") from err
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in meta.items()
+    ):
+        raise BenchError(f"{path}: malformed meta block {meta!r}")
+    return meta
+
+
 def compare_suite(
     baseline: dict[str, float], current: dict[str, float]
 ) -> tuple[list[tuple[str, float]], float | None, list[str]]:
@@ -121,6 +148,17 @@ def compare_dirs(
                 f"{current_path}: missing — the bench run did not produce "
                 f"this suite"
             )
+        base_isa = load_meta(baseline_path).get("simd_isa")
+        cur_isa = load_meta(current_path).get("simd_isa")
+        if base_isa != cur_isa:
+            print(
+                f"WARN  {baseline_path.name}: simd_isa mismatch "
+                f"(baseline {base_isa or 'unrecorded'}, current "
+                f"{cur_isa or 'unrecorded'}) — timings from different "
+                f"vector backends are not comparable; suite skipped",
+                file=out,
+            )
+            continue
         ratios, median, missing = compare_suite(
             load_bench(baseline_path), load_bench(current_path)
         )

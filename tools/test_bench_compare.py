@@ -24,11 +24,13 @@ def write_suite(
     path: Path,
     names_seconds: dict[str, float],
     units: dict[str, str] | None = None,
+    meta: dict[str, str] | None = None,
 ):
     units = units or {}
     doc = {
         "benchmark": path.stem.removeprefix("BENCH_"),
         "schema_version": 1,
+        **({"meta": meta} if meta is not None else {}),
         "entries": [
             {"name": name, "seconds": seconds, "items_per_second": 0.0,
              **({"unit": units[name]} if name in units else {}),
@@ -166,6 +168,77 @@ class BenchCompareTest(unittest.TestCase):
         ok, out = self.compare(doctored)
         self.assertFalse(ok)
         self.assertIn("FAIL", out)
+
+    def test_isa_mismatch_warns_and_skips_the_suite(self):
+        # An AVX2 baseline vs a scalar-fallback run: a 2x "slowdown"
+        # is an ISA change, not a regression — warn, skip, stay green.
+        write_suite(
+            self.baseline_dir / "BENCH_walk.json", self.baseline,
+            meta={"simd_isa": "avx2", "f64_lanes": "4"},
+        )
+        write_suite(
+            self.current_dir / "BENCH_walk.json",
+            {name: s * 2.0 for name, s in self.baseline.items()},
+            meta={"simd_isa": "scalar", "f64_lanes": "4"},
+        )
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        self.assertTrue(ok)
+        self.assertIn("simd_isa mismatch", out.getvalue())
+        self.assertNotIn("FAIL", out.getvalue())
+
+    def test_one_sided_isa_presence_is_a_mismatch(self):
+        # Baseline predates the meta block but the current run records
+        # an ISA (or vice versa): provenance unknown, so don't gate.
+        write_suite(
+            self.current_dir / "BENCH_walk.json",
+            {name: s * 2.0 for name, s in self.baseline.items()},
+            meta={"simd_isa": "avx2"},
+        )
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        self.assertTrue(ok)
+        self.assertIn("unrecorded", out.getvalue())
+
+    def test_matching_isa_still_gates(self):
+        write_suite(
+            self.baseline_dir / "BENCH_walk.json", self.baseline,
+            meta={"simd_isa": "avx2"},
+        )
+        write_suite(
+            self.current_dir / "BENCH_walk.json",
+            {name: s * 1.30 for name, s in self.baseline.items()},
+            meta={"simd_isa": "avx2"},
+        )
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out.getvalue())
+
+    def test_malformed_meta_is_a_schema_error(self):
+        write_suite(
+            self.current_dir / "BENCH_walk.json", dict(self.baseline)
+        )
+        doc = json.loads(
+            (self.current_dir / "BENCH_walk.json").read_text()
+        )
+        doc["meta"] = {"simd_isa": 4}
+        (self.current_dir / "BENCH_walk.json").write_text(json.dumps(doc))
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.compare_dirs(
+                self.baseline_dir, self.current_dir,
+                fail_threshold=0.15, warn_threshold=0.05,
+                out=io.StringIO(),
+            )
 
     def test_missing_current_suite_is_a_schema_error(self):
         with self.assertRaises(bench_compare.BenchError):
