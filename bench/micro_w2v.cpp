@@ -2,16 +2,20 @@
 /// Micro-benchmarks of the SGNS trainers: Hogwild vs batched, padding
 /// and vectorization knobs, dimension sweep. Items = training pairs.
 ///
-/// After the google-benchmark suite, a comparison harness times the
-/// Hogwild and batched trainers plus the negative-table samplers
-/// best-of-3 and records the measurements to BENCH_w2v.json — see
-/// bench_json.hpp for the schema.
+/// After the google-benchmark suite, two comparison harnesses run:
+/// the trainer comparison (Hogwild vs batched plus the negative-table
+/// samplers, best-of-3, BENCH_w2v.json) and the kernel-backend A/B
+/// (scalar vs simd single-pair update loop, cache-hot, per dim
+/// 8/32/128, BENCH_w2v_kernels.json with a `simd_isa` meta key so the
+/// regression gate skips cross-ISA comparisons) — see bench_json.hpp
+/// for the schema.
 #include "bench_json.hpp"
 #include "tgl/tgl.hpp"
 #include "util/timer.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 namespace {
@@ -278,6 +282,99 @@ run_trainer_comparison()
     bench::write_bench_json("BENCH_w2v.json", "w2v", entries);
 }
 
+/// Scalar-vs-simd kernel backend A/B on the cache-hot single-pair
+/// update loop: a small identity-space model (fits L2 at every dim)
+/// hammered with pre-seeded pair draws, best-of-3 per backend per dim.
+/// The speedup metrics and the ratio-unit median entry quantify the
+/// tentpole claim (simd >= 1.0x median); the timing entries feed the
+/// bench-regression gate.
+void
+run_kernel_comparison()
+{
+    constexpr std::size_t kVocab = 512;
+    constexpr std::uint64_t kPairs = 300000;
+    constexpr unsigned kNegatives = 5;
+    const unsigned dims[] = {8, 32, 128};
+
+    // Skewed counts so the negative table is realistic (unigram^0.75
+    // over a Zipf-ish law) while every word stays sampleable.
+    std::vector<std::uint64_t> counts(kVocab);
+    for (std::size_t w = 0; w < kVocab; ++w) {
+        counts[w] = 1 + 1000 / (w + 1);
+    }
+    const embed::NegativeTable negatives(counts);
+
+    std::vector<bench::BenchEntry> entries;
+    std::vector<double> speedups;
+    for (const unsigned dim : dims) {
+        embed::SgnsConfig config;
+        config.dim = dim;
+
+        const auto time_backend =
+            [&](const embed::kernels::SgnsBackendOps& ops) {
+                double best = 1e300;
+                for (int rep = 0; rep < 3; ++rep) {
+                    embed::SgnsModel model(kVocab, config);
+                    std::vector<float> scratch(dim);
+                    rng::Random pair_random(11);
+                    rng::Random negative_random(13);
+                    util::Timer timer;
+                    for (std::uint64_t i = 0; i < kPairs; ++i) {
+                        const auto context = static_cast<embed::WordId>(
+                            pair_random.next_index(kVocab));
+                        const auto center = static_cast<embed::WordId>(
+                            pair_random.next_index(kVocab));
+                        embed::sgns_update_pair(
+                            model, context, center, negatives, kNegatives,
+                            0.025f, ops, negative_random, scratch.data());
+                    }
+                    const double seconds = timer.seconds();
+                    benchmark::DoNotOptimize(model.all_finite());
+                    best = std::min(best, seconds);
+                }
+                return best;
+            };
+
+        const double scalar_s =
+            time_backend(embed::kernels::scalar_sgns_ops());
+        const double simd_s = time_backend(embed::kernels::simd_sgns_ops());
+        const double speedup = simd_s > 0.0 ? scalar_s / simd_s : 0.0;
+        speedups.push_back(speedup);
+
+        const std::string prefix =
+            util::strcat("w2v_kernels/dim", dim, "/");
+        entries.push_back(
+            {prefix + "scalar", scalar_s,
+             scalar_s > 0.0 ? kPairs / scalar_s : 0.0,
+             {{"pairs", static_cast<double>(kPairs)},
+              {"dim", static_cast<double>(dim)}}});
+        entries.push_back({prefix + "simd", simd_s,
+                           simd_s > 0.0 ? kPairs / simd_s : 0.0,
+                           {{"pairs", static_cast<double>(kPairs)},
+                            {"dim", static_cast<double>(dim)},
+                            {"speedup_vs_scalar", speedup}}});
+        std::printf("w2v kernels dim %3u: scalar %8.4fs | simd %8.4fs "
+                    "| speedup %.2fx\n",
+                    dim, scalar_s, simd_s, speedup);
+    }
+
+    // Median speedup as a non-timing entry: visible to humans and
+    // scripts, excluded from the wall-clock regression gate by its
+    // unit.
+    std::vector<double> sorted = speedups;
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[sorted.size() / 2];
+    entries.push_back({"w2v_kernels/median_speedup", median, 0.0,
+                       {},
+                       "ratio"});
+    std::printf("w2v kernels median speedup (simd vs scalar): %.2fx\n",
+                median);
+
+    bench::write_bench_json(
+        "BENCH_w2v_kernels.json", "w2v_kernels", entries,
+        {{"simd_isa", embed::kernels::simd_sgns_isa()}});
+}
+
 } // namespace
 
 int
@@ -290,5 +387,6 @@ main(int argc, char** argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     run_trainer_comparison();
+    run_kernel_comparison();
     return 0;
 }

@@ -27,6 +27,8 @@ main(int argc, char** argv)
                  "scale on the paper's 1M-node configs");
     cli.add_flag("max-rows", "6", "how many of the 9 size rows to run");
     cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("sgns-backend", "auto",
+                 "SGNS kernel backend: auto | scalar | simd");
     cli.add_switch("overlap-ab",
                    "replace the batched column with an overlapped "
                    "walk+w2v A/B (off vs on) per row");
@@ -39,6 +41,11 @@ main(int argc, char** argv)
         const auto seed =
             static_cast<std::uint64_t>(cli.get_int("seed"));
         const bool overlap_ab = cli.get_switch("overlap-ab");
+        const auto sgns_backend = embed::kernels::parse_sgns_backend(
+            cli.get_string("sgns-backend"));
+        if (!sgns_backend) {
+            util::fatal("--sgns-backend expects auto | scalar | simd");
+        }
 
         // Paper rows: 1M nodes x {100k, 1M, 2M, 5M, 10M, 20M, 50M,
         // 100M, 200M} edges.
@@ -81,6 +88,7 @@ main(int argc, char** argv)
             config.sgns.dim = 8;
             config.sgns.epochs = 1;
             config.sgns.seed = seed;
+            config.sgns.backend = *sgns_backend;
             config.classifier.max_epochs = 3;
 
             if (overlap_ab) {

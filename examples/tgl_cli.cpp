@@ -239,6 +239,8 @@ cmd_embed(int argc, const char* const* argv)
     cli.add_flag("walks", "10", "walks per node (with --input)");
     cli.add_flag("length", "6", "walk length (with --input)");
     cli.add_flag("seed", "1", "random seed");
+    cli.add_flag("sgns-backend", "auto",
+                 "SGNS kernel backend: auto | scalar | simd");
     cli.add_switch("batched", "use the batched (GPU-model) trainer");
     if (!cli.parse(argc, argv)) {
         return 0;
@@ -271,6 +273,12 @@ cmd_embed(int argc, const char* const* argv)
     sgns.dim = static_cast<unsigned>(cli.get_int("dim"));
     sgns.epochs = static_cast<unsigned>(cli.get_int("epochs"));
     sgns.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (const auto backend = embed::kernels::parse_sgns_backend(
+            cli.get_string("sgns-backend"))) {
+        sgns.backend = *backend;
+    } else {
+        util::fatal("--sgns-backend expects auto | scalar | simd");
+    }
 
     embed::TrainStats stats;
     embed::Embedding embedding;
@@ -439,6 +447,8 @@ cmd_pipeline(int argc, const char* const* argv)
                  "overlap stall watchdog deadline in seconds (0 "
                  "disables); on a stall the run aborts with a resumable "
                  "checkpoint instead of hanging");
+    cli.add_flag("sgns-backend", "auto",
+                 "SGNS kernel backend: auto | scalar | simd");
     cli.add_switch("batched", "use the batched (GPU-model) trainer");
     if (!cli.parse(argc, argv)) {
         return 0;
@@ -458,6 +468,12 @@ cmd_pipeline(int argc, const char* const* argv)
     config.sgns.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     config.sgns.num_threads =
         static_cast<unsigned>(cli.get_int("w2v-threads"));
+    if (const auto backend = embed::kernels::parse_sgns_backend(
+            cli.get_string("sgns-backend"))) {
+        config.sgns.backend = *backend;
+    } else {
+        util::fatal("--sgns-backend expects auto | scalar | simd");
+    }
     if (cli.get_switch("batched")) {
         config.w2v_mode = core::W2vMode::kBatched;
     }

@@ -82,6 +82,16 @@ mix_config(util::Fingerprint& fp, const embed::SgnsConfig& config)
     // num_threads is mixed because Hogwild training is only
     // reproducible for a fixed team size (and exactly so only for 1).
     fp.mix(config.num_threads);
+    // The kernel backend is output-affecting: the simd kernels
+    // reassociate the dot reduction into vector partial sums, so
+    // backends agree in law but not bitwise. The *resolved* backend is
+    // mixed (name + compiled ISA) so `auto` fingerprints identically
+    // to the backend it resolves to on this build, and a checkpoint
+    // trained under one backend is never resumed under another.
+    const embed::kernels::SgnsBackendOps& ops =
+        embed::sgns_kernel_ops(config);
+    fp.mix(std::string_view(ops.name));
+    fp.mix(std::string_view(ops.isa));
 }
 
 void

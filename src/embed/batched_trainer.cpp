@@ -15,17 +15,51 @@
 
 namespace tgl::embed {
 
-namespace {
+namespace detail {
 
-/// A single (context, center) training pair with its RNG stream id.
-struct Pair
+std::uint64_t
+assemble_batch_pairs(const walk::Corpus& corpus, const Vocab& vocab,
+                     const SgnsConfig& sgns, unsigned epoch,
+                     std::size_t batch_begin, std::size_t batch_end,
+                     std::uint64_t& pair_counter,
+                     std::vector<WordId>& words,
+                     std::vector<BatchPair>& out)
 {
-    WordId context;
-    WordId center;
-    std::uint64_t stream;
-};
+    const std::size_t num_sentences = corpus.num_walks();
+    std::uint64_t tokens = 0;
+    out.clear();
+    for (std::size_t s = batch_begin; s < batch_end; ++s) {
+        const auto sentence = corpus.walk(s);
+        words.clear();
+        for (graph::NodeId node : sentence) {
+            const WordId w = vocab.word_of(node);
+            if (w != kNoWord) {
+                words.push_back(w);
+            }
+        }
+        rng::Random window_random(rng::mix_seed(
+            sgns.seed ^ 0xba7cedULL,
+            static_cast<std::uint64_t>(epoch) * num_sentences + s));
+        const std::size_t len = words.size();
+        for (std::size_t pos = 0; pos < len; ++pos) {
+            const unsigned shrink = static_cast<unsigned>(
+                window_random.next_index(sgns.window));
+            const unsigned effective = sgns.window - shrink;
+            const std::size_t lo = pos >= effective ? pos - effective : 0;
+            const std::size_t hi = std::min(len, pos + effective + 1);
+            for (std::size_t c = lo; c < hi; ++c) {
+                if (c == pos) {
+                    continue;
+                }
+                out.push_back({words[c], words[pos], pair_counter++});
+            }
+        }
+        tokens += sentence.size();
+    }
+    return tokens;
+}
 
-} // namespace
+} // namespace detail
 
 Embedding
 train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
@@ -47,6 +81,7 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
     }
     const NegativeTable negatives(vocab);
     SgnsModel model(vocab, sgns);
+    const kernels::SgnsBackendOps& ops = sgns_kernel_ops(sgns);
 
     const std::size_t num_sentences = corpus.num_walks();
     const std::uint64_t total_tokens =
@@ -65,7 +100,10 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
 
     std::uint64_t tokens_done = 0;
     std::uint64_t pairs_trained = 0;
-    std::vector<Pair> batch_pairs;
+    // Global pair counter: one private splitmix stream per pair,
+    // monotone across batches and epochs (see assemble_batch_pairs).
+    std::uint64_t pair_counter = 0;
+    std::vector<detail::BatchPair> batch_pairs;
     std::vector<WordId> words;
 
     obs::PerfRankScopes perf_scopes("sgns", max_team);
@@ -80,41 +118,9 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
             // Host-side batch assembly (the GPU implementation stages
             // sentence windows the same way before the launch): expand
             // each sentence into its (context, center) pairs.
-            batch_pairs.clear();
-            for (std::size_t s = batch_begin; s < batch_end; ++s) {
-                const auto sentence = corpus.walk(s);
-                words.clear();
-                for (graph::NodeId node : sentence) {
-                    const WordId w = vocab.word_of(node);
-                    if (w != kNoWord) {
-                        words.push_back(w);
-                    }
-                }
-                rng::Random window_random(rng::mix_seed(
-                    sgns.seed ^ 0xba7cedULL,
-                    static_cast<std::uint64_t>(epoch) * num_sentences + s));
-                const std::size_t len = words.size();
-                for (std::size_t pos = 0; pos < len; ++pos) {
-                    const unsigned shrink = static_cast<unsigned>(
-                        window_random.next_index(sgns.window));
-                    const unsigned effective = sgns.window - shrink;
-                    const std::size_t lo =
-                        pos >= effective ? pos - effective : 0;
-                    const std::size_t hi =
-                        std::min(len, pos + effective + 1);
-                    for (std::size_t c = lo; c < hi; ++c) {
-                        if (c == pos) {
-                            continue;
-                        }
-                        batch_pairs.push_back(
-                            {words[c], words[pos],
-                             static_cast<std::uint64_t>(
-                                 (epoch * num_sentences + s) << 8 |
-                                 (pos & 0xff))});
-                    }
-                }
-                tokens_done += sentence.size();
-            }
+            tokens_done += detail::assemble_batch_pairs(
+                corpus, vocab, sgns, epoch, batch_begin, batch_end,
+                pair_counter, words, batch_pairs);
 
             const float progress = static_cast<float>(
                 static_cast<double>(tokens_done) /
@@ -122,9 +128,12 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
             const float alpha = std::max(sgns.alpha * (1.0f - progress),
                                          sgns.alpha * 1e-4f);
 
-            // Shared-negative mode: one pool per launch, reused by all
-            // pairs (size scaled so each pair still sees sgns.negatives
-            // counter-examples).
+            // Shared-negative mode: one pool of sgns.negatives words
+            // per launch, reused verbatim by every pair — each pair
+            // sees the same sgns.negatives counter-examples instead of
+            // private draws (the pool is NOT scaled with the batch;
+            // that is the point of the optimization: the shared rows
+            // stay cache-hot across the whole launch).
             std::vector<WordId> shared_pool;
             if (config.shared_negatives) {
                 rng::Random pool_random(rng::mix_seed(
@@ -145,19 +154,19 @@ train_sgns_batched(const walk::Corpus& corpus, graph::NodeId num_nodes,
                 0, batch_pairs.size(),
                 [&](std::size_t p, unsigned rank) {
                     perf_scopes.ensure(rank);
-                    const Pair& pair = batch_pairs[p];
+                    const detail::BatchPair& pair = batch_pairs[p];
                     if (config.shared_negatives) {
                         sgns_update_pair_shared(
                             model, pair.context, pair.center,
-                            shared_pool, alpha, sgns.vectorized,
+                            shared_pool, alpha, ops,
                             ranks[rank].scratch.data());
                         return;
                     }
-                    rng::Random random(
-                        rng::mix_seed(sgns.seed, pair.stream + p));
+                    rng::Random random(rng::mix_seed(
+                        sgns.seed ^ detail::kPairStreamTag, pair.stream));
                     sgns_update_pair(model, pair.context, pair.center,
                                      negatives, sgns.negatives, alpha,
-                                     sgns.vectorized, random,
+                                     ops, random,
                                      ranks[rank].scratch.data());
                 },
                 {.num_threads = sgns.num_threads, .grain = 8});

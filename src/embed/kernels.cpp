@@ -1,0 +1,162 @@
+/// @file
+/// Vectorized SGNS kernels over util/simd.hpp's f32 half.
+///
+/// This is the only TU in the library that sees the SGNS vector
+/// intrinsics: under -DTGL_SIMD=auto|avx2 CMake compiles exactly this
+/// file (and walk/batch.cpp) with -mavx2, so no other object file ever
+/// contains AVX2 instructions (same pattern as the batched walker —
+/// see src/CMakeLists.txt).
+///
+/// The sigmoid kernel reproduces SigmoidTable's law exactly, in this
+/// order: gather values_[clamped index], force x <= -6 lanes to 0,
+/// then force !(x < 6) lanes (including NaN) to 1. The index clamp
+/// mirrors SigmoidTable::index_for — see the note there about
+/// (x + 6.0f) rounding to 12.0f just below the saturation point.
+#include "embed/kernels.hpp"
+
+#include "embed/sigmoid_table.hpp"
+#include "util/simd.hpp"
+
+namespace tgl::embed::kernels {
+
+namespace {
+
+namespace simd = util::simd;
+
+float
+dot_f32(const float* a, const float* b, unsigned dim)
+{
+    simd::VFloat acc = simd::fsplat(0.0f);
+    unsigned i = 0;
+    for (; i + simd::kF32Lanes <= dim; i += simd::kF32Lanes) {
+        acc = simd::fadd(acc,
+                         simd::fmul(simd::fload(a + i), simd::fload(b + i)));
+    }
+    float sum = simd::fhsum(acc);
+    for (; i < dim; ++i) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}
+
+void
+axpy_f32(float g, const float* x, float* y, unsigned dim)
+{
+    const simd::VFloat vg = simd::fsplat(g);
+    unsigned i = 0;
+    for (; i + simd::kF32Lanes <= dim; i += simd::kF32Lanes) {
+        simd::fstore(y + i, simd::fadd(simd::fload(y + i),
+                                       simd::fmul(vg, simd::fload(x + i))));
+    }
+    for (; i < dim; ++i) {
+        y[i] += g * x[i];
+    }
+}
+
+void
+sigmoid_f32(const float* x, float* out, std::size_t n)
+{
+    const SigmoidTable& table = SigmoidTable::instance();
+    const float* lut = table.data();
+    const simd::VFloat max_exp = simd::fsplat(SigmoidTable::kMaxExp);
+    const simd::VFloat neg_max_exp = simd::fsplat(-SigmoidTable::kMaxExp);
+    const simd::VFloat scale = simd::fsplat(
+        SigmoidTable::kTableSize / (2.0f * SigmoidTable::kMaxExp));
+    const simd::VFloat zero = simd::fsplat(0.0f);
+    const simd::VFloat one = simd::fsplat(1.0f);
+    const simd::VFloat top =
+        simd::fsplat(static_cast<float>(SigmoidTable::kTableSize - 1));
+
+    std::size_t i = 0;
+    for (; i + simd::kF32Lanes <= n; i += simd::kF32Lanes) {
+        const simd::VFloat v = simd::fload(x + i);
+        // Clamp the slot into [0, kTableSize - 1]. fmax turns NaN
+        // into 0 on AVX2/scalar; on NEON the NaN survives but the
+        // gather's float->int conversion maps it to 0 — either way no
+        // lane indexes out of bounds, and the saturation blends below
+        // overwrite the garbage value anyway.
+        simd::VFloat slot =
+            simd::fmax(simd::fmul(simd::fadd(v, max_exp), scale), zero);
+        slot = simd::fmin(slot, top);
+        simd::VFloat result = simd::fgather(lut, slot);
+        result = simd::fselect(simd::fle(v, neg_max_exp), zero, result);
+        result = simd::fselect(simd::fnlt(v, max_exp), one, result);
+        simd::fstore(out + i, result);
+    }
+    for (; i < n; ++i) {
+        out[i] = table(x[i]);
+    }
+}
+
+void
+update_targets_f32(float* context_row, float* const* target_rows,
+                   const float* labels, std::size_t count, unsigned dim,
+                   float alpha, float* scratch)
+{
+    // Phase 1 (the paper's parallel reduction): all scores of the
+    // chunk. Zero-pad so the sigmoid runs one full vector regardless
+    // of count (pad lanes are never read back).
+    float scores[kSgnsTargetChunk] = {};
+    float sigmoids[kSgnsTargetChunk];
+    for (std::size_t t = 0; t < count; ++t) {
+        scores[t] = dot_f32(context_row, target_rows[t], dim);
+    }
+    // Phase 2: one batched sigmoid over the chunk.
+    sigmoid_f32(scores, sigmoids, kSgnsTargetChunk);
+    // Phase 3: gradient axpys, same per-target order as the reference
+    // kernel (scratch reads the target row before it is updated).
+    for (std::size_t t = 0; t < count; ++t) {
+        const float gradient = (labels[t] - sigmoids[t]) * alpha;
+        axpy_f32(gradient, target_rows[t], scratch, dim);
+        axpy_f32(gradient, context_row, target_rows[t], dim);
+    }
+}
+
+} // namespace
+
+std::optional<SgnsBackend>
+parse_sgns_backend(std::string_view name)
+{
+    if (name == "auto") {
+        return SgnsBackend::kAuto;
+    }
+    if (name == "scalar") {
+        return SgnsBackend::kScalar;
+    }
+    if (name == "simd") {
+        return SgnsBackend::kSimd;
+    }
+    return std::nullopt;
+}
+
+const char*
+sgns_backend_name(SgnsBackend backend)
+{
+    switch (backend) {
+    case SgnsBackend::kScalar:
+        return "scalar";
+    case SgnsBackend::kSimd:
+        return "simd";
+    case SgnsBackend::kAuto:
+    default:
+        return "auto";
+    }
+}
+
+const SgnsBackendOps&
+simd_sgns_ops()
+{
+    static const SgnsBackendOps ops{
+        "simd",     simd::kIsaName,     dot_f32,
+        axpy_f32,   sigmoid_f32,        update_targets_f32,
+    };
+    return ops;
+}
+
+const char*
+simd_sgns_isa()
+{
+    return simd::kIsaName;
+}
+
+} // namespace tgl::embed::kernels

@@ -34,18 +34,32 @@ build_table(const std::vector<double>& weights, NegativeTableKind kind,
         util::fatal("NegativeTable: array_size smaller than vocabulary");
     }
     // word2vec's InitUnigramTable: fill the array proportionally,
-    // guaranteeing at least the cumulative rounding gives every word
-    // with positive weight a chance.
+    // guaranteeing the cumulative rounding gives every word with
+    // positive weight a chance. Unlike the reference implementation,
+    // zero-weight words are skipped outright: InitUnigramTable writes
+    // the current word before advancing, which hands every zero-weight
+    // word one sampleable slot — so zero-count words could be drawn as
+    // negatives and the array law disagreed with the alias law (which
+    // assigns them probability exactly 0).
     array.resize(array_size);
     WordId word = 0;
-    double cumulative = weights[0] / total;
+    while (!(weights[word] > 0.0)) {
+        ++word; // total > 0 guarantees a positive weight exists
+    }
+    double cumulative = weights[word] / total;
     for (std::size_t i = 0; i < array_size; ++i) {
         array[i] = word;
         const double position =
             static_cast<double>(i + 1) / static_cast<double>(array_size);
-        if (position > cumulative && word + 1 < weights.size()) {
-            ++word;
-            cumulative += weights[word] / total;
+        if (position > cumulative) {
+            WordId next = word + 1;
+            while (next < weights.size() && !(weights[next] > 0.0)) {
+                ++next;
+            }
+            if (next < weights.size()) {
+                word = next;
+                cumulative += weights[word] / total;
+            }
         }
     }
 }

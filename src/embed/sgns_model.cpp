@@ -1,10 +1,126 @@
 #include "embed/sgns_model.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <string_view>
 
 namespace tgl::embed {
+
+namespace {
+
+/// The reference per-target SGNS step, templated on the uncoalesced
+/// model so both scalar backends share one body. Processing targets
+/// strictly in sequence keeps these backends byte-identical to the
+/// historic (pre-backend-interface) trainers regardless of how the
+/// caller chunks the targets.
+template <bool ScalarOnly>
+void
+scalar_update_targets(float* context_row, float* const* target_rows,
+                      const float* labels, std::size_t count, unsigned dim,
+                      float alpha, float* scratch)
+{
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+    for (std::size_t t = 0; t < count; ++t) {
+        float* target_row = target_rows[t];
+        const float score =
+            detail::dot(context_row, target_row, dim, ScalarOnly);
+        const float gradient = (labels[t] - sigmoid(score)) * alpha;
+        detail::axpy(gradient, target_row, scratch, dim, ScalarOnly);
+        detail::axpy(gradient, context_row, target_row, dim, ScalarOnly);
+    }
+}
+
+template <bool ScalarOnly>
+float
+scalar_dot(const float* a, const float* b, unsigned dim)
+{
+    return detail::dot(a, b, dim, ScalarOnly);
+}
+
+template <bool ScalarOnly>
+void
+scalar_axpy(float g, const float* x, float* y, unsigned dim)
+{
+    detail::axpy(g, x, y, dim, ScalarOnly);
+}
+
+void
+scalar_sigmoid(const float* x, float* out, std::size_t n)
+{
+    const SigmoidTable& sigmoid = SigmoidTable::instance();
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = sigmoid(x[i]);
+    }
+}
+
+} // namespace
+
+const kernels::SgnsBackendOps&
+kernels::scalar_sgns_ops()
+{
+    static const SgnsBackendOps ops{
+        "scalar",           "generic",
+        scalar_dot<false>,  scalar_axpy<false>,
+        scalar_sigmoid,     scalar_update_targets<false>,
+    };
+    return ops;
+}
+
+const kernels::SgnsBackendOps&
+kernels::modeled_scalar_sgns_ops()
+{
+    static const SgnsBackendOps ops{
+        "scalar-modeled",  "generic",
+        scalar_dot<true>,  scalar_axpy<true>,
+        scalar_sigmoid,    scalar_update_targets<true>,
+    };
+    return ops;
+}
+
+const kernels::SgnsBackendOps&
+sgns_kernel_ops(const SgnsConfig& config)
+{
+    const kernels::SgnsBackendOps& ops =
+        [&]() -> const kernels::SgnsBackendOps& {
+        if (!config.vectorized) {
+            // An explicit simd request contradicts the modeled
+            // uncoalesced path; validate() reports the same conflict
+            // for pipeline configs, this guards direct trainer calls.
+            if (config.backend == kernels::SgnsBackend::kSimd) {
+                util::fatal("sgns backend 'simd' contradicts vectorized "
+                            "= false (the modeled uncoalesced scalar "
+                            "path); use backend 'scalar' or 'auto'");
+            }
+            return kernels::modeled_scalar_sgns_ops();
+        }
+        switch (config.backend) {
+        case kernels::SgnsBackend::kScalar:
+            return kernels::scalar_sgns_ops();
+        case kernels::SgnsBackend::kSimd:
+            return kernels::simd_sgns_ops();
+        case kernels::SgnsBackend::kAuto:
+        default:
+            return std::string_view(kernels::simd_sgns_isa()) == "scalar"
+                       ? kernels::scalar_sgns_ops()
+                       : kernels::simd_sgns_ops();
+        }
+    }();
+
+    obs::Registry::global()
+        .counter(util::strcat("sgns.backend.", ops.name))
+        .add(1);
+    static std::atomic<bool> logged{false};
+    if (!logged.exchange(true)) {
+        util::inform(util::strcat("sgns kernel backend: ", ops.name, " (",
+                                  ops.isa, ")"));
+    }
+    return ops;
+}
 
 std::vector<std::string>
 SgnsConfig::validate() const
@@ -29,6 +145,12 @@ SgnsConfig::validate() const
     if (row_stride != 0 && row_stride < dim) {
         problems.push_back("row_stride must be 0 (packed) or >= dim, got " +
                            std::to_string(row_stride));
+    }
+    if (backend == kernels::SgnsBackend::kSimd && !vectorized) {
+        problems.push_back(
+            "sgns backend 'simd' contradicts vectorized = false (the "
+            "modeled uncoalesced scalar path); use backend 'scalar' or "
+            "'auto'");
     }
     return problems;
 }
@@ -115,19 +237,23 @@ SgnsModel::to_embedding(const Vocab& vocab, graph::NodeId num_nodes) const
 void
 sgns_update_pair(SgnsModel& model, WordId context, WordId center,
                  const NegativeTable& negatives, unsigned num_negatives,
-                 float alpha, bool vectorized, rng::Random& random,
-                 float* scratch)
+                 float alpha, const kernels::SgnsBackendOps& ops,
+                 rng::Random& random, float* scratch)
 {
     const unsigned dim = model.dim();
-    const bool scalar_only = !vectorized;
-    const SigmoidTable& sigmoid = SigmoidTable::instance();
 
     float* context_row = model.input_row(context);
     for (unsigned i = 0; i < dim; ++i) {
         scratch[i] = 0.0f;
     }
 
-    // Positive target plus `num_negatives` sampled negatives.
+    // Positive target plus `num_negatives` sampled negatives, buffered
+    // into chunks so the simd backend batches the sigmoid across them.
+    // The negatives are drawn in the same RNG order as the reference
+    // kernel, so the target sequence is backend-independent.
+    float* rows[kernels::kSgnsTargetChunk];
+    float labels[kernels::kSgnsTargetChunk];
+    std::size_t count = 0;
     for (unsigned n = 0; n <= num_negatives; ++n) {
         WordId target;
         float label;
@@ -141,30 +267,37 @@ sgns_update_pair(SgnsModel& model, WordId context, WordId center,
             }
             label = 0.0f;
         }
-        float* target_row = model.output_row(target);
-        const float score =
-            detail::dot(context_row, target_row, dim, scalar_only);
-        const float gradient = (label - sigmoid(score)) * alpha;
-        detail::axpy(gradient, target_row, scratch, dim, scalar_only);
-        detail::axpy(gradient, context_row, target_row, dim, scalar_only);
+        rows[count] = model.output_row(target);
+        labels[count] = label;
+        if (++count == kernels::kSgnsTargetChunk) {
+            ops.update_targets(context_row, rows, labels, count, dim,
+                               alpha, scratch);
+            count = 0;
+        }
     }
-    detail::axpy(1.0f, scratch, context_row, dim, scalar_only);
+    if (count > 0) {
+        ops.update_targets(context_row, rows, labels, count, dim, alpha,
+                           scratch);
+    }
+    ops.axpy(1.0f, scratch, context_row, dim);
 }
 
 void
 sgns_update_pair_shared(SgnsModel& model, WordId context, WordId center,
                         std::span<const WordId> shared_negatives,
-                        float alpha, bool vectorized, float* scratch)
+                        float alpha, const kernels::SgnsBackendOps& ops,
+                        float* scratch)
 {
     const unsigned dim = model.dim();
-    const bool scalar_only = !vectorized;
-    const SigmoidTable& sigmoid = SigmoidTable::instance();
 
     float* context_row = model.input_row(context);
     for (unsigned i = 0; i < dim; ++i) {
         scratch[i] = 0.0f;
     }
 
+    float* rows[kernels::kSgnsTargetChunk];
+    float labels[kernels::kSgnsTargetChunk];
+    std::size_t count = 0;
     const std::size_t targets = shared_negatives.size() + 1;
     for (std::size_t n = 0; n < targets; ++n) {
         WordId target;
@@ -179,14 +312,19 @@ sgns_update_pair_shared(SgnsModel& model, WordId context, WordId center,
             }
             label = 0.0f;
         }
-        float* target_row = model.output_row(target);
-        const float score =
-            detail::dot(context_row, target_row, dim, scalar_only);
-        const float gradient = (label - sigmoid(score)) * alpha;
-        detail::axpy(gradient, target_row, scratch, dim, scalar_only);
-        detail::axpy(gradient, context_row, target_row, dim, scalar_only);
+        rows[count] = model.output_row(target);
+        labels[count] = label;
+        if (++count == kernels::kSgnsTargetChunk) {
+            ops.update_targets(context_row, rows, labels, count, dim,
+                               alpha, scratch);
+            count = 0;
+        }
     }
-    detail::axpy(1.0f, scratch, context_row, dim, scalar_only);
+    if (count > 0) {
+        ops.update_targets(context_row, rows, labels, count, dim, alpha,
+                           scratch);
+    }
+    ops.axpy(1.0f, scratch, context_row, dim);
 }
 
 } // namespace tgl::embed

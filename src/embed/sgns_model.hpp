@@ -4,6 +4,7 @@
 #pragma once
 
 #include "embed/embedding.hpp"
+#include "embed/kernels.hpp"
 #include "embed/negative_table.hpp"
 #include "embed/sigmoid_table.hpp"
 #include "embed/vocab.hpp"
@@ -49,6 +50,12 @@ struct SgnsConfig
     /// inner loops run strictly scalar, modeling one-thread-per-vector
     /// uncoalesced access.
     bool vectorized = true;
+    /// Kernel backend for the inner loops (--sgns-backend): kAuto picks
+    /// the simd kernels on vector-capable builds and the scalar
+    /// reference loops otherwise; see sgns_kernel_ops(). Ignored (the
+    /// modeled-scalar loops run regardless) when vectorized is false,
+    /// and validate() rejects the contradictory kSimd + !vectorized.
+    kernels::SgnsBackend backend = kernels::SgnsBackend::kAuto;
 
     /// All configuration problems, empty when the config is usable.
     std::vector<std::string> validate() const;
@@ -149,14 +156,24 @@ axpy(float g, const float* x, float* y, unsigned dim, bool scalar_only)
 
 } // namespace detail
 
+/// Resolve a config to its kernel backend: vectorized = false always
+/// means the modeled-scalar loops; otherwise kScalar/kSimd select
+/// directly and kAuto takes the simd kernels unless the build is
+/// scalar-only (where the 8-lane emulation would just be slower plain
+/// loops). Logs the choice once per process and bumps the
+/// sgns.backend.<name> counter per resolution.
+const kernels::SgnsBackendOps& sgns_kernel_ops(const SgnsConfig& config);
+
 /// One SGNS update: align input[context] with output[center], away
 /// from output[negatives]. Follows the word2vec reference kernel
-/// (gradient accumulated in @p scratch, applied to the input row last).
-/// Writes are unsynchronized — Hogwild semantics.
+/// (gradient accumulated in @p scratch, applied to the input row last),
+/// buffering targets into kernels::kSgnsTargetChunk-row chunks for
+/// @p ops.update_targets. Writes are unsynchronized — Hogwild
+/// semantics.
 void sgns_update_pair(SgnsModel& model, WordId context, WordId center,
                       const NegativeTable& negatives, unsigned num_negatives,
-                      float alpha, bool vectorized, rng::Random& random,
-                      float* scratch);
+                      float alpha, const kernels::SgnsBackendOps& ops,
+                      rng::Random& random, float* scratch);
 
 /// Variant taking pre-sampled negatives (the shared-negative-sampling
 /// GPU optimization: one negative pool drawn per batch and reused by
@@ -165,7 +182,8 @@ void sgns_update_pair(SgnsModel& model, WordId context, WordId center,
 void sgns_update_pair_shared(SgnsModel& model, WordId context,
                              WordId center,
                              std::span<const WordId> shared_negatives,
-                             float alpha, bool vectorized,
+                             float alpha,
+                             const kernels::SgnsBackendOps& ops,
                              float* scratch);
 
 } // namespace tgl::embed

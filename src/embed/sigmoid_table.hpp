@@ -25,7 +25,7 @@ class SigmoidTable
         return table;
     }
 
-    /// sigma(x) with |x| > 6 saturated to 0/1.
+    /// sigma(x) with x >= 6 saturated to 1, x <= -6 saturated to 0.
     float
     operator()(float x) const
     {
@@ -38,9 +38,30 @@ class SigmoidTable
         if (x <= -kMaxExp) {
             return 0.0f;
         }
-        const int index = static_cast<int>(
+        return values_[index_for(x)];
+    }
+
+    /// LUT slot for an unsaturated x in (-6, 6). The classic word2vec
+    /// expression is not safe on its own: for x just below +6 the f32
+    /// sum (x + 6.0f) rounds up to exactly 12.0f and the index reaches
+    /// kTableSize, one past the array — hence the clamp, which also
+    /// makes saturation symmetric (x -> -6 reads slot 0, x -> +6 reads
+    /// slot kTableSize - 1).
+    static std::size_t
+    index_for(float x)
+    {
+        int index = static_cast<int>(
             (x + kMaxExp) * (kTableSize / (2.0f * kMaxExp)));
-        return values_[static_cast<std::size_t>(index)];
+        index = index < 0 ? 0 : index;
+        index = index >= kTableSize ? kTableSize - 1 : index;
+        return static_cast<std::size_t>(index);
+    }
+
+    /// Raw table, for the vectorized LUT gather in embed/kernels.cpp.
+    const float*
+    data() const
+    {
+        return values_.data();
     }
 
   private:

@@ -31,6 +31,7 @@ constexpr std::uint64_t kStreamTag = 0xA5F152ED0C0FFEE1ULL;
 void
 train_identity_sentence(SgnsModel& model, const NegativeTable& negatives,
                         const SgnsConfig& config,
+                        const kernels::SgnsBackendOps& ops,
                         std::span<const graph::NodeId> sentence,
                         float alpha, rng::Random& random, float* scratch,
                         std::uint64_t& pairs)
@@ -49,8 +50,8 @@ train_identity_sentence(SgnsModel& model, const NegativeTable& negatives,
             }
             sgns_update_pair(model, static_cast<WordId>(sentence[c]),
                              static_cast<WordId>(sentence[pos]), negatives,
-                             config.negatives, alpha, config.vectorized,
-                             random, scratch);
+                             config.negatives, alpha, ops, random,
+                             scratch);
             ++pairs;
         }
     }
@@ -119,6 +120,7 @@ train_sgns_streaming(util::ShardQueue<walk::CorpusShard>& queue,
 
     SgnsModel model(static_cast<std::size_t>(num_nodes), config);
     const NegativeTable prior(prior_weights);
+    const kernels::SgnsBackendOps& ops = sgns_kernel_ops(config);
 
     // Epoch 0 decays alpha against the caller's token estimate; the
     // schedule switches to exact totals the moment they exist.
@@ -161,9 +163,9 @@ train_sgns_streaming(util::ShardQueue<walk::CorpusShard>& queue,
                 rng::Random random(rng::mix_seed(
                     rng::mix_seed(config.seed ^ kStreamTag, shard->index),
                     s));
-                train_identity_sentence(model, prior, config, sentence,
-                                        alpha, random, scratch.data(),
-                                        pairs);
+                train_identity_sentence(model, prior, config, ops,
+                                        sentence, alpha, random,
+                                        scratch.data(), pairs);
                 tokens_done.fetch_add(sentence.size(),
                                       std::memory_order_relaxed);
             }
@@ -256,7 +258,7 @@ train_sgns_streaming(util::ShardQueue<walk::CorpusShard>& queue,
                         static_cast<std::uint64_t>(epoch) *
                                 num_sentences +
                             s));
-                    train_identity_sentence(model, exact, config,
+                    train_identity_sentence(model, exact, config, ops,
                                             sentence, alpha, random,
                                             state.scratch.data(),
                                             state.pairs);

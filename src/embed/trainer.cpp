@@ -23,6 +23,7 @@ namespace {
 void
 train_sentence(SgnsModel& model, const Vocab& vocab,
                const NegativeTable& negatives, const SgnsConfig& config,
+               const kernels::SgnsBackendOps& ops,
                std::span<const graph::NodeId> sentence, float alpha,
                rng::Random& random, std::vector<WordId>& words,
                float* scratch, std::uint64_t& pairs)
@@ -63,8 +64,8 @@ train_sentence(SgnsModel& model, const Vocab& vocab,
                 continue;
             }
             sgns_update_pair(model, words[c], words[pos], negatives,
-                             config.negatives, alpha, config.vectorized,
-                             random, scratch);
+                             config.negatives, alpha, ops, random,
+                             scratch);
             ++pairs;
         }
     }
@@ -92,6 +93,7 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
     }
     const NegativeTable negatives(vocab);
     SgnsModel model(vocab, config);
+    const kernels::SgnsBackendOps& ops = sgns_kernel_ops(config);
 
     const std::size_t num_sentences = corpus.num_walks();
     const std::uint64_t total_tokens =
@@ -143,8 +145,8 @@ train_sgns(const walk::Corpus& corpus, graph::NodeId num_nodes,
                 rng::Random random(rng::mix_seed(
                     config.seed,
                     static_cast<std::uint64_t>(epoch) * num_sentences + s));
-                train_sentence(model, vocab, negatives, config, sentence,
-                               alpha, random, state.words,
+                train_sentence(model, vocab, negatives, config, ops,
+                               sentence, alpha, random, state.words,
                                state.scratch.data(), state.pairs);
                 state.tokens += sentence.size();
                 tokens_done.fetch_add(sentence.size(),

@@ -74,6 +74,7 @@
 // embed: word2vec (skip-gram negative sampling)
 #include "embed/batched_trainer.hpp"
 #include "embed/embedding.hpp"
+#include "embed/kernels.hpp"
 #include "embed/negative_table.hpp"
 #include "embed/sgns_model.hpp"
 #include "embed/sigmoid_table.hpp"
