@@ -43,11 +43,18 @@ struct BenchEntry
     std::vector<std::pair<std::string, double>> metrics;
     /// What `seconds` measures. "seconds" (default) marks a timing
     /// entry the regression gate may compare; anything else (e.g.
-    /// "mix", "stall_share") marks a counter-valued entry tools must
-    /// not treat as a wall-clock measurement. Declared last so the
-    /// positional aggregate initializers at timing call sites keep
-    /// the default.
+    /// "mix", "stall_share", "qps") marks a counter-valued entry tools
+    /// must not treat as a wall-clock measurement. Declared after
+    /// `metrics` so the positional aggregate initializers at timing
+    /// call sites keep the default.
     std::string unit = "seconds";
+    /// Gate direction. false (default): `seconds` is a cost and growth
+    /// is a regression. true: the value is a rate (e.g. unit "qps"
+    /// riding in the `seconds` slot) and *shrinkage* is a regression —
+    /// tools/bench_compare.py inverts the ratio for these entries.
+    /// Appended last, after `unit`, for the same positional-init
+    /// reason.
+    bool higher_is_better = false;
 };
 
 /// Serialize doubles with enough digits to round-trip; JSON has no
@@ -90,7 +97,9 @@ write_bench_json(const std::string& path, const std::string& suite,
             << "\", \"seconds\": " << json_number(entry.seconds)
             << ", \"items_per_second\": "
             << json_number(entry.items_per_second) << ", \"unit\": \""
-            << util::json_escape(entry.unit) << "\", \"metrics\": {";
+            << util::json_escape(entry.unit) << "\", \"higher_is_better\": "
+            << (entry.higher_is_better ? "true" : "false")
+            << ", \"metrics\": {";
         for (std::size_t m = 0; m < entry.metrics.size(); ++m) {
             out << "\"" << entry.metrics[m].first
                 << "\": " << json_number(entry.metrics[m].second);
@@ -107,5 +116,56 @@ write_bench_json(const std::string& path, const std::string& suite,
     out << "  ]\n}\n";
     std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
 }
+
+/// Incremental builder over the same schema. write_bench_json() forces
+/// every caller to assemble the complete meta vector before the single
+/// serialization call — a harness that learns provenance late (e.g. the
+/// ISA probe result after the measurement loops) either threads that
+/// state through its whole control flow or silently drops the key,
+/// which is exactly how BENCH_serve.json lost its `simd_isa` meta in
+/// an early draft. BenchReport decouples declaration order from
+/// emission order: add() and set_meta() may interleave arbitrarily,
+/// set_meta() upserts (last value per key wins), and write() always
+/// emits the meta block before the entries.
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+    /// Insert or replace one provenance key. Callable before, between,
+    /// or after add() calls — emission order is fixed by the schema,
+    /// not by call order.
+    void
+    set_meta(const std::string& key, const std::string& value)
+    {
+        for (auto& [existing, slot] : meta_) {
+            if (existing == key) {
+                slot = value;
+                return;
+            }
+        }
+        meta_.emplace_back(key, value);
+    }
+
+    void add(BenchEntry entry) { entries_.push_back(std::move(entry)); }
+
+    const std::vector<BenchEntry>& entries() const { return entries_; }
+    const std::vector<std::pair<std::string, std::string>>&
+    meta() const
+    {
+        return meta_;
+    }
+
+    void
+    write(const std::string& path) const
+    {
+        write_bench_json(path, suite_, entries_, meta_);
+    }
+
+  private:
+    std::string suite_;
+    std::vector<BenchEntry> entries_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+};
 
 } // namespace tgl::bench

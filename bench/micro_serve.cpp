@@ -1,0 +1,260 @@
+/// @file
+/// Closed-loop load generator for the serving layer (DESIGN.md §14).
+///
+/// Boots an in-process tgl_serve instance on an ephemeral loopback
+/// port, then sweeps offered load — closed-loop client threads, each
+/// issuing one link-score request and waiting for the response before
+/// the next — across a concurrency ladder for both snapshot storage
+/// modes. A closed loop self-limits: each added client raises offered
+/// load until the scorer pool saturates, so the QPS-vs-concurrency
+/// curve exposes the saturation knee directly (peak QPS is the knee's
+/// height; latency at the highest rung shows the queueing cost past
+/// it).
+///
+/// Results land in BENCH_serve.json (bench_json.hpp schema):
+///   - serve/link_p50|p99/c<N>/<quant> — request latency, gated as a
+///     timing entry (lower is better),
+///   - serve/qps/c<N>/<quant> and serve/peak_qps/<quant> — throughput
+///     entries (unit "qps", higher_is_better), gated in the inverted
+///     direction,
+///   - serve/quant_error/int8 — max elementwise |served - trained|
+///     plus max link-score delta vs fp32 (unit "delta", not gated).
+///
+/// TGL_SERVE_BENCH_SECONDS overrides the per-rung measure window;
+/// TGL_SERVE_BENCH_LONG=1 selects the nightly sweep (wider concurrency
+/// ladder, longer windows).
+#include "bench_json.hpp"
+#include "tgl/tgl.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace tgl;
+
+struct LoadPoint
+{
+    double qps = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t requests = 0;
+};
+
+double
+percentile(std::vector<double>& sorted_ascending, double p)
+{
+    if (sorted_ascending.empty()) {
+        return 0.0;
+    }
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_ascending.size() - 1));
+    return sorted_ascending[rank];
+}
+
+/// Drive @p clients closed-loop client threads against @p port for
+/// @p seconds, @p pairs_per_request pairs per link-score request.
+LoadPoint
+run_load_point(std::uint16_t port, unsigned clients, double seconds,
+               std::size_t pairs_per_request, graph::NodeId num_nodes)
+{
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    util::Timer wall;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client("127.0.0.1", port);
+            rng::Random random(0x5e41e + c);
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(
+                pairs_per_request);
+            std::vector<double>& samples = latencies[c];
+            util::Timer clock;
+            while (clock.seconds() < seconds) {
+                for (auto& [u, v] : pairs) {
+                    u = static_cast<std::uint32_t>(
+                        random.next_index(num_nodes));
+                    v = static_cast<std::uint32_t>(
+                        random.next_index(num_nodes));
+                }
+                util::Timer request;
+                client.link_scores(pairs);
+                samples.push_back(request.seconds());
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    const double elapsed = wall.seconds();
+
+    LoadPoint point;
+    std::vector<double> merged;
+    for (const auto& samples : latencies) {
+        merged.insert(merged.end(), samples.begin(), samples.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    point.requests = merged.size();
+    point.qps = elapsed > 0.0
+                    ? static_cast<double>(merged.size()) / elapsed
+                    : 0.0;
+    point.p50 = percentile(merged, 0.50);
+    point.p99 = percentile(merged, 0.99);
+    return point;
+}
+
+/// A small trained-shaped model: real SGNS embeddings over a BA graph
+/// (so int8 quantization sees realistic value ranges), random-init
+/// classifier (throughput does not depend on the weights being
+/// trained).
+embed::Embedding
+build_embedding(graph::NodeId nodes, unsigned dim)
+{
+    const graph::EdgeList edges = gen::generate_barabasi_albert(
+        {.num_nodes = nodes, .edges_per_node = 3, .seed = 17});
+    const auto graph =
+        graph::GraphBuilder::build(edges, {.symmetrize = true});
+    walk::WalkConfig walk_config;
+    walk_config.walks_per_node = 4;
+    walk_config.max_length = 6;
+    walk_config.seed = 17;
+    const walk::Corpus corpus = walk::generate_walks(graph, walk_config);
+    embed::SgnsConfig sgns;
+    sgns.dim = dim;
+    sgns.epochs = 2;
+    sgns.seed = 17;
+    return embed::train_sgns(corpus, graph.num_nodes(), sgns);
+}
+
+} // namespace
+
+int
+main()
+{
+    const graph::NodeId kNodes = 4000;
+    const unsigned kDim = 32;
+    const std::size_t kPairsPerRequest = 16;
+    const unsigned kScorerThreads = 2;
+
+    const bool long_sweep = [] {
+        const char* env = std::getenv("TGL_SERVE_BENCH_LONG");
+        return env != nullptr && std::string(env) == "1";
+    }();
+    double window = long_sweep ? 3.0 : 1.0;
+    if (const char* env = std::getenv("TGL_SERVE_BENCH_SECONDS")) {
+        window = util::parse_double(env);
+    }
+    std::vector<unsigned> ladder = {1, 2, 4, 8};
+    if (long_sweep) {
+        ladder.push_back(16);
+        ladder.push_back(32);
+    }
+
+    std::printf("# micro_serve: %s\n", util::host_summary().c_str());
+    std::printf("# closed-loop sweep: %zu pairs/request, %.1fs/rung, "
+                "concurrency {", kPairsPerRequest, window);
+    for (unsigned clients : ladder) {
+        std::printf("%u ", clients);
+    }
+    std::printf("}\n");
+
+    const embed::Embedding embedding = build_embedding(kNodes, kDim);
+    const auto classifier_factory = [dim = embedding.dim()]() {
+        rng::Random random(17);
+        return nn::make_link_predictor(2 * std::size_t{dim}, 16, random);
+    };
+
+    bench::BenchReport report("serve");
+
+    const auto fp32 = serve::EmbeddingSnapshot::build(
+        embedding, serve::QuantMode::kFp32, 1, 0);
+    const auto int8 = serve::EmbeddingSnapshot::build(
+        embedding, serve::QuantMode::kInt8, 1, 0);
+
+    for (const serve::QuantMode quant :
+         {serve::QuantMode::kFp32, serve::QuantMode::kInt8}) {
+        const char* quant_name = serve::quant_mode_name(quant);
+        serve::ServeConfig config;
+        config.scorer_threads = kScorerThreads;
+        config.quant = quant;
+        serve::Server server(
+            config, quant == serve::QuantMode::kFp32 ? fp32 : int8,
+            classifier_factory);
+        server.start();
+
+        // One throwaway rung warms connections, code, and caches.
+        run_load_point(server.port(), 1, window * 0.25,
+                       kPairsPerRequest, kNodes);
+
+        double peak_qps = 0.0;
+        for (const unsigned clients : ladder) {
+            const LoadPoint point =
+                run_load_point(server.port(), clients, window,
+                               kPairsPerRequest, kNodes);
+            peak_qps = std::max(peak_qps, point.qps);
+            std::printf("%-6s c=%-3u %9.0f req/s   p50 %8.1fus   "
+                        "p99 %8.1fus   (%llu requests)\n",
+                        quant_name, clients, point.qps,
+                        point.p50 * 1e6, point.p99 * 1e6,
+                        static_cast<unsigned long long>(point.requests));
+            const std::string suffix = util::strcat(
+                "/c", clients, "/", quant_name);
+            report.add({util::strcat("serve/link_p50", suffix),
+                        point.p50, 0.0,
+                        {{"clients", static_cast<double>(clients)}}});
+            report.add({util::strcat("serve/link_p99", suffix),
+                        point.p99, 0.0,
+                        {{"clients", static_cast<double>(clients)}}});
+            report.add({util::strcat("serve/qps", suffix), point.qps,
+                        point.qps,
+                        {{"clients", static_cast<double>(clients)},
+                         {"requests",
+                          static_cast<double>(point.requests)}},
+                        "qps", /*higher_is_better=*/true});
+        }
+        report.add({util::strcat("serve/peak_qps/", quant_name),
+                    peak_qps, peak_qps,
+                    {{"scorer_threads",
+                      static_cast<double>(kScorerThreads)}},
+                    "qps", /*higher_is_better=*/true});
+        std::printf("%-6s peak %9.0f req/s\n", quant_name, peak_qps);
+        server.stop();
+    }
+
+    // int8 accuracy A/B vs fp32 on the raw embedding geometry: the
+    // worst elementwise dequantization error and the worst dot-product
+    // drift over a node sample (EXPERIMENTS.md carries the discussion).
+    rng::Random random(99);
+    double max_dot_delta = 0.0;
+    for (unsigned draw = 0; draw < 4096; ++draw) {
+        const auto u = static_cast<graph::NodeId>(
+            random.next_index(kNodes));
+        const auto v = static_cast<graph::NodeId>(
+            random.next_index(kNodes));
+        max_dot_delta =
+            std::max(max_dot_delta,
+                     static_cast<double>(
+                         std::abs(fp32->dot(u, v) - int8->dot(u, v))));
+    }
+    report.add({"serve/quant_error/int8",
+                static_cast<double>(int8->max_quant_error()), 0.0,
+                {{"max_dot_delta", max_dot_delta},
+                 {"dim", static_cast<double>(kDim)}},
+                "delta"});
+    std::printf("int8 quantization: max elem error %.3g, max dot "
+                "delta %.3g\n",
+                static_cast<double>(int8->max_quant_error()),
+                max_dot_delta);
+
+    // Meta lands after the measurement loops on purpose — BenchReport
+    // keeps emission order independent of call order (the regression
+    // test for the dropped-meta bug lives in tests/test_bench_json.cpp).
+    report.set_meta("simd_isa", embed::kernels::simd_sgns_isa());
+    report.set_meta("sweep", long_sweep ? "long" : "short");
+    report.write("BENCH_serve.json");
+    return 0;
+}

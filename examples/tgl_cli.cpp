@@ -14,6 +14,8 @@
 ///   neighbors — query nearest neighbors in an embedding
 ///   pipeline  — run the end-to-end pipeline, optionally resuming
 ///               phase artifacts from a crash-safe checkpoint directory
+///   serve     — long-running TCP server answering link-score / kNN
+///               queries over a trained checkpoint (see DESIGN.md §14)
 ///
 /// Examples:
 ///   ./tgl_cli generate --kind ba --nodes 10000 --out g.wel
@@ -23,6 +25,7 @@
 ///   ./tgl_cli embed --input g.wel --out emb.txt
 ///   ./tgl_cli neighbors --embeddings emb.txt --node 7 --k 5
 ///   ./tgl_cli pipeline --input g.wel --checkpoint-dir ckpt/
+///   ./tgl_cli serve --checkpoint-dir ckpt/ --port 7411 --quant int8
 #include "tgl/tgl.hpp"
 
 #include "bench/bench_json.hpp"
@@ -604,6 +607,137 @@ cmd_pipeline(int argc, const char* const* argv)
     return 0;
 }
 
+int
+cmd_serve(int argc, const char* const* argv)
+{
+    util::CliParser cli("tgl_cli serve",
+                        "serve link scores and kNN queries over a "
+                        "trained model (length-prefixed TCP protocol; "
+                        "SIGTERM drains gracefully)");
+    cli.add_flag("checkpoint-dir", "",
+                 "pipeline checkpoint directory holding embedding.tgla "
+                 "and link-predictor.tgla");
+    cli.add_flag("embeddings", "",
+                 "embedding file (.tgla binary or text) — overrides the "
+                 "checkpoint directory's embedding");
+    cli.add_flag("classifier", "",
+                 "classifier weights (.tgla) — overrides the checkpoint "
+                 "directory's link-predictor");
+    cli.add_flag("hidden", "16",
+                 "classifier hidden width (must match training)");
+    cli.add_switch("residual",
+                   "classifier was trained with the residual "
+                   "architecture");
+    cli.add_flag("residual-blocks", "2",
+                 "residual depth (with --residual)");
+    cli.add_flag("host", "127.0.0.1", "bind address (loopback only by "
+                                      "default; no auth layer)");
+    cli.add_flag("port", "0",
+                 "TCP port (0 = ephemeral; the bound port is printed "
+                 "on the 'listening on' line)");
+    cli.add_flag("quant", "fp32", "snapshot storage: fp32 | int8");
+    cli.add_flag("scorer-threads", "2",
+                 "classifier scorer threads (each owns a private model "
+                 "replica)");
+    cli.add_flag("max-batch-pairs", "256",
+                 "coalescing cap: pairs per scorer batch");
+    cli.add_flag("metrics-out", "",
+                 "write the end-of-run metrics registry snapshot (JSON) "
+                 "to this path after the drain");
+    if (!cli.parse(argc, argv)) {
+        return 0;
+    }
+
+    const std::string checkpoint_dir = cli.get_string("checkpoint-dir");
+    std::string embeddings_path = cli.get_string("embeddings");
+    std::string classifier_file = cli.get_string("classifier");
+    if (!checkpoint_dir.empty()) {
+        const core::CheckpointManager manager(checkpoint_dir);
+        if (embeddings_path.empty()) {
+            embeddings_path = manager.embedding_path();
+        }
+        if (classifier_file.empty()) {
+            classifier_file = manager.classifier_path("link-predictor");
+        }
+    }
+    if (embeddings_path.empty() || classifier_file.empty()) {
+        util::fatal("serve needs --checkpoint-dir, or both --embeddings "
+                    "and --classifier");
+    }
+
+    const bool binary_embedding =
+        embeddings_path.size() >= 5 &&
+        embeddings_path.compare(embeddings_path.size() - 5, 5, ".tgla") ==
+            0;
+    std::uint64_t fingerprint = 0;
+    const embed::Embedding embedding =
+        binary_embedding
+            ? embed::Embedding::load_binary_file(embeddings_path,
+                                                 &fingerprint)
+            : embed::Embedding::load_file(embeddings_path);
+
+    const auto hidden =
+        static_cast<std::size_t>(cli.get_int("hidden"));
+    const bool residual = cli.get_switch("residual");
+    const auto residual_blocks =
+        static_cast<std::size_t>(cli.get_int("residual-blocks"));
+    const unsigned dim = embedding.dim();
+    const auto classifier_factory = [classifier_file, dim, hidden,
+                                     residual, residual_blocks]() {
+        rng::Random random(1);
+        nn::Mlp net =
+            residual ? nn::make_residual_link_predictor(
+                           2 * std::size_t{dim}, hidden, residual_blocks,
+                           random)
+                     : nn::make_link_predictor(2 * std::size_t{dim},
+                                               hidden, random);
+        net.load_weights_file(classifier_file);
+        return net;
+    };
+    classifier_factory(); // fail fast on a weights/architecture mismatch
+
+    serve::ServeConfig config;
+    config.host = cli.get_string("host");
+    config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+    config.scorer_threads =
+        static_cast<unsigned>(cli.get_int("scorer-threads"));
+    config.max_batch_pairs =
+        static_cast<std::size_t>(cli.get_int("max-batch-pairs"));
+    if (const auto quant =
+            serve::parse_quant_mode(cli.get_string("quant"))) {
+        config.quant = *quant;
+    } else {
+        util::fatal("--quant expects fp32 | int8");
+    }
+
+    auto snapshot = serve::EmbeddingSnapshot::build(
+        embedding, config.quant, /*epoch=*/1, fingerprint);
+    serve::Server server(config, std::move(snapshot), classifier_factory);
+
+    // SIGTERM / Ctrl-C request a graceful drain: stop accepting, let
+    // every in-flight request flush its response, then exit 0 (unlike
+    // `pipeline`, where an interrupt aborts the job with 130 — here the
+    // drain IS the normal way to stop the process).
+    util::install_signal_handlers();
+    server.start();
+    std::printf("tgl_serve listening on %s:%u (epoch 1, %s, %u nodes, "
+                "dim %u)\n",
+                config.host.c_str(), server.port(),
+                serve::quant_mode_name(config.quant),
+                embedding.num_nodes(), dim);
+    std::fflush(stdout); // scripts parse the port from a pipe
+    server.run_until_cancelled();
+
+    if (const std::string metrics_out = cli.get_string("metrics-out");
+        !metrics_out.empty()) {
+        obs::record_process_gauges(obs::Registry::global());
+        obs::Registry::global().write_json(metrics_out);
+        std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+    }
+    std::printf("tgl_serve drained cleanly\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -612,7 +746,8 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fputs(
             "usage: tgl_cli <generate|preprocess|stats|walk|embed|"
-            "neighbors|pipeline> [flags]\n(each command supports --help)\n",
+            "neighbors|pipeline|serve> [flags]\n"
+            "(each command supports --help)\n",
             stderr);
         return 1;
     }
@@ -644,6 +779,9 @@ main(int argc, char** argv)
         }
         if (command == "pipeline") {
             return cmd_pipeline(sub_argc, sub_argv);
+        }
+        if (command == "serve") {
+            return cmd_serve(sub_argc, sub_argv);
         }
         std::fprintf(stderr, "unknown command: %s\n", command.c_str());
         return 1;

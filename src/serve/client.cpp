@@ -1,0 +1,276 @@
+#include "serve/client.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tgl::serve {
+
+namespace {
+
+void
+write_all_or_throw(int fd, const std::uint8_t* data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        util::fatal(util::strcat("serve client: send(): ",
+                                 std::strerror(errno)));
+    }
+}
+
+/// Read exactly @p size bytes; false on clean EOF at a frame boundary.
+bool
+read_all(int fd, std::uint8_t* out, std::size_t size)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, out + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got == 0) {
+                return false;
+            }
+            util::fatal("serve client: connection closed mid-frame");
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        // The server may reset the connection right after (or instead
+        // of) an error response; treat it like a close for raw probes.
+        if (errno == ECONNRESET && got == 0) {
+            return false;
+        }
+        util::fatal(util::strcat("serve client: recv(): ",
+                                 std::strerror(errno)));
+    }
+    return true;
+}
+
+} // namespace
+
+Client::Client(const std::string& host, std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        util::fatal(util::strcat("serve client: socket(): ",
+                                 std::strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        util::fatal(util::strcat("serve client: bad host ", host));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        util::fatal(util::strcat("serve client: cannot connect to ", host,
+                                 ":", port, ": ", std::strerror(err)));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::send_frame(const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(4 + payload.size());
+    put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    write_all_or_throw(fd_, frame.data(), frame.size());
+}
+
+Response
+Client::read_response()
+{
+    Response response;
+    std::uint8_t header[4];
+    if (!read_all(fd_, header, sizeof(header))) {
+        response.status = Status::kServerError;
+        return response; // closed without a response
+    }
+    std::uint32_t length = 0;
+    std::memcpy(&length, header, sizeof(length));
+    if (length == 0) {
+        util::fatal("serve client: zero-length response frame");
+    }
+    std::vector<std::uint8_t> payload(length);
+    if (!read_all(fd_, payload.data(), payload.size())) {
+        util::fatal("serve client: truncated response frame");
+    }
+    response.status = static_cast<Status>(payload[0]);
+    response.body.assign(payload.begin() + 1, payload.end());
+    return response;
+}
+
+Response
+Client::roundtrip(const std::vector<std::uint8_t>& payload)
+{
+    send_frame(payload);
+    return read_response();
+}
+
+Response
+Client::send_raw(const std::vector<std::uint8_t>& bytes)
+{
+    write_all_or_throw(fd_, bytes.data(), bytes.size());
+    return read_response();
+}
+
+namespace {
+
+/// Unwrap a kOk response or throw with the server's reason.
+const Response&
+expect_ok(const Response& response, const char* what)
+{
+    if (response.status != Status::kOk) {
+        util::fatal(util::strcat("serve client: ", what, " failed (status ",
+                                 static_cast<unsigned>(response.status),
+                                 "): ", response.body_text()));
+    }
+    return response;
+}
+
+} // namespace
+
+PingInfo
+Client::ping()
+{
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(Op::kPing));
+    const Response response = roundtrip(payload);
+    expect_ok(response, "ping");
+    PingInfo info;
+    std::size_t at = 0;
+    std::uint8_t quant = 0;
+    if (!get_u64(response.body.data(), response.body.size(), at,
+                 info.epoch) ||
+        !get_u64(response.body.data(), response.body.size(), at,
+                 info.fingerprint) ||
+        !get_u32(response.body.data(), response.body.size(), at,
+                 info.num_nodes) ||
+        !get_u32(response.body.data(), response.body.size(), at,
+                 info.dim) ||
+        !get_u8(response.body.data(), response.body.size(), at, quant)) {
+        util::fatal("serve client: short ping response");
+    }
+    info.quant = static_cast<QuantMode>(quant);
+    return info;
+}
+
+std::vector<float>
+Client::link_scores(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(1 + 4 + pairs.size() * 8);
+    put_u8(payload, static_cast<std::uint8_t>(Op::kLinkScore));
+    put_u32(payload, static_cast<std::uint32_t>(pairs.size()));
+    for (const auto& [u, v] : pairs) {
+        put_u32(payload, u);
+        put_u32(payload, v);
+    }
+    const Response response = roundtrip(payload);
+    expect_ok(response, "link-score");
+    if (response.body.size() != pairs.size() * sizeof(float)) {
+        util::fatal("serve client: link-score response size mismatch");
+    }
+    std::vector<float> scores(pairs.size());
+    std::size_t at = 0;
+    for (float& score : scores) {
+        get_f32(response.body.data(), response.body.size(), at, score);
+    }
+    return scores;
+}
+
+std::vector<std::pair<std::uint32_t, float>>
+Client::knn(std::uint32_t node, std::uint32_t k)
+{
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(Op::kKnn));
+    put_u32(payload, node);
+    put_u32(payload, k);
+    const Response response = roundtrip(payload);
+    expect_ok(response, "knn");
+    std::size_t at = 0;
+    std::uint32_t count = 0;
+    if (!get_u32(response.body.data(), response.body.size(), at, count) ||
+        response.body.size() != 4 + std::size_t{count} * 8) {
+        util::fatal("serve client: knn response size mismatch");
+    }
+    std::vector<std::pair<std::uint32_t, float>> neighbors(count);
+    for (auto& [id, score] : neighbors) {
+        get_u32(response.body.data(), response.body.size(), at, id);
+        get_f32(response.body.data(), response.body.size(), at, score);
+    }
+    return neighbors;
+}
+
+std::string
+Client::stats_json()
+{
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(Op::kStats));
+    const Response response = roundtrip(payload);
+    expect_ok(response, "stats");
+    return response.body_text();
+}
+
+std::uint64_t
+Client::reload(const std::string& path)
+{
+    std::vector<std::uint8_t> payload;
+    payload.reserve(1 + path.size());
+    put_u8(payload, static_cast<std::uint8_t>(Op::kReload));
+    payload.insert(payload.end(), path.begin(), path.end());
+    const Response response = roundtrip(payload);
+    expect_ok(response, "reload");
+    std::size_t at = 0;
+    std::uint64_t epoch = 0;
+    if (!get_u64(response.body.data(), response.body.size(), at, epoch)) {
+        util::fatal("serve client: short reload response");
+    }
+    return epoch;
+}
+
+} // namespace tgl::serve

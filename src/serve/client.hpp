@@ -1,0 +1,79 @@
+/// @file
+/// Minimal blocking client for the tgl_serve protocol — the in-process
+/// counterpart to tools/serve_smoke.py, used by the test battery and
+/// the closed-loop load generator (bench/micro_serve.cpp).
+#pragma once
+
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tgl::serve {
+
+/// Server identity as reported by kPing.
+struct PingInfo
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint32_t num_nodes = 0;
+    std::uint32_t dim = 0;
+    QuantMode quant = QuantMode::kFp32;
+};
+
+/// One blocking TCP connection to a tgl_serve instance. Methods throw
+/// tgl::util::Error on transport failure or a non-kOk response; the
+/// raw request/response escape hatch lets tests speak malformed frames.
+class Client
+{
+  public:
+    Client(const std::string& host, std::uint16_t port);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&&) = delete;
+
+    PingInfo ping();
+
+    /// Scores for (u, v) pairs, in request order.
+    std::vector<float>
+    link_scores(const std::vector<std::pair<std::uint32_t,
+                                            std::uint32_t>>& pairs);
+
+    /// k nearest neighbors of @p node by cosine, best first.
+    std::vector<std::pair<std::uint32_t, float>>
+    knn(std::uint32_t node, std::uint32_t k);
+
+    /// Metrics-registry snapshot as JSON text.
+    std::string stats_json();
+
+    /// Ask the server to publish a new snapshot from @p path; returns
+    /// the new epoch.
+    std::uint64_t reload(const std::string& path);
+
+    /// Send one raw frame (payload only — the length prefix is added)
+    /// and read the response. Never throws on error statuses; transport
+    /// failure throws.
+    Response roundtrip(const std::vector<std::uint8_t>& payload);
+
+    /// Send raw bytes verbatim (no framing) — for malformed-frame and
+    /// oversized-length tests. Returns the response if one arrives;
+    /// Response.status is kServerError with an empty body when the
+    /// server just closed the connection.
+    Response send_raw(const std::vector<std::uint8_t>& bytes);
+
+    void close();
+
+  private:
+    void send_frame(const std::vector<std::uint8_t>& payload);
+    Response read_response();
+
+    int fd_ = -1;
+};
+
+} // namespace tgl::serve

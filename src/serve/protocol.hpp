@@ -1,0 +1,158 @@
+/// @file
+/// `tgl_serve` wire protocol: length-prefixed binary frames over TCP.
+///
+/// The transport is deliberately minimal — one uint32 little-endian
+/// payload length, then the payload; the first payload byte is the
+/// opcode (requests) or status (responses). All multi-byte integers
+/// and floats are little-endian.
+///
+///   request  := u32 len | u8 opcode | body
+///   response := u32 len | u8 status | body
+///
+/// Requests:
+///   kPing       (0x01)  body: empty
+///   kLinkScore  (0x02)  body: u32 count, count x (u32 u, u32 v)
+///   kKnn        (0x03)  body: u32 node, u32 k
+///   kStats      (0x04)  body: empty
+///   kReload     (0x05)  body: UTF-8 path of an embedding artifact
+///
+/// Responses (status kOk):
+///   Ping       u64 epoch, u64 fingerprint, u32 num_nodes, u32 dim,
+///              u8 quant (QuantMode)
+///   LinkScore  count x f32 score (request order)
+///   Knn        u32 count, count x (u32 node, f32 cosine)
+///   Stats      metrics-registry JSON snapshot (obs/metrics.hpp schema)
+///   Reload     u64 new epoch
+///
+/// Error responses carry status kBadRequest (client fault: malformed
+/// frame, unknown opcode, out-of-range node, oversized request — the
+/// connection is closed afterwards) or kServerError (reload failure —
+/// the connection stays usable and the previous snapshot stays
+/// published), with a human-readable reason as the body.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tgl::serve {
+
+enum class Op : std::uint8_t
+{
+    kPing = 0x01,
+    kLinkScore = 0x02,
+    kKnn = 0x03,
+    kStats = 0x04,
+    kReload = 0x05,
+};
+
+enum class Status : std::uint8_t
+{
+    kOk = 0,
+    kBadRequest = 1,
+    kServerError = 2,
+};
+
+/// Hard ceiling on one frame's payload. A length prefix above the
+/// server's configured limit (default this value) is rejected without
+/// reading the payload, so a hostile or buggy client cannot make the
+/// server allocate unbounded memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Append little-endian scalars to a byte buffer. On the little-endian
+/// targets this project supports (x86-64, aarch64) these are memcpys.
+inline void
+put_u8(std::vector<std::uint8_t>& out, std::uint8_t value)
+{
+    out.push_back(value);
+}
+
+inline void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+inline void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+inline void
+put_f32(std::vector<std::uint8_t>& out, float value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+/// Bounds-checked little-endian reads; return false when the buffer is
+/// too short (a malformed frame, never UB).
+inline bool
+get_u8(const std::uint8_t* data, std::size_t size, std::size_t& at,
+       std::uint8_t& value)
+{
+    if (at + sizeof(value) > size) {
+        return false;
+    }
+    value = data[at];
+    at += sizeof(value);
+    return true;
+}
+
+inline bool
+get_u32(const std::uint8_t* data, std::size_t size, std::size_t& at,
+        std::uint32_t& value)
+{
+    if (at + sizeof(value) > size) {
+        return false;
+    }
+    std::memcpy(&value, data + at, sizeof(value));
+    at += sizeof(value);
+    return true;
+}
+
+inline bool
+get_u64(const std::uint8_t* data, std::size_t size, std::size_t& at,
+        std::uint64_t& value)
+{
+    if (at + sizeof(value) > size) {
+        return false;
+    }
+    std::memcpy(&value, data + at, sizeof(value));
+    at += sizeof(value);
+    return true;
+}
+
+inline bool
+get_f32(const std::uint8_t* data, std::size_t size, std::size_t& at,
+        float& value)
+{
+    if (at + sizeof(value) > size) {
+        return false;
+    }
+    std::memcpy(&value, data + at, sizeof(value));
+    at += sizeof(value);
+    return true;
+}
+
+/// A decoded (status, body) response as the client sees it.
+struct Response
+{
+    Status status = Status::kServerError;
+    std::vector<std::uint8_t> body;
+
+    std::string
+    body_text() const
+    {
+        return {reinterpret_cast<const char*>(body.data()), body.size()};
+    }
+};
+
+} // namespace tgl::serve

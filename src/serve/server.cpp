@@ -1,0 +1,747 @@
+#include "serve/server.hpp"
+
+#include "nn/tensor.hpp"
+#include "obs/metrics.hpp"
+#include "util/cancellation.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tgl::serve {
+
+namespace {
+
+/// Shared instrument handles (registration is idempotent by name, so
+/// every Server instance feeds the same registry cells).
+struct ServeMetrics
+{
+    obs::Counter connections;
+    obs::Counter requests;
+    obs::Counter link_requests;
+    obs::Counter link_pairs;
+    obs::Counter knn_requests;
+    obs::Counter bad_requests;
+    obs::Counter oversized_rejected;
+    obs::Counter reloads;
+    obs::Gauge epoch;
+    obs::Gauge inflight;
+    obs::Gauge snapshot_bytes;
+    obs::Gauge drained;
+    obs::Histogram link_latency;
+    obs::Histogram knn_latency;
+    obs::Histogram batch_pairs;
+};
+
+ServeMetrics&
+metrics()
+{
+    static ServeMetrics m = [] {
+        obs::Registry& r = obs::Registry::global();
+        const std::vector<double> latency_bounds = {
+            1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3,
+            2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 1.0};
+        ServeMetrics handles;
+        handles.connections = r.counter("serve.connections");
+        handles.requests = r.counter("serve.requests");
+        handles.link_requests = r.counter("serve.link.requests");
+        handles.link_pairs = r.counter("serve.link.pairs");
+        handles.knn_requests = r.counter("serve.knn.requests");
+        handles.bad_requests = r.counter("serve.bad_requests");
+        handles.oversized_rejected = r.counter("serve.oversized_rejected");
+        handles.reloads = r.counter("serve.reloads");
+        handles.epoch = r.gauge("serve.epoch");
+        handles.inflight = r.gauge("serve.inflight");
+        handles.snapshot_bytes = r.gauge("serve.snapshot_bytes");
+        handles.drained = r.gauge("serve.drained");
+        handles.link_latency =
+            r.histogram("serve.link.latency_seconds", latency_bounds);
+        handles.knn_latency =
+            r.histogram("serve.knn.latency_seconds", latency_bounds);
+        handles.batch_pairs = r.histogram(
+            "serve.batch.pairs",
+            {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+        return handles;
+    }();
+    return m;
+}
+
+/// In-flight request gauge: the registry gauge stores last-value, so
+/// track the live count in one shared atomic and mirror it.
+std::atomic<std::int64_t> g_inflight{0};
+
+struct InflightScope
+{
+    InflightScope()
+    {
+        metrics().inflight.set(static_cast<double>(
+            g_inflight.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+    ~InflightScope()
+    {
+        metrics().inflight.set(static_cast<double>(
+            g_inflight.fetch_sub(1, std::memory_order_relaxed) - 1));
+    }
+};
+
+/// recv() exactly @p size bytes. SO_RCVTIMEO makes recv return EAGAIN
+/// every poll interval so the loop can notice a drain request between
+/// frames; @p started reports whether any byte of this read arrived,
+/// letting the caller distinguish "idle between frames" (clean close on
+/// drain) from "died mid-frame".
+bool
+read_exact(int fd, std::uint8_t* out, std::size_t size,
+           const std::atomic<bool>& stopping, bool* started = nullptr)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, out + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            if (started != nullptr) {
+                *started = true;
+            }
+            continue;
+        }
+        if (n == 0) {
+            return false; // peer closed
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (stopping.load(std::memory_order_relaxed)) {
+                return false;
+            }
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+write_all(int fd, const std::uint8_t* data, std::size_t size)
+{
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+send_response(int fd, Status status, const std::vector<std::uint8_t>& body)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(4 + 1 + body.size());
+    put_u32(frame, static_cast<std::uint32_t>(1 + body.size()));
+    put_u8(frame, static_cast<std::uint8_t>(status));
+    frame.insert(frame.end(), body.begin(), body.end());
+    return write_all(fd, frame.data(), frame.size());
+}
+
+bool
+send_error(int fd, Status status, const std::string& reason)
+{
+    std::vector<std::uint8_t> body(reason.begin(), reason.end());
+    return send_response(fd, status, body);
+}
+
+} // namespace
+
+std::vector<std::string>
+ServeConfig::validate() const
+{
+    std::vector<std::string> problems;
+    if (scorer_threads == 0) {
+        problems.push_back("scorer_threads must be >= 1");
+    }
+    if (max_batch_pairs == 0) {
+        problems.push_back("max_batch_pairs must be >= 1");
+    }
+    if (max_pairs_per_request == 0) {
+        problems.push_back("max_pairs_per_request must be >= 1");
+    }
+    if (max_frame_bytes < 64) {
+        problems.push_back("max_frame_bytes must be >= 64");
+    }
+    if (max_frame_bytes > kDefaultMaxFrameBytes) {
+        problems.push_back("max_frame_bytes must be <= 1 MiB");
+    }
+    if (max_knn == 0) {
+        problems.push_back("max_knn must be >= 1");
+    }
+    return problems;
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+
+Batcher::Batcher(const SnapshotStore& store,
+                 std::function<nn::Mlp()> classifier_factory,
+                 unsigned threads, std::size_t max_batch_pairs)
+    : store_(store), classifier_factory_(std::move(classifier_factory)),
+      threads_(threads), max_batch_pairs_(max_batch_pairs)
+{
+}
+
+Batcher::~Batcher() { stop(); }
+
+void
+Batcher::start()
+{
+    scorers_.reserve(threads_);
+    for (unsigned i = 0; i < threads_; ++i) {
+        scorers_.emplace_back([this, i] { scorer_loop(i); });
+    }
+}
+
+void
+Batcher::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& scorer : scorers_) {
+        if (scorer.joinable()) {
+            scorer.join();
+        }
+    }
+    scorers_.clear();
+}
+
+void
+Batcher::submit_and_wait(const std::shared_ptr<ScoreJob>& job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            // Connections are joined before the batcher stops, so this
+            // only fires on misuse; fail the job instead of hanging.
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            job->error = "server draining";
+            job->done = true;
+            job->cv.notify_all();
+            return;
+        }
+        queue_.push_back(job);
+    }
+    cv_.notify_one();
+    std::unique_lock<std::mutex> job_lock(job->mutex);
+    job->cv.wait(job_lock, [&] { return job->done; });
+}
+
+void
+Batcher::scorer_loop(unsigned /*index*/)
+{
+    // Private replica: the Mlp forward pass reuses internal activation
+    // buffers, so sharing one instance across threads would race.
+    nn::Mlp net = classifier_factory_();
+    nn::Tensor features;
+
+    while (true) {
+        std::vector<std::shared_ptr<ScoreJob>> batch;
+        std::size_t total_pairs = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping and fully drained
+            }
+            // Coalesce whole queued requests until the batch cap; the
+            // first request always rides (a single request larger than
+            // the cap becomes its own batch).
+            while (!queue_.empty() &&
+                   (batch.empty() ||
+                    total_pairs + queue_.front()->pairs.size() <=
+                        max_batch_pairs_)) {
+                total_pairs += queue_.front()->pairs.size();
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+
+        // One snapshot pin per batch: every job in this batch is scored
+        // against a single epoch, never a mix.
+        const std::shared_ptr<const EmbeddingSnapshot> snapshot =
+            store_.acquire();
+        const unsigned dim = snapshot->dim();
+        const graph::NodeId num_nodes = snapshot->num_nodes();
+
+        // Validate ids against the pinned snapshot (a reload may have
+        // shrunk the graph between admission and scoring).
+        std::vector<ScoreJob*> valid;
+        std::size_t valid_pairs = 0;
+        for (const auto& job : batch) {
+            bool ok = true;
+            for (const auto& [u, v] : job->pairs) {
+                if (u >= num_nodes || v >= num_nodes) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                valid.push_back(job.get());
+                valid_pairs += job->pairs.size();
+            } else {
+                job->error = "node id out of range";
+            }
+        }
+
+        if (valid_pairs > 0) {
+            metrics().batch_pairs.observe(
+                static_cast<double>(valid_pairs));
+            features = nn::Tensor(valid_pairs, 2 * std::size_t{dim});
+            std::size_t row = 0;
+            for (ScoreJob* job : valid) {
+                for (const auto& [u, v] : job->pairs) {
+                    float* out = features.row(row).data();
+                    snapshot->gather_row(u, out);
+                    snapshot->gather_row(v, out + dim);
+                    ++row;
+                }
+            }
+            const nn::Tensor& output = net.forward(features);
+            row = 0;
+            for (ScoreJob* job : valid) {
+                job->epoch = snapshot->epoch();
+                job->scores.resize(job->pairs.size());
+                for (std::size_t i = 0; i < job->pairs.size(); ++i) {
+                    job->scores[i] = output(row++, 0);
+                }
+            }
+        }
+
+        for (const auto& job : batch) {
+            std::lock_guard<std::mutex> job_lock(job->mutex);
+            job->done = true;
+            job->cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(ServeConfig config,
+               std::shared_ptr<const EmbeddingSnapshot> initial,
+               std::function<nn::Mlp()> classifier_factory)
+    : config_(std::move(config)),
+      batcher_(store_, std::move(classifier_factory),
+               config_.scorer_threads, config_.max_batch_pairs)
+{
+    if (const auto problems = config_.validate(); !problems.empty()) {
+        util::fatal(util::strcat("serve config: ", problems.front()));
+    }
+    if (initial == nullptr) {
+        util::fatal("serve: initial snapshot required");
+    }
+    epoch_.store(initial->epoch(), std::memory_order_relaxed);
+    publish(std::move(initial));
+}
+
+Server::~Server() { stop(); }
+
+std::uint64_t
+Server::epoch() const
+{
+    return epoch_.load(std::memory_order_relaxed);
+}
+
+void
+Server::publish(std::shared_ptr<const EmbeddingSnapshot> snapshot)
+{
+    epoch_.store(snapshot->epoch(), std::memory_order_relaxed);
+    metrics().epoch.set(static_cast<double>(snapshot->epoch()));
+    metrics().snapshot_bytes.set(
+        static_cast<double>(snapshot->payload_bytes()));
+    store_.publish(std::move(snapshot));
+}
+
+std::uint64_t
+Server::next_epoch()
+{
+    return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void
+Server::start()
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        util::fatal(util::strcat("serve: socket(): ",
+                                 std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+        util::fatal(util::strcat("serve: bad host ", config_.host));
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        util::fatal(util::strcat("serve: cannot bind ", config_.host, ":",
+                                 config_.port, ": ",
+                                 std::strerror(errno)));
+    }
+    if (::listen(listen_fd_, 128) != 0) {
+        util::fatal(util::strcat("serve: listen(): ",
+                                 std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len);
+    port_ = ntohs(bound.sin_port);
+
+    batcher_.start();
+    acceptor_ = std::thread([this] { acceptor_loop(); });
+    started_.store(true, std::memory_order_release);
+}
+
+void
+Server::acceptor_loop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            // stop() shuts the listening socket down to unblock us.
+            if (stopping_.load(std::memory_order_relaxed)) {
+                return;
+            }
+            continue;
+        }
+        if (stopping_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            return;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        // The poll interval for noticing a drain between frames.
+        timeval timeout{};
+        timeout.tv_usec = 50'000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+
+        metrics().connections.inc();
+        auto connection = std::make_unique<Connection>();
+        connection->fd = fd;
+        Connection* raw = connection.get();
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            reap_finished_connections();
+            connections_.push_back(std::move(connection));
+        }
+        raw->thread = std::thread([this, raw] { connection_loop(raw); });
+    }
+}
+
+void
+Server::reap_finished_connections()
+{
+    // Called under connections_mutex_. Joining a finished thread is
+    // instant, so long-running servers do not accumulate one zombie
+    // std::thread per past connection.
+    std::erase_if(connections_, [](const auto& connection) {
+        if (!connection->finished.load(std::memory_order_acquire)) {
+            return false;
+        }
+        if (connection->thread.joinable()) {
+            connection->thread.join();
+        }
+        return true;
+    });
+}
+
+void
+Server::connection_loop(Connection* connection)
+{
+    const int fd = connection->fd;
+    std::vector<std::uint8_t> payload;
+    while (true) {
+        std::uint8_t header[4];
+        bool started_frame = false;
+        if (!read_exact(fd, header, sizeof(header), stopping_,
+                        &started_frame)) {
+            break; // peer closed, error, or drain between frames
+        }
+        std::uint32_t length = 0;
+        std::memcpy(&length, header, sizeof(length));
+        if (length == 0) {
+            metrics().bad_requests.inc();
+            send_error(fd, Status::kBadRequest, "empty frame");
+            break;
+        }
+        if (length > config_.max_frame_bytes) {
+            metrics().oversized_rejected.inc();
+            metrics().bad_requests.inc();
+            send_error(fd, Status::kBadRequest,
+                       util::strcat("oversized frame: ", length, " > ",
+                                    config_.max_frame_bytes, " bytes"));
+            break;
+        }
+        payload.resize(length);
+        if (!read_exact(fd, payload.data(), length, stopping_)) {
+            break; // truncated frame: peer died mid-send
+        }
+        metrics().requests.inc();
+        if (!handle_frame(fd, payload.data(), payload.size())) {
+            break;
+        }
+    }
+    ::close(fd);
+    connection->finished.store(true, std::memory_order_release);
+}
+
+bool
+Server::handle_frame(int fd, const std::uint8_t* payload, std::size_t size)
+{
+    InflightScope inflight;
+    std::size_t at = 0;
+    std::uint8_t opcode = 0;
+    if (!get_u8(payload, size, at, opcode)) {
+        metrics().bad_requests.inc();
+        send_error(fd, Status::kBadRequest, "empty payload");
+        return false;
+    }
+    switch (static_cast<Op>(opcode)) {
+    case Op::kPing: {
+        if (size != 1) {
+            break;
+        }
+        const auto snapshot = store_.acquire();
+        std::vector<std::uint8_t> body;
+        put_u64(body, snapshot->epoch());
+        put_u64(body, snapshot->fingerprint());
+        put_u32(body, snapshot->num_nodes());
+        put_u32(body, snapshot->dim());
+        put_u8(body, static_cast<std::uint8_t>(snapshot->quant()));
+        return send_response(fd, Status::kOk, body);
+    }
+    case Op::kLinkScore:
+        return handle_link_score(fd, payload, size);
+    case Op::kKnn:
+        return handle_knn(fd, payload, size);
+    case Op::kStats: {
+        if (size != 1) {
+            break;
+        }
+        const std::string json =
+            obs::Registry::global().snapshot().to_json();
+        std::vector<std::uint8_t> body(json.begin(), json.end());
+        return send_response(fd, Status::kOk, body);
+    }
+    case Op::kReload:
+        return handle_reload(fd, payload, size);
+    }
+    metrics().bad_requests.inc();
+    send_error(fd, Status::kBadRequest,
+               util::strcat("malformed frame (opcode ",
+                            static_cast<unsigned>(opcode), ")"));
+    return false;
+}
+
+bool
+Server::handle_link_score(int fd, const std::uint8_t* payload,
+                          std::size_t size)
+{
+    util::Timer timer;
+    std::size_t at = 1;
+    std::uint32_t count = 0;
+    const auto reject = [&](const std::string& reason) {
+        metrics().bad_requests.inc();
+        send_error(fd, Status::kBadRequest, reason);
+        return false;
+    };
+    if (!get_u32(payload, size, at, count) || count == 0) {
+        return reject("link-score: missing pair count");
+    }
+    if (count > config_.max_pairs_per_request) {
+        return reject(util::strcat("link-score: ", count,
+                                   " pairs exceeds the per-request cap ",
+                                   config_.max_pairs_per_request));
+    }
+    if (size != at + std::size_t{count} * 8) {
+        return reject("link-score: body size does not match pair count");
+    }
+    auto job = std::make_shared<ScoreJob>();
+    job->pairs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t u = 0, v = 0;
+        get_u32(payload, size, at, u);
+        get_u32(payload, size, at, v);
+        job->pairs.emplace_back(u, v);
+    }
+    metrics().link_requests.inc();
+    metrics().link_pairs.add(count);
+    batcher_.submit_and_wait(job);
+    if (!job->error.empty()) {
+        return reject(util::strcat("link-score: ", job->error));
+    }
+    std::vector<std::uint8_t> body;
+    body.reserve(job->scores.size() * sizeof(float));
+    for (const float score : job->scores) {
+        put_f32(body, score);
+    }
+    const bool ok = send_response(fd, Status::kOk, body);
+    metrics().link_latency.observe(timer.seconds());
+    return ok;
+}
+
+bool
+Server::handle_knn(int fd, const std::uint8_t* payload, std::size_t size)
+{
+    util::Timer timer;
+    std::size_t at = 1;
+    std::uint32_t node = 0, k = 0;
+    const auto reject = [&](const std::string& reason) {
+        metrics().bad_requests.inc();
+        send_error(fd, Status::kBadRequest, reason);
+        return false;
+    };
+    if (!get_u32(payload, size, at, node) ||
+        !get_u32(payload, size, at, k) || at != size) {
+        return reject("knn: body must be (node, k)");
+    }
+    if (k == 0 || k > config_.max_knn) {
+        return reject(util::strcat("knn: k must be in [1, ",
+                                   config_.max_knn, "]"));
+    }
+    const auto snapshot = store_.acquire();
+    if (node >= snapshot->num_nodes()) {
+        return reject("knn: node id out of range");
+    }
+    metrics().knn_requests.inc();
+    const auto neighbors = snapshot->nearest(node, k);
+    std::vector<std::uint8_t> body;
+    body.reserve(4 + neighbors.size() * 8);
+    put_u32(body, static_cast<std::uint32_t>(neighbors.size()));
+    for (const auto& [id, score] : neighbors) {
+        put_u32(body, id);
+        put_f32(body, score);
+    }
+    const bool ok = send_response(fd, Status::kOk, body);
+    metrics().knn_latency.observe(timer.seconds());
+    return ok;
+}
+
+bool
+Server::handle_reload(int fd, const std::uint8_t* payload, std::size_t size)
+{
+    const std::string path(reinterpret_cast<const char*>(payload) + 1,
+                           size - 1);
+    if (path.empty()) {
+        metrics().bad_requests.inc();
+        send_error(fd, Status::kBadRequest, "reload: empty path");
+        return false;
+    }
+    try {
+        std::uint64_t fingerprint = 0;
+        embed::Embedding embedding;
+        if (path.size() > 5 &&
+            path.compare(path.size() - 5, 5, ".tgla") == 0) {
+            embedding = embed::Embedding::load_binary_file(path,
+                                                           &fingerprint);
+        } else {
+            embedding = embed::Embedding::load_file(path);
+        }
+        const auto current = store_.acquire();
+        if (embedding.dim() != current->dim()) {
+            // The classifier replicas are fixed at 2*dim inputs; a
+            // different width cannot be hot-swapped.
+            send_error(fd, Status::kServerError,
+                       util::strcat("reload: dim ", embedding.dim(),
+                                    " != served dim ", current->dim()));
+            return true;
+        }
+        const auto snapshot = EmbeddingSnapshot::build(
+            embedding, config_.quant, next_epoch(), fingerprint);
+        publish(snapshot);
+        metrics().reloads.inc();
+        std::vector<std::uint8_t> body;
+        put_u64(body, snapshot->epoch());
+        return send_response(fd, Status::kOk, body);
+    } catch (const util::Error& error) {
+        // Load/validation failure: the previous snapshot stays
+        // published and the connection stays usable.
+        send_error(fd, Status::kServerError,
+                   util::strcat("reload: ", error.what()));
+        return true;
+    }
+}
+
+void
+Server::stop()
+{
+    if (!started_.load(std::memory_order_acquire)) {
+        batcher_.stop();
+        return;
+    }
+    if (stopping_.exchange(true)) {
+        return;
+    }
+    // 1. Stop accepting: shutdown unblocks a blocked accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    // 2. Drain connections: each thread finishes its in-flight request
+    // (including its queued batcher work) and exits at the next
+    // between-frames poll.
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (const auto& connection : connections_) {
+            if (connection->thread.joinable()) {
+                connection->thread.join();
+            }
+        }
+        connections_.clear();
+    }
+    // 3. Only then stop the scorers (the queue is empty by now).
+    batcher_.stop();
+    metrics().drained.set(1.0);
+}
+
+void
+Server::run_until_cancelled()
+{
+    while (!util::cancellation_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    stop();
+}
+
+} // namespace tgl::serve

@@ -1,0 +1,196 @@
+/// @file
+/// tgl_serve: a long-running TCP server answering concurrent
+/// link-score and k-nearest-neighbor queries over a published
+/// EmbeddingSnapshot and a trained link-prediction classifier.
+///
+/// Architecture (DESIGN.md §14):
+///
+///   acceptor ── one thread per connection ──> admission queue ──>
+///   scorer threads (each owns a private classifier replica) ──>
+///   responses written back on the connection thread
+///
+/// Connection threads parse frames and validate requests; link-score
+/// work is handed to the admission queue, where scorer threads coalesce
+/// every queued request into one SGEMM-shaped feature batch and run it
+/// through the classifier — concurrent small requests ride one forward
+/// pass. Each batch pins exactly one snapshot (SnapshotStore::acquire),
+/// so a request's scores can never mix embedding epochs. K-NN queries
+/// run inline on the connection thread (they are brute-force scans, not
+/// GEMMs, and would only serialize behind the classifier otherwise).
+///
+/// Shutdown is a graceful drain: stop() (or SIGTERM via
+/// run_until_cancelled and the PR-6 cancellation plumbing) stops
+/// accepting, lets every in-flight request complete and flush its
+/// response, joins all threads, and leaves the metrics registry ready
+/// to scrape. Clients see connection close only between requests.
+#pragma once
+
+#include "nn/mlp.hpp"
+#include "serve/protocol.hpp"
+#include "serve/snapshot.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tgl::serve {
+
+struct ServeConfig
+{
+    /// Loopback only by design: tgl_serve has no auth layer, so
+    /// exposure beyond the host is an operator decision made with
+    /// separate tooling, not a default.
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; Server::port() reports the result.
+    std::uint16_t port = 0;
+    /// Classifier scorer threads, each with a private model replica.
+    unsigned scorer_threads = 2;
+    /// Coalescing cap: one scorer batch drains queued requests until it
+    /// holds this many (u, v) pairs.
+    std::size_t max_batch_pairs = 256;
+    /// Frames with a larger payload are rejected before being read.
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Per-request pair-count cap (admission control, independent of
+    /// the frame size cap).
+    std::size_t max_pairs_per_request = 4096;
+    /// Largest k a kNN query may ask for.
+    std::uint32_t max_knn = 1024;
+    /// Storage format for snapshots built by the reload endpoint.
+    QuantMode quant = QuantMode::kFp32;
+
+    /// All configuration problems, empty when the config is usable.
+    std::vector<std::string> validate() const;
+};
+
+/// One queued link-score request: validated pairs in, scores out.
+struct ScoreJob
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    std::vector<float> scores;
+    /// Epoch of the snapshot that scored this job (response provenance).
+    std::uint64_t epoch = 0;
+    std::string error; ///< non-empty: job failed (e.g. node out of range)
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+/// Admission queue + scorer pool: coalesces in-flight ScoreJobs into
+/// one classifier forward per batch.
+class Batcher
+{
+  public:
+    Batcher(const SnapshotStore& store,
+            std::function<nn::Mlp()> classifier_factory, unsigned threads,
+            std::size_t max_batch_pairs);
+    ~Batcher();
+
+    void start();
+    /// Drains every queued job, then joins the scorer threads.
+    void stop();
+
+    /// Enqueue and wait; returns when job->done.
+    void submit_and_wait(const std::shared_ptr<ScoreJob>& job);
+
+  private:
+    void scorer_loop(unsigned index);
+
+    const SnapshotStore& store_;
+    std::function<nn::Mlp()> classifier_factory_;
+    unsigned threads_;
+    std::size_t max_batch_pairs_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<ScoreJob>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> scorers_;
+};
+
+class Server
+{
+  public:
+    /// @p initial is the snapshot served until the first reload;
+    /// @p classifier_factory builds one link-predictor replica per
+    /// scorer thread (same weights, private activation buffers — the
+    /// Mlp forward pass is stateful and must not be shared).
+    Server(ServeConfig config,
+           std::shared_ptr<const EmbeddingSnapshot> initial,
+           std::function<nn::Mlp()> classifier_factory);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind, listen, and spawn the acceptor + scorer threads. Throws
+    /// tgl::util::Error when the socket cannot be bound.
+    void start();
+
+    /// The bound port (after start(); resolves port 0 requests).
+    std::uint16_t port() const { return port_; }
+
+    /// Epoch of the currently published snapshot.
+    std::uint64_t epoch() const;
+
+    /// Publish a new snapshot (epoch must advance; the reload endpoint
+    /// uses next_epoch() to number it).
+    void publish(std::shared_ptr<const EmbeddingSnapshot> snapshot);
+
+    /// The epoch a new snapshot should carry (monotonic).
+    std::uint64_t next_epoch();
+
+    /// Graceful drain (idempotent): stop accepting, finish in-flight
+    /// requests, join every thread.
+    void stop();
+
+    /// Block until process-wide cooperative cancellation (SIGTERM /
+    /// SIGINT via util::install_signal_handlers) is requested, then
+    /// drain via stop().
+    void run_until_cancelled();
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+
+    void acceptor_loop();
+    void connection_loop(Connection* connection);
+    /// Handle one decoded request frame; returns false when the
+    /// connection must close (bad request).
+    bool handle_frame(int fd, const std::uint8_t* payload,
+                      std::size_t size);
+    bool handle_link_score(int fd, const std::uint8_t* payload,
+                           std::size_t size);
+    bool handle_knn(int fd, const std::uint8_t* payload, std::size_t size);
+    bool handle_reload(int fd, const std::uint8_t* payload,
+                       std::size_t size);
+    void reap_finished_connections();
+
+    ServeConfig config_;
+    SnapshotStore store_;
+    std::atomic<std::uint64_t> epoch_{0};
+    Batcher batcher_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+
+    std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+} // namespace tgl::serve

@@ -1,0 +1,164 @@
+#include "serve/snapshot.hpp"
+
+#include "embed/kernels.hpp"
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace tgl::serve {
+
+std::optional<QuantMode>
+parse_quant_mode(std::string_view name)
+{
+    if (name == "fp32") {
+        return QuantMode::kFp32;
+    }
+    if (name == "int8") {
+        return QuantMode::kInt8;
+    }
+    return std::nullopt;
+}
+
+const char*
+quant_mode_name(QuantMode mode)
+{
+    return mode == QuantMode::kInt8 ? "int8" : "fp32";
+}
+
+std::shared_ptr<const EmbeddingSnapshot>
+EmbeddingSnapshot::build(const embed::Embedding& embedding, QuantMode quant,
+                         std::uint64_t epoch, std::uint64_t fingerprint)
+{
+    if (embedding.num_nodes() == 0 || embedding.dim() == 0) {
+        util::fatal("serve snapshot: empty embedding");
+    }
+    auto snapshot = std::shared_ptr<EmbeddingSnapshot>(
+        new EmbeddingSnapshot());
+    snapshot->num_nodes_ = embedding.num_nodes();
+    snapshot->dim_ = embedding.dim();
+    snapshot->quant_ = quant;
+    snapshot->epoch_ = epoch;
+    snapshot->fingerprint_ = fingerprint;
+
+    const std::size_t dim = embedding.dim();
+    const std::size_t rows = embedding.num_nodes();
+    snapshot->norms_.resize(rows);
+
+    if (quant == QuantMode::kFp32) {
+        snapshot->data_ = embedding.data();
+        for (std::size_t u = 0; u < rows; ++u) {
+            const float* row = snapshot->data_.data() + u * dim;
+            double sum = 0.0;
+            for (std::size_t j = 0; j < dim; ++j) {
+                sum += static_cast<double>(row[j]) *
+                       static_cast<double>(row[j]);
+            }
+            snapshot->norms_[u] = static_cast<float>(std::sqrt(sum));
+        }
+        return snapshot;
+    }
+
+    // int8: per-row symmetric quantization. scale = max|x| / 127, so
+    // every element lands in [-127, 127] and the worst-case elementwise
+    // error is scale / 2 (round-to-nearest). An all-zero row keeps
+    // scale 0 and dequantizes to exact zeros.
+    snapshot->q_.resize(rows * dim);
+    snapshot->scales_.resize(rows);
+    float worst = 0.0f;
+    for (std::size_t u = 0; u < rows; ++u) {
+        const float* row = embedding.data().data() + u * dim;
+        float max_abs = 0.0f;
+        for (std::size_t j = 0; j < dim; ++j) {
+            max_abs = std::max(max_abs, std::fabs(row[j]));
+        }
+        const float scale = max_abs > 0.0f ? max_abs / 127.0f : 0.0f;
+        snapshot->scales_[u] = scale;
+        std::int8_t* q = snapshot->q_.data() + u * dim;
+        double sum = 0.0;
+        for (std::size_t j = 0; j < dim; ++j) {
+            const float quantized =
+                scale > 0.0f ? std::nearbyint(row[j] / scale) : 0.0f;
+            q[j] = static_cast<std::int8_t>(
+                std::clamp(quantized, -127.0f, 127.0f));
+            const float served = static_cast<float>(q[j]) * scale;
+            worst = std::max(worst, std::fabs(served - row[j]));
+            sum += static_cast<double>(served) *
+                   static_cast<double>(served);
+        }
+        snapshot->norms_[u] = static_cast<float>(std::sqrt(sum));
+    }
+    snapshot->max_quant_error_ = worst;
+    return snapshot;
+}
+
+void
+EmbeddingSnapshot::gather_row(graph::NodeId u, float* out) const
+{
+    if (quant_ == QuantMode::kFp32) {
+        const float* row = data_.data() + static_cast<std::size_t>(u) * dim_;
+        std::copy(row, row + dim_, out);
+        return;
+    }
+    const std::int8_t* q = q_.data() + static_cast<std::size_t>(u) * dim_;
+    const float scale = scales_[u];
+    for (unsigned j = 0; j < dim_; ++j) {
+        out[j] = static_cast<float>(q[j]) * scale;
+    }
+}
+
+float
+EmbeddingSnapshot::dot(graph::NodeId u, graph::NodeId v) const
+{
+    if (quant_ == QuantMode::kFp32) {
+        const float* a = data_.data() + static_cast<std::size_t>(u) * dim_;
+        const float* b = data_.data() + static_cast<std::size_t>(v) * dim_;
+        return embed::kernels::simd_sgns_ops().dot(a, b, dim_);
+    }
+    const std::int8_t* a = q_.data() + static_cast<std::size_t>(u) * dim_;
+    const std::int8_t* b = q_.data() + static_cast<std::size_t>(v) * dim_;
+    std::int32_t acc = 0;
+    for (unsigned j = 0; j < dim_; ++j) {
+        acc += static_cast<std::int32_t>(a[j]) * b[j];
+    }
+    return static_cast<float>(acc) * scales_[u] * scales_[v];
+}
+
+std::vector<std::pair<graph::NodeId, float>>
+EmbeddingSnapshot::nearest(graph::NodeId u, unsigned k) const
+{
+    std::vector<std::pair<float, graph::NodeId>> scored;
+    scored.reserve(num_nodes_);
+    const float norm_u = norms_[u];
+    for (graph::NodeId v = 0; v < num_nodes_; ++v) {
+        if (v == u) {
+            continue;
+        }
+        const float denom = norm_u * norms_[v];
+        const float cosine = denom > 0.0f ? dot(u, v) / denom : 0.0f;
+        scored.emplace_back(cosine, v);
+    }
+    const std::size_t keep = std::min<std::size_t>(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                      scored.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                      });
+    std::vector<std::pair<graph::NodeId, float>> result;
+    result.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+        result.emplace_back(scored[i].second, scored[i].first);
+    }
+    return result;
+}
+
+std::size_t
+EmbeddingSnapshot::payload_bytes() const
+{
+    return data_.size() * sizeof(float) + q_.size() * sizeof(std::int8_t) +
+           scales_.size() * sizeof(float) + norms_.size() * sizeof(float);
+}
+
+} // namespace tgl::serve

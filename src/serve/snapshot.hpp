@@ -1,0 +1,141 @@
+/// @file
+/// Read-mostly embedding snapshots for the serving layer (`tgl_serve`).
+///
+/// A snapshot is an immutable, query-optimized view of one trained
+/// embedding matrix: the fp32 rows (or an int8 per-row-quantized copy),
+/// precomputed row L2 norms for cosine queries, the publishing epoch,
+/// and the checkpoint fingerprint of the artifact it was built from
+/// (PR-1 machinery), so every response can be traced to the exact
+/// training run that produced it.
+///
+/// Publication is RCU-style: SnapshotStore holds one
+/// std::atomic<std::shared_ptr<const EmbeddingSnapshot>>. Readers
+/// acquire() a reference (one atomic load; never blocks on writers) and
+/// keep scoring against that version for the whole request — a
+/// concurrent publish() can never tear a batch across two epochs. The
+/// previous snapshot is freed when its last in-flight reader drops the
+/// reference; there is no reader registry, no grace period, and no lock
+/// on the query path.
+#pragma once
+
+#include "embed/embedding.hpp"
+#include "graph/types.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tgl::serve {
+
+/// Embedding storage format served by a snapshot.
+enum class QuantMode : std::uint8_t
+{
+    kFp32 = 0,
+    kInt8 = 1,
+};
+
+/// Parse a --quant value ("fp32", "int8").
+std::optional<QuantMode> parse_quant_mode(std::string_view name);
+
+/// Flag spelling of a quantization mode.
+const char* quant_mode_name(QuantMode mode);
+
+/// Immutable serving view of one embedding matrix. Construction does
+/// all the expensive work (quantization, norms); queries only read.
+class EmbeddingSnapshot
+{
+  public:
+    /// Build a snapshot from a trained embedding. @p epoch is the
+    /// publication sequence number (monotonic per server), @p
+    /// fingerprint the checkpoint fingerprint of the source artifact
+    /// (0 when served from an unkeyed text file).
+    static std::shared_ptr<const EmbeddingSnapshot>
+    build(const embed::Embedding& embedding, QuantMode quant,
+          std::uint64_t epoch, std::uint64_t fingerprint);
+
+    graph::NodeId num_nodes() const { return num_nodes_; }
+    unsigned dim() const { return dim_; }
+    QuantMode quant() const { return quant_; }
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /// Copy (fp32) or dequantize (int8) node @p u's row into
+    /// out[0..dim). The classifier consumes fp32 features either way;
+    /// under int8 the gathered row carries the documented quantization
+    /// error (DESIGN.md §14).
+    void gather_row(graph::NodeId u, float* out) const;
+
+    /// dot(f(u), f(v)) in the active representation. fp32 uses the
+    /// PR-8 SgnsBackendOps simd dot; int8 accumulates the integer
+    /// products and rescales once.
+    float dot(graph::NodeId u, graph::NodeId v) const;
+
+    /// L2 norm of node @p u's served row (precomputed at build over the
+    /// representation actually served, so int8 cosine is internally
+    /// consistent).
+    float norm(graph::NodeId u) const { return norms_[u]; }
+
+    /// The k nodes most cosine-similar to @p u (excluding u), with
+    /// their cosine scores, best first.
+    std::vector<std::pair<graph::NodeId, float>>
+    nearest(graph::NodeId u, unsigned k) const;
+
+    /// Largest elementwise |original - served| over the whole matrix
+    /// (0 for fp32): the measured quantization error this snapshot
+    /// actually carries.
+    float max_quant_error() const { return max_quant_error_; }
+
+    /// Bytes of embedding payload served (fp32 data or int8 data +
+    /// scales), for the serve.snapshot_bytes gauge.
+    std::size_t payload_bytes() const;
+
+  private:
+    EmbeddingSnapshot() = default;
+
+    graph::NodeId num_nodes_ = 0;
+    unsigned dim_ = 0;
+    QuantMode quant_ = QuantMode::kFp32;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    float max_quant_error_ = 0.0f;
+    /// fp32 rows (kFp32 only).
+    std::vector<float> data_;
+    /// int8 rows + per-row symmetric scale (kInt8 only); the served
+    /// value of element j of row u is q_[u*dim+j] * scales_[u].
+    std::vector<std::int8_t> q_;
+    std::vector<float> scales_;
+    std::vector<float> norms_;
+};
+
+/// One atomically published current snapshot (see file comment).
+class SnapshotStore
+{
+  public:
+    SnapshotStore() = default;
+    SnapshotStore(const SnapshotStore&) = delete;
+    SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+    /// Replace the current snapshot. Readers holding the previous one
+    /// finish against it; it is destroyed with its last reference.
+    void
+    publish(std::shared_ptr<const EmbeddingSnapshot> next)
+    {
+        current_.store(std::move(next), std::memory_order_release);
+    }
+
+    /// Pin the current snapshot for the duration of one request.
+    std::shared_ptr<const EmbeddingSnapshot>
+    acquire() const
+    {
+        return current_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::shared_ptr<const EmbeddingSnapshot>> current_;
+};
+
+} // namespace tgl::serve

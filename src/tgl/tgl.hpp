@@ -100,6 +100,12 @@
 #include "core/node_classification.hpp"
 #include "core/pipeline.hpp"
 
+// serve: high-QPS online inference over published embedding snapshots
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/snapshot.hpp"
+
 // profiling: workload characterization substrate
 #include "profiling/comparison_kernels.hpp"
 #include "profiling/op_counters.hpp"

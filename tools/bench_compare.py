@@ -10,6 +10,15 @@ ratio.  A suite whose median regresses more than --fail-threshold
 prints a warning but stays green.  Medians, not means, so one noisy
 entry on a shared CI runner cannot flip the gate by itself.
 
+Entries may declare "higher_is_better": true (throughput entries such
+as the serve layer's QPS rungs, unit "qps" with the value riding in
+the `seconds` slot).  For those the ratio is inverted (baseline /
+current) before aggregation, so a ratio above 1 uniformly means "got
+worse" in both directions and one median rule gates everything.  The
+flag is part of an entry's identity: a baseline and current run that
+disagree on it are comparing incommensurable quantities, which is a
+schema error (exit 2), not a skip.
+
 Suites may carry a "meta" block (bench_json.hpp).  When the baseline
 and the current run disagree on meta["simd_isa"] — including when only
 one side records it — their timings were produced by different vector
@@ -46,15 +55,18 @@ class BenchError(Exception):
     """Schema or usage problem — exit code 2, never a regression."""
 
 
-def load_bench(path: Path) -> dict[str, float]:
-    """Return {entry name: seconds} for one BENCH_*.json file.
+def load_bench(path: Path) -> dict[str, tuple[float, bool]]:
+    """Return {entry name: (value, higher_is_better)} for one
+    BENCH_*.json file.
 
-    Only timing entries participate: an entry whose "unit" is anything
-    other than "seconds" (the fig09/fig11 model-vs-measured comparisons
-    use "mix" / "stall_share") carries counter values in its `seconds`
-    slot and is excluded from the regression gate.  A missing "unit" is
-    treated as "seconds" for backward compatibility with pre-unit
-    baselines.
+    Gated entries are timing entries (unit "seconds", lower is better)
+    and rate entries declaring "higher_is_better": true (e.g. unit
+    "qps").  Any other non-"seconds" unit (the fig09/fig11
+    model-vs-measured comparisons use "mix" / "stall_share") carries
+    counter values in its `seconds` slot and is excluded.  Missing
+    "unit" / "higher_is_better" keys default to "seconds" / False for
+    backward compatibility with pre-flag baselines.  A "seconds" entry
+    claiming higher_is_better is contradictory and rejected.
     """
     try:
         doc = json.loads(path.read_text())
@@ -71,11 +83,22 @@ def load_bench(path: Path) -> dict[str, float]:
         name = entry.get("name")
         seconds = entry.get("seconds")
         unit = entry.get("unit", "seconds")
-        if not isinstance(name, str) or not isinstance(seconds, (int, float)):
+        higher_is_better = entry.get("higher_is_better", False)
+        if (
+            not isinstance(name, str)
+            or not isinstance(seconds, (int, float))
+            or not isinstance(higher_is_better, bool)
+        ):
             raise BenchError(f"{path}: malformed entry {entry!r}")
-        if unit != "seconds":
+        if unit == "seconds" and higher_is_better:
+            raise BenchError(
+                f"{path}: entry {name!r} declares unit 'seconds' with "
+                f"higher_is_better — a wall time cannot be "
+                f"higher-is-better"
+            )
+        if unit != "seconds" and not higher_is_better:
             continue
-        entries[name] = float(seconds)
+        entries[name] = (float(seconds), higher_is_better)
     if not raw_entries:
         raise BenchError(f"{path}: no entries")
     return entries
@@ -101,28 +124,49 @@ def load_meta(path: Path) -> dict[str, str]:
 
 
 def compare_suite(
-    baseline: dict[str, float], current: dict[str, float]
+    baseline: dict[str, tuple[float, bool]],
+    current: dict[str, tuple[float, bool]],
 ) -> tuple[list[tuple[str, float]], float | None, list[str]]:
     """Per-entry (name, ratio) for shared entries, the median ratio,
     and the baseline entries missing from the current run.
+
+    Ratios are normalized so > 1 always means "worse": current /
+    baseline for timings, baseline / current for higher-is-better
+    rates (a current rate of zero maps to +inf — a server that stopped
+    serving is the regression the gate exists for).  A per-entry
+    direction disagreement between the two runs raises BenchError.
 
     Entries present only in the current run are skipped (new benches
     should not fail the gate); baseline entries missing from the
     current run are reported so the caller can warn — a rename or a
     bench that stopped emitting must be visible, but neither is a
-    regression.  Zero-second baselines are skipped too, since their
+    regression.  Zero-valued baselines are skipped too, since their
     ratio is meaningless.  With nothing comparable at all the median
     is None and the caller decides (warn, not fail).
     """
     ratios = []
     missing = []
-    for name, base_seconds in sorted(baseline.items()):
+    for name, (base_value, base_hib) in sorted(baseline.items()):
         if name not in current:
             missing.append(name)
             continue
-        if base_seconds <= 0.0:
+        cur_value, cur_hib = current[name]
+        if base_hib != cur_hib:
+            raise BenchError(
+                f"entry {name!r}: higher_is_better flag disagrees "
+                f"(baseline {base_hib}, current {cur_hib}) — refusing "
+                f"to compare opposite gate directions; refresh the "
+                f"baseline with --update"
+            )
+        if base_value <= 0.0:
             continue
-        ratios.append((name, current[name] / base_seconds))
+        if base_hib:
+            ratio = (
+                base_value / cur_value if cur_value > 0.0 else float("inf")
+            )
+        else:
+            ratio = cur_value / base_value
+        ratios.append((name, ratio))
     if not ratios:
         return [], None, missing
     return ratios, statistics.median(r for _, r in ratios), missing
@@ -159,8 +203,9 @@ def compare_dirs(
                 file=out,
             )
             continue
+        baseline_entries = load_bench(baseline_path)
         ratios, median, missing = compare_suite(
-            load_bench(baseline_path), load_bench(current_path)
+            baseline_entries, load_bench(current_path)
         )
         for name in missing:
             print(
@@ -191,11 +236,20 @@ def compare_dirs(
             file=out,
         )
         for name, ratio in ratios:
+            higher_is_better = baseline_entries[name][1]
             marker = ""
             if ratio > 1.0 + fail_threshold:
-                marker = "  <-- slower"
+                marker = (
+                    "  <-- lower throughput"
+                    if higher_is_better
+                    else "  <-- slower"
+                )
             elif ratio < 1.0 - fail_threshold:
-                marker = "  (faster)"
+                marker = (
+                    "  (higher throughput)"
+                    if higher_is_better
+                    else "  (faster)"
+                )
             print(f"      {name}: {ratio:.3f}{marker}", file=out)
     return ok
 

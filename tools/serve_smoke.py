@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Scripted end-to-end smoke test for a running `tgl_cli serve`.
+
+Speaks the wire protocol (src/serve/protocol.hpp) directly over a TCP
+socket — an independent reimplementation, so a framing bug that the
+C++ client and server share cannot cancel out.  CI starts a server on
+a tiny trained model and points this script at it:
+
+    python3 tools/serve_smoke.py --port 7411 \
+        --reload-path ckpt-serve/embedding.tgla --expect-quant fp32
+
+Checks, in order: ping identity, link-score determinism and sanity,
+kNN ordering/self-exclusion, the stats JSON snapshot, malformed-frame
+and oversized-frame rejection (bad request + connection close, server
+stays up), failed-reload isolation (server error, connection stays
+usable, epoch unchanged), and a successful reload bumping the epoch.
+
+Exit 0 when every check passes, 1 with a diagnostic on the first
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import socket
+import struct
+import sys
+
+OP_PING = 0x01
+OP_LINK_SCORE = 0x02
+OP_KNN = 0x03
+OP_STATS = 0x04
+OP_RELOAD = 0x05
+
+STATUS_OK = 0
+STATUS_BAD_REQUEST = 1
+STATUS_SERVER_ERROR = 2
+
+QUANT_NAMES = {0: "fp32", 1: "int8"}
+
+
+class SmokeFailure(Exception):
+    pass
+
+
+def check(condition: bool, message: str):
+    if not condition:
+        raise SmokeFailure(message)
+
+
+class Conn:
+    """One protocol connection: length-prefixed frames, blocking I/O."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self):
+        self.sock.close()
+
+    def send_payload(self, payload: bytes):
+        self.sock.sendall(struct.pack("<I", len(payload)) + payload)
+
+    def send_raw(self, data: bytes):
+        self.sock.sendall(data)
+
+    def recv_exact(self, size: int) -> bytes:
+        buf = b""
+        while len(buf) < size:
+            chunk = self.sock.recv(size - len(buf))
+            if not chunk:
+                check(not buf, "connection closed mid-frame")
+                return b""  # clean close at a frame boundary
+            buf += chunk
+        return buf
+
+    def read_response(self) -> tuple[int, bytes] | None:
+        """(status, body), or None when the server closed instead."""
+        header = self.recv_exact(4)
+        if not header:
+            return None
+        (length,) = struct.unpack("<I", header)
+        check(length > 0, "zero-length response frame")
+        payload = self.recv_exact(length)
+        check(len(payload) == length, "truncated response frame")
+        return payload[0], payload[1:]
+
+    def roundtrip(self, payload: bytes) -> tuple[int, bytes] | None:
+        self.send_payload(payload)
+        return self.read_response()
+
+    def closed_by_server(self) -> bool:
+        """True when the next read hits EOF (the server hung up)."""
+        return self.recv_exact(4) == b""
+
+    # --- typed requests -------------------------------------------------
+
+    def ping(self):
+        response = self.roundtrip(bytes([OP_PING]))
+        check(response is not None and response[0] == STATUS_OK,
+              f"ping failed: {response!r}")
+        epoch, fingerprint, num_nodes, dim, quant = struct.unpack(
+            "<QQIIB", response[1]
+        )
+        return {
+            "epoch": epoch,
+            "fingerprint": fingerprint,
+            "num_nodes": num_nodes,
+            "dim": dim,
+            "quant": quant,
+        }
+
+    def link_scores(self, pairs):
+        payload = struct.pack("<BI", OP_LINK_SCORE, len(pairs))
+        for u, v in pairs:
+            payload += struct.pack("<II", u, v)
+        response = self.roundtrip(payload)
+        check(response is not None and response[0] == STATUS_OK,
+              f"link-score failed: {response!r}")
+        body = response[1]
+        check(len(body) == 4 * len(pairs),
+              f"link-score body {len(body)}B for {len(pairs)} pairs")
+        return list(struct.unpack(f"<{len(pairs)}f", body))
+
+    def knn(self, node: int, k: int):
+        response = self.roundtrip(struct.pack("<BII", OP_KNN, node, k))
+        check(response is not None and response[0] == STATUS_OK,
+              f"knn failed: {response!r}")
+        body = response[1]
+        (count,) = struct.unpack_from("<I", body)
+        check(len(body) == 4 + 8 * count, "knn body size mismatch")
+        return [
+            struct.unpack_from("<If", body, 4 + 8 * i) for i in range(count)
+        ]
+
+    def stats_json(self) -> dict:
+        response = self.roundtrip(bytes([OP_STATS]))
+        check(response is not None and response[0] == STATUS_OK,
+              f"stats failed: {response!r}")
+        return json.loads(response[1].decode())
+
+    def reload(self, path: str):
+        """(status, epoch-or-None, reason)."""
+        response = self.roundtrip(bytes([OP_RELOAD]) + path.encode())
+        check(response is not None, "reload: server closed the connection")
+        status, body = response
+        if status == STATUS_OK:
+            (epoch,) = struct.unpack("<Q", body)
+            return status, epoch, ""
+        return status, None, body.decode(errors="replace")
+
+
+def smoke(args) -> int:
+    conn = Conn(args.host, args.port)
+
+    # 1. Ping identity.
+    info = conn.ping()
+    check(info["num_nodes"] > 0 and info["dim"] > 0,
+          f"degenerate model: {info}")
+    check(info["epoch"] == 1, f"fresh server should be at epoch 1: {info}")
+    if args.expect_quant:
+        got = QUANT_NAMES.get(info["quant"], f"?{info['quant']}")
+        check(got == args.expect_quant,
+              f"quant mode {got}, expected {args.expect_quant}")
+    print(f"ok ping: epoch {info['epoch']}, {info['num_nodes']} nodes, "
+          f"dim {info['dim']}, "
+          f"quant {QUANT_NAMES.get(info['quant'], info['quant'])}")
+
+    # 2. Link scores: sane values, deterministic across identical
+    #    requests (one snapshot, one weights file — nothing may drift).
+    n = info["num_nodes"]
+    pairs = [(0, 1 % n), (1 % n, 2 % n), (n - 1, 0), (0, 0)]
+    first = conn.link_scores(pairs)
+    second = conn.link_scores(pairs)
+    check(all(math.isfinite(s) for s in first),
+          f"non-finite link scores: {first}")
+    check(first == second,
+          f"link scores not deterministic: {first} vs {second}")
+    print(f"ok link-score: {len(pairs)} pairs, deterministic, "
+          f"scores like {first[0]:.4f}")
+
+    # 3. kNN: self-excluded, descending cosine, correct count.
+    k = min(5, n - 1)
+    neighbors = conn.knn(0, k)
+    check(len(neighbors) == k, f"knn returned {len(neighbors)}, wanted {k}")
+    check(all(v != 0 for v, _ in neighbors), "knn returned the query node")
+    cosines = [c for _, c in neighbors]
+    check(all(c1 >= c2 for c1, c2 in zip(cosines, cosines[1:])),
+          f"knn cosines not descending: {cosines}")
+    check(all(abs(c) <= 1.0 + 1e-4 for c in cosines),
+          f"cosine out of range: {cosines}")
+    print(f"ok knn: top-{k} of node 0, best cosine {cosines[0]:.4f}")
+
+    # 4. Stats snapshot: the registry schema with live serve.* counters.
+    stats = conn.stats_json()
+    check(stats.get("schema_version") == 1,
+          f"stats schema_version {stats.get('schema_version')!r}")
+    values = {m["name"]: m for m in stats["metrics"]}
+    for name in ("serve.connections", "serve.requests",
+                 "serve.link.requests", "serve.link.pairs"):
+        check(name in values, f"stats missing {name}")
+        check(values[name]["value"] > 0, f"{name} never incremented")
+    check("serve.epoch" in values, "stats missing serve.epoch")
+    print(f"ok stats: {len(values)} metrics, "
+          f"serve.requests={values['serve.requests']['value']:.0f}")
+
+    # 5. Malformed frame: unknown opcode — bad request, connection
+    #    closed, server still up for the next connection.
+    bad = Conn(args.host, args.port)
+    response = bad.roundtrip(bytes([0x7F]))
+    check(response is not None and response[0] == STATUS_BAD_REQUEST,
+          f"unknown opcode not rejected: {response!r}")
+    check(bad.closed_by_server(),
+          "connection stayed open after a malformed frame")
+    bad.close()
+
+    # A truncated body (link-score claiming 8 pairs, sending none).
+    bad = Conn(args.host, args.port)
+    response = bad.roundtrip(struct.pack("<BI", OP_LINK_SCORE, 8))
+    check(response is not None and response[0] == STATUS_BAD_REQUEST,
+          f"truncated body not rejected: {response!r}")
+    bad.close()
+    print("ok malformed frames rejected, connection closed, server alive")
+
+    # 6. Oversized frame: a 256 MiB length prefix with no body — the
+    #    server must reject from the header alone (a response at all
+    #    proves it never tried to read the phantom payload).
+    big = Conn(args.host, args.port)
+    big.send_raw(struct.pack("<I", 256 * 1024 * 1024))
+    response = big.read_response()
+    check(response is not None and response[0] == STATUS_BAD_REQUEST,
+          f"oversized frame not rejected: {response!r}")
+    check(b"oversized" in response[1], f"unexpected reason: {response[1]!r}")
+    big.close()
+    print("ok oversized frame rejected from the length prefix")
+
+    # 7. Failed reload: server error, but the connection stays usable
+    #    and the published epoch does not move.
+    status, _, reason = conn.reload("/nonexistent/embedding.tgla")
+    check(status == STATUS_SERVER_ERROR,
+          f"missing-file reload returned status {status} ({reason})")
+    after = conn.ping()  # same connection must still answer
+    check(after["epoch"] == info["epoch"],
+          f"failed reload moved the epoch: {after}")
+    print("ok failed reload: server error, connection usable, "
+          "epoch unchanged")
+
+    # 8. Successful reload bumps the epoch and keeps serving.
+    if args.reload_path:
+        status, epoch, reason = conn.reload(args.reload_path)
+        check(status == STATUS_OK, f"reload failed: {reason}")
+        check(epoch == info["epoch"] + 1,
+              f"reload epoch {epoch}, expected {info['epoch'] + 1}")
+        check(conn.ping()["epoch"] == epoch, "ping disagrees with reload")
+        conn.link_scores(pairs)  # still scoring on the new snapshot
+        print(f"ok reload: epoch {info['epoch']} -> {epoch}")
+
+    conn.close()
+    print("serve smoke: all checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--reload-path", default="",
+        help="embedding artifact to hot-reload (skips the reload check "
+        "when omitted)",
+    )
+    parser.add_argument(
+        "--expect-quant", default="", choices=["", "fp32", "int8"],
+        help="assert the server's quantization mode",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return smoke(args)
+    except SmokeFailure as err:
+        print(f"serve smoke FAILED: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,8 +25,10 @@ def write_suite(
     names_seconds: dict[str, float],
     units: dict[str, str] | None = None,
     meta: dict[str, str] | None = None,
+    higher_is_better: dict[str, bool] | None = None,
 ):
     units = units or {}
+    higher_is_better = higher_is_better or {}
     doc = {
         "benchmark": path.stem.removeprefix("BENCH_"),
         "schema_version": 1,
@@ -34,6 +36,8 @@ def write_suite(
         "entries": [
             {"name": name, "seconds": seconds, "items_per_second": 0.0,
              **({"unit": units[name]} if name in units else {}),
+             **({"higher_is_better": higher_is_better[name]}
+                if name in higher_is_better else {}),
              "metrics": {}}
             for name, seconds in names_seconds.items()
         ],
@@ -276,7 +280,9 @@ class BenchCompareTest(unittest.TestCase):
         promoted = bench_compare.load_bench(
             self.baseline_dir / "BENCH_walk.json"
         )
-        self.assertEqual(promoted, doctored)
+        self.assertEqual(
+            promoted, {name: (s, False) for name, s in doctored.items()}
+        )
 
     def test_cli_exit_codes(self):
         write_suite(
@@ -299,6 +305,146 @@ class BenchCompareTest(unittest.TestCase):
             ),
             2,
         )
+
+
+class HigherIsBetterTest(unittest.TestCase):
+    """Gate direction for rate entries (the serve layer's QPS rungs)."""
+
+    QPS_UNITS = {
+        "serve/qps/c1/fp32": "qps",
+        "serve/qps/c4/fp32": "qps",
+        "serve/peak_qps/fp32": "qps",
+    }
+    QPS_FLAGS = {name: True for name in QPS_UNITS}
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline_dir = root / "baselines"
+        self.current_dir = root / "current"
+        self.baseline_dir.mkdir()
+        self.current_dir.mkdir()
+        self.baseline = {
+            "serve/qps/c1/fp32": 40_000.0,
+            "serve/qps/c4/fp32": 45_000.0,
+            "serve/peak_qps/fp32": 46_000.0,
+        }
+        write_suite(
+            self.baseline_dir / "BENCH_serve.json", self.baseline,
+            units=self.QPS_UNITS, higher_is_better=self.QPS_FLAGS,
+        )
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def compare(self, current: dict[str, float]) -> tuple[bool, str]:
+        write_suite(
+            self.current_dir / "BENCH_serve.json", current,
+            units=self.QPS_UNITS, higher_is_better=self.QPS_FLAGS,
+        )
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        return ok, out.getvalue()
+
+    def test_doctored_30_percent_qps_drop_fails(self):
+        # The load-bearing case for the serve gate: throughput fell 30%,
+        # so the inverted ratio is ~1.43 and the run must go red.
+        doctored = {name: q * 0.70 for name, q in self.baseline.items()}
+        ok, out = self.compare(doctored)
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out)
+        self.assertIn("lower throughput", out)
+
+    def test_unchanged_qps_passes(self):
+        ok, out = self.compare(dict(self.baseline))
+        self.assertTrue(ok)
+        self.assertNotIn("FAIL", out)
+
+    def test_qps_gain_passes(self):
+        # Faster serving must never fail the gate (ratio < 1 after the
+        # inversion).
+        doubled = {name: q * 2.0 for name, q in self.baseline.items()}
+        ok, out = self.compare(doubled)
+        self.assertTrue(ok)
+        self.assertIn("higher throughput", out)
+
+    def test_qps_collapse_to_zero_fails(self):
+        # A server that stopped serving maps to an infinite ratio — the
+        # exact regression this gate exists to catch, not a skip.
+        dead = {name: 0.0 for name in self.baseline}
+        ok, out = self.compare(dead)
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out)
+
+    def test_mixed_suite_gates_latency_and_qps_together(self):
+        # Latency entries (plain timings) and QPS entries coexist in
+        # BENCH_serve.json; a drop in every QPS rung fails even while
+        # the latency timings hold steady.
+        units = dict(self.QPS_UNITS)
+        flags = dict(self.QPS_FLAGS)
+        baseline = dict(self.baseline)
+        baseline["serve/link_p99/c1/fp32"] = 0.002
+        write_suite(
+            self.baseline_dir / "BENCH_serve.json", baseline,
+            units=units, higher_is_better=flags,
+        )
+        doctored = {name: q * 0.5 for name, q in self.baseline.items()}
+        doctored["serve/link_p99/c1/fp32"] = 0.002
+        write_suite(
+            self.current_dir / "BENCH_serve.json", doctored,
+            units=units, higher_is_better=flags,
+        )
+        out = io.StringIO()
+        ok = bench_compare.compare_dirs(
+            self.baseline_dir, self.current_dir,
+            fail_threshold=0.15, warn_threshold=0.05, out=out,
+        )
+        self.assertFalse(ok)
+        self.assertIn("FAIL", out.getvalue())
+
+    def test_direction_flag_mismatch_is_a_schema_error(self):
+        # A baseline gating QPS as higher-is-better against a current
+        # run re-declaring the same names as plain wall times compares
+        # incommensurable numbers.
+        write_suite(
+            self.current_dir / "BENCH_serve.json", dict(self.baseline)
+        )
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.compare_dirs(
+                self.baseline_dir, self.current_dir,
+                fail_threshold=0.15, warn_threshold=0.05,
+                out=io.StringIO(),
+            )
+
+    def test_seconds_with_higher_is_better_is_contradictory(self):
+        write_suite(
+            self.current_dir / "BENCH_serve.json",
+            {"serve/bogus": 1.0},
+            higher_is_better={"serve/bogus": True},
+        )
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.load_bench(
+                self.current_dir / "BENCH_serve.json"
+            )
+
+    def test_non_bool_flag_is_a_schema_error(self):
+        write_suite(
+            self.current_dir / "BENCH_serve.json",
+            {"serve/qps/c1/fp32": 40_000.0},
+            units={"serve/qps/c1/fp32": "qps"},
+        )
+        doc = json.loads(
+            (self.current_dir / "BENCH_serve.json").read_text()
+        )
+        doc["entries"][0]["higher_is_better"] = "yes"
+        (self.current_dir / "BENCH_serve.json").write_text(json.dumps(doc))
+        with self.assertRaises(bench_compare.BenchError):
+            bench_compare.load_bench(
+                self.current_dir / "BENCH_serve.json"
+            )
 
 
 if __name__ == "__main__":
