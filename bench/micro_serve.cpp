@@ -225,6 +225,64 @@ main()
         server.stop();
     }
 
+    // Telemetry overhead A/B (DESIGN.md §15): identical fp32 servers,
+    // one with per-request tracing + the flight-recorder sampler on
+    // (the default) and one with both off, same concurrency rung. The
+    // acceptance bar is <= 2% peak-QPS overhead; EXPERIMENTS.md §"serve
+    // telemetry" records the measured numbers.
+    {
+        const unsigned kAbClients = ladder.back();
+        const int kTrials = long_sweep ? 5 : 3;
+        // Interleaved trials (on, off, on, off, ...) with peak-per-mode
+        // so slow drift (thermal, scheduler) hits both modes equally;
+        // a single paired run is noisier than the effect being measured.
+        double peak_by_mode[2] = {0.0, 0.0};
+        for (int trial = 0; trial < kTrials; ++trial) {
+            for (const bool telemetry : {true, false}) {
+                serve::ServeConfig config;
+                config.scorer_threads = kScorerThreads;
+                config.request_tracing = telemetry;
+                config.timeseries = telemetry;
+                serve::Server server(config, fp32, classifier_factory);
+                server.start();
+                run_load_point(server.port(), 1, window * 0.25,
+                               kPairsPerRequest, kNodes); // warmup
+                const LoadPoint point =
+                    run_load_point(server.port(), kAbClients,
+                                   window * 0.5, kPairsPerRequest,
+                                   kNodes);
+                double& peak = peak_by_mode[telemetry ? 0 : 1];
+                peak = std::max(peak, point.qps);
+                std::printf("telemetry %-3s c=%-3u trial %d "
+                            "%9.0f req/s   p99 %8.1fus\n",
+                            telemetry ? "on" : "off", kAbClients,
+                            trial, point.qps, point.p99 * 1e6);
+                server.stop();
+            }
+        }
+        for (const bool telemetry : {true, false}) {
+            report.add({util::strcat("serve/qps/telemetry_",
+                                     telemetry ? "on" : "off"),
+                        peak_by_mode[telemetry ? 0 : 1],
+                        peak_by_mode[telemetry ? 0 : 1],
+                        {{"clients", static_cast<double>(kAbClients)},
+                         {"trials", static_cast<double>(kTrials)}},
+                        "qps", /*higher_is_better=*/true});
+        }
+        const double overhead_pct =
+            peak_by_mode[1] > 0.0
+                ? (1.0 - peak_by_mode[0] / peak_by_mode[1]) * 100.0
+                : 0.0;
+        std::printf("telemetry overhead: %.2f%% of peak QPS "
+                    "(on %.0f vs off %.0f, best of %d)\n",
+                    overhead_pct, peak_by_mode[0], peak_by_mode[1],
+                    kTrials);
+        report.add({"serve/telemetry_overhead_pct", overhead_pct, 0.0,
+                    {{"clients", static_cast<double>(kAbClients)},
+                     {"trials", static_cast<double>(kTrials)}},
+                    "pct"});
+    }
+
     // int8 accuracy A/B vs fp32 on the raw embedding geometry: the
     // worst elementwise dequantization error and the worst dot-product
     // drift over a node sample (EXPERIMENTS.md carries the discussion).

@@ -424,6 +424,9 @@ cmd_pipeline(int argc, const char* const* argv)
     cli.add_flag("metrics-out", "",
                  "write the end-of-run metrics registry snapshot (JSON) "
                  "to this path");
+    cli.add_flag("metrics-text-out", "",
+                 "write the end-of-run metrics in the Prometheus text "
+                 "exposition format to this path");
     cli.add_flag("trace-out", "",
                  "write a chrome://tracing / Perfetto trace (JSON) to "
                  "this path");
@@ -505,6 +508,8 @@ cmd_pipeline(int argc, const char* const* argv)
     }
 
     const std::string metrics_out = cli.get_string("metrics-out");
+    const std::string metrics_text_out =
+        cli.get_string("metrics-text-out");
     const std::string trace_out = cli.get_string("trace-out");
     const std::string bench_out = cli.get_string("bench-out");
 
@@ -548,6 +553,13 @@ cmd_pipeline(int argc, const char* const* argv)
         obs::Registry::global().write_json(metrics_out);
         std::printf("wrote metrics snapshot to %s\n",
                     metrics_out.c_str());
+    }
+    if (!metrics_text_out.empty()) {
+        obs::record_process_gauges(obs::Registry::global());
+        obs::write_prometheus_file(obs::Registry::global(),
+                                   metrics_text_out);
+        std::printf("wrote Prometheus exposition to %s\n",
+                    metrics_text_out.c_str());
     }
     if (!trace_out.empty()) {
         session.write_chrome_json(trace_out);
@@ -644,6 +656,17 @@ cmd_serve(int argc, const char* const* argv)
     cli.add_flag("metrics-out", "",
                  "write the end-of-run metrics registry snapshot (JSON) "
                  "to this path after the drain");
+    cli.add_flag("tracing", "on",
+                 "per-request stage tracing (serve.stage.* histograms "
+                 "and the slow-request log): on | off");
+    cli.add_flag("timeseries", "on",
+                 "background flight recorder feeding the kTimeseries "
+                 "opcode: on | off");
+    cli.add_flag("sample-interval-ms", "100",
+                 "flight-recorder sampler period");
+    cli.add_flag("timeseries-out", "",
+                 "write the flight-recorder windowed rollups (JSON) to "
+                 "this path after the drain");
     if (!cli.parse(argc, argv)) {
         return 0;
     }
@@ -709,6 +732,26 @@ cmd_serve(int argc, const char* const* argv)
     } else {
         util::fatal("--quant expects fp32 | int8");
     }
+    const auto parse_on_off = [](const std::string& value,
+                                 const char* flag) -> bool {
+        if (value == "off") {
+            return false;
+        }
+        if (value != "on") {
+            util::fatal(util::strcat("--", flag, " expects on | off"));
+        }
+        return true;
+    };
+    config.request_tracing =
+        parse_on_off(cli.get_string("tracing"), "tracing");
+    config.timeseries =
+        parse_on_off(cli.get_string("timeseries"), "timeseries");
+    config.sample_interval_ms =
+        static_cast<unsigned>(cli.get_int("sample-interval-ms"));
+    const std::string timeseries_out = cli.get_string("timeseries-out");
+    if (!timeseries_out.empty() && !config.timeseries) {
+        util::fatal("--timeseries-out needs --timeseries on");
+    }
 
     auto snapshot = serve::EmbeddingSnapshot::build(
         embedding, config.quant, /*epoch=*/1, fingerprint);
@@ -733,6 +776,31 @@ cmd_serve(int argc, const char* const* argv)
         obs::record_process_gauges(obs::Registry::global());
         obs::Registry::global().write_json(metrics_out);
         std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+    }
+    if (!timeseries_out.empty()) {
+        std::ofstream out(timeseries_out);
+        if (!out) {
+            util::fatal("cannot open " + timeseries_out + " for writing");
+        }
+        out << server.timeseries_json();
+        std::printf("wrote timeseries rollups to %s\n",
+                    timeseries_out.c_str());
+    }
+    if (config.request_tracing) {
+        const auto slow = server.slow_log().entries();
+        const std::size_t shown = std::min<std::size_t>(slow.size(), 5);
+        if (shown > 0) {
+            std::printf("slowest requests (top %zu of %zu traced):\n",
+                        shown, slow.size());
+        }
+        for (std::size_t i = 0; i < shown; ++i) {
+            const serve::SlowRequestRecord& r = slow[i];
+            std::printf("  id %llu  pairs %zu  total %.3fms  "
+                        "(queue %.3fms, forward %.3fms)\n",
+                        static_cast<unsigned long long>(r.request_id),
+                        r.pairs, r.total_seconds * 1e3,
+                        r.queue_seconds * 1e3, r.forward_seconds * 1e3);
+        }
     }
     std::printf("tgl_serve drained cleanly\n");
     return 0;

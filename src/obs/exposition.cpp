@@ -1,0 +1,128 @@
+#include "obs/exposition.hpp"
+
+#include "util/error.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace tgl::obs {
+
+namespace {
+
+bool
+is_name_char(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Sample-value rendering. Unlike JSON, the exposition format has
+/// spellings for non-finite values, so they pass through instead of
+/// being clamped. Finite values use the shortest precision that still
+/// round-trips, so a bound of 0.1 renders as le="0.1" rather than
+/// le="0.10000000000000001".
+std::string
+prom_number(double value)
+{
+    if (std::isnan(value)) {
+        return "NaN";
+    }
+    if (std::isinf(value)) {
+        return value > 0 ? "+Inf" : "-Inf";
+    }
+    char buffer[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+        if (std::strtod(buffer, nullptr) == value) {
+            break;
+        }
+    }
+    return buffer;
+}
+
+bool
+ends_with(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+void
+render_histogram(std::string& out, const std::string& name,
+                 const MetricValue& metric)
+{
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < metric.bounds.size(); ++b) {
+        cumulative += b < metric.bucket_counts.size()
+                          ? metric.bucket_counts[b]
+                          : 0;
+        out += name + "_bucket{le=\"" + prom_number(metric.bounds[b]) +
+               "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(metric.count) +
+           "\n";
+    out += name + "_sum " + prom_number(metric.sum) + "\n";
+    out += name + "_count " + std::to_string(metric.count) + "\n";
+}
+
+} // namespace
+
+std::string
+prometheus_name(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        out += is_name_char(c) ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string
+render_prometheus(const MetricsSnapshot& snapshot)
+{
+    std::string out;
+    out.reserve(snapshot.metrics.size() * 96);
+    for (const MetricValue& metric : snapshot.metrics) {
+        std::string name = prometheus_name(metric.name);
+        switch (metric.kind) {
+        case MetricKind::kCounter:
+            if (!ends_with(name, "_total")) {
+                name += "_total";
+            }
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " + prom_number(metric.value) + "\n";
+            break;
+        case MetricKind::kGauge:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " + prom_number(metric.value) + "\n";
+            break;
+        case MetricKind::kHistogram:
+            render_histogram(out, name, metric);
+            break;
+        }
+    }
+    return out;
+}
+
+void
+write_prometheus_file(const Registry& registry, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal("obs::exposition: cannot open " + path +
+                    " for writing");
+    }
+    out << render_prometheus(registry.snapshot());
+    if (!out) {
+        util::fatal("obs::exposition: failed writing " + path);
+    }
+}
+
+} // namespace tgl::obs

@@ -1,0 +1,45 @@
+/// @file
+/// Prometheus text-exposition encoder over the metrics registry.
+///
+/// Renders a MetricsSnapshot in the Prometheus text format (version
+/// 0.0.4) so any standard scraper — Prometheus itself, Grafana Agent,
+/// curl piped into promtool — can consume tgl telemetry without
+/// knowing the registry's JSON schema. The mapping rules (DESIGN.md
+/// §15):
+///
+///  * Names are sanitized to the Prometheus charset
+///    [a-zA-Z_:][a-zA-Z0-9_:]*: every other character (the registry's
+///    dots, dashes, ...) becomes '_', and a leading digit gains a '_'
+///    prefix. `serve.link.latency_seconds` -> `serve_link_latency_seconds`.
+///  * Counters gain the conventional `_total` suffix (unless the
+///    sanitized name already ends in `_total`) and render one sample.
+///  * Gauges render one sample; non-finite values use the format's
+///    spellings (`+Inf`, `-Inf`, `NaN`).
+///  * Histograms render the full conventional series: cumulative
+///    `<name>_bucket{le="<bound>"}` lines (the registry stores
+///    per-bucket counts; the encoder accumulates), a terminal
+///    `le="+Inf"` bucket equal to the observation count, then
+///    `<name>_sum` and `<name>_count`.
+///
+/// Every family is preceded by its `# TYPE` line, as scrapers require.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace tgl::obs {
+
+/// Sanitize a registry metric name into the Prometheus name charset.
+std::string prometheus_name(std::string_view name);
+
+/// Render @p snapshot in the Prometheus text exposition format.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Write render_prometheus(registry.snapshot()) to @p path
+/// (tgl::util::Error on I/O failure).
+void write_prometheus_file(const Registry& registry,
+                           const std::string& path);
+
+} // namespace tgl::obs

@@ -1,10 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/string_util.hpp"
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -157,10 +159,29 @@ Registry::intern(std::string_view name, MetricKind kind,
     const std::lock_guard<std::mutex> lock(mutex_);
     for (std::uint32_t i = 0; i < metrics_.size(); ++i) {
         if (metrics_[i].name == name) {
-            if (metrics_[i].kind != kind) {
+            MetricInfo& existing = metrics_[i];
+            if (existing.kind != kind) {
                 util::fatal("obs::Registry: metric '" + std::string(name) +
                             "' already registered as " +
-                            kind_name(metrics_[i].kind));
+                            kind_name(existing.kind));
+            }
+            if (kind == MetricKind::kHistogram &&
+                !std::equal(bounds.begin(), bounds.end(),
+                            existing.bounds.get(),
+                            existing.bounds.get() + existing.num_bounds)) {
+                // The registered bounds win (handles already point at
+                // them); warn once so the conflicting call site is
+                // discoverable instead of silently mis-bucketing.
+                if (!existing.bounds_warned) {
+                    existing.bounds_warned = true;
+                    ++bounds_mismatches_;
+                    util::warn("obs::Registry: histogram '" +
+                               std::string(name) +
+                               "' re-registered with different bounds; "
+                               "keeping the original " +
+                               std::to_string(existing.num_bounds) +
+                               "-bucket layout");
+                }
             }
             return i;
         }
@@ -207,10 +228,22 @@ Registry::histogram(std::string_view name, std::vector<double> bounds)
         util::fatal("obs::Registry: histogram '" + std::string(name) +
                     "' needs at least one bucket bound");
     }
-    for (std::size_t i = 1; i < bounds.size(); ++i) {
-        if (!(bounds[i] > bounds[i - 1])) {
+    for (const double bound : bounds) {
+        if (!std::isfinite(bound)) {
             util::fatal("obs::Registry: histogram '" + std::string(name) +
-                        "' bounds must be strictly increasing");
+                        "' has a non-finite bucket bound (NaN/Inf); the "
+                        "overflow bucket already covers +Inf");
+        }
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+        if (bounds[i] == bounds[i - 1]) {
+            util::fatal("obs::Registry: histogram '" + std::string(name) +
+                        "' has a duplicate bucket bound (" +
+                        std::to_string(bounds[i]) + ")");
+        }
+        if (bounds[i] < bounds[i - 1]) {
+            util::fatal("obs::Registry: histogram '" + std::string(name) +
+                        "' bounds must be sorted strictly increasing");
         }
     }
     // Cells: one per bound, one overflow bucket, one sum (double bits).
@@ -220,6 +253,13 @@ Registry::histogram(std::string_view name, std::vector<double> bounds)
     const MetricInfo& info = metrics_[index];
     return Histogram(this, info.first_cell, info.bounds.get(),
                      info.num_bounds);
+}
+
+std::uint64_t
+Registry::histogram_bounds_mismatches() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return bounds_mismatches_;
 }
 
 MetricsSnapshot

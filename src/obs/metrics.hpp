@@ -156,9 +156,17 @@ class Registry
     /// already registered with a different kind is an error.
     Counter counter(std::string_view name);
     Gauge gauge(std::string_view name);
-    /// @p bounds must be strictly increasing and non-empty. Re-lookup
-    /// of an existing histogram ignores @p bounds.
+    /// @p bounds must be non-empty, finite, and strictly increasing
+    /// (unsorted, duplicate, or non-finite bounds are fatal). Re-lookup
+    /// of an existing histogram keeps the registered bounds; if the
+    /// requested bounds differ, a warning is logged once per metric
+    /// (see histogram_bounds_mismatches()).
     Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+    /// Number of histograms whose re-registration requested bounds
+    /// differing from the registered ones (each counted once, at the
+    /// first mismatching lookup).
+    std::uint64_t histogram_bounds_mismatches() const;
 
     /// Merge all shards into an ordered snapshot (approximate while
     /// writers are concurrently active, exact when they are quiesced).
@@ -202,6 +210,8 @@ class Registry
         /// valid across metadata growth.
         std::unique_ptr<double[]> bounds;
         std::uint32_t num_bounds = 0;
+        /// A re-registration with different bounds already warned.
+        bool bounds_warned = false;
     };
 
     std::uint32_t intern(std::string_view name, MetricKind kind,
@@ -220,6 +230,7 @@ class Registry
     Shard central_;                              ///< gauge cells
     std::uint32_t next_cell_ = 0;
     std::uint32_t next_gauge_cell_ = 0;
+    std::uint64_t bounds_mismatches_ = 0;
 };
 
 } // namespace tgl::obs

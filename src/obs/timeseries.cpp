@@ -1,0 +1,387 @@
+#include "obs/timeseries.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace tgl::obs {
+
+namespace {
+
+/// JSON-safe double rendering (mirrors metrics.cpp: NaN/Inf clamp to 0).
+std::string
+json_number(double value)
+{
+    if (!(value == value) || value > 1e308 || value < -1e308) {
+        return "0";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+const char*
+kind_name(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+/// Upper bound of the bucket holding quantile @p q of @p counts
+/// (counts has bounds.size() + 1 entries, last = overflow). The
+/// overflow bucket reports the largest finite bound — a floor, but a
+/// stable one (no +Inf in operator-facing rollups).
+double
+bucket_quantile(const std::vector<double>& bounds,
+                const std::vector<std::uint64_t>& counts, double q)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) {
+        total += c;
+    }
+    if (total == 0 || bounds.empty()) {
+        return 0.0;
+    }
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        cumulative += counts[b];
+        if (static_cast<double>(cumulative) >= target) {
+            return b < bounds.size() ? bounds[b] : bounds.back();
+        }
+    }
+    return bounds.back();
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(Registry& registry, TimeseriesConfig config)
+    : registry_(registry), config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (config_.interval_ms == 0) {
+        util::fatal("obs::FlightRecorder: interval_ms must be > 0");
+    }
+    if (config_.capacity < 2) {
+        util::fatal("obs::FlightRecorder: capacity must be >= 2");
+    }
+    // Self-describing health signal: the recorder's own sample count
+    // flows through the registry it watches, so scrapes can tell a
+    // stalled sampler from a quiet server.
+    samples_counter_ = registry_.counter("obs.timeseries.samples");
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    stop();
+}
+
+void
+FlightRecorder::start()
+{
+    if (sampler_.joinable()) {
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(sampler_mutex_);
+        stop_requested_ = false;
+    }
+    sampler_ = std::thread([this] { sampler_main(); });
+}
+
+void
+FlightRecorder::stop()
+{
+    if (!sampler_.joinable()) {
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(sampler_mutex_);
+        stop_requested_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_.join();
+}
+
+void
+FlightRecorder::sampler_main()
+{
+    std::unique_lock<std::mutex> lock(sampler_mutex_);
+    while (!stop_requested_) {
+        lock.unlock();
+        sample_now();
+        lock.lock();
+        sampler_cv_.wait_for(lock,
+                             std::chrono::milliseconds(config_.interval_ms),
+                             [this] { return stop_requested_; });
+    }
+}
+
+void
+FlightRecorder::sample_now()
+{
+    samples_counter_.inc();
+    // Snapshot outside the recorder mutex: the registry has its own
+    // lock, and holding both at once would serialize queries behind a
+    // full shard merge.
+    const MetricsSnapshot snap = registry_.snapshot();
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const MetricValue& metric : snap.metrics) {
+        Series* series = nullptr;
+        for (Series& candidate : series_) {
+            if (candidate.name == metric.name) {
+                series = &candidate;
+                break;
+            }
+        }
+        if (series == nullptr) {
+            // New metric (metrics register lazily; this is common for
+            // a recorder started before the first request arrives).
+            Series fresh;
+            fresh.name = metric.name;
+            fresh.kind = metric.kind;
+            fresh.bounds = metric.bounds;
+            series_.push_back(std::move(fresh));
+            series = &series_.back();
+        }
+        record_locked(*series, t, metric);
+    }
+    ++num_samples_;
+}
+
+void
+FlightRecorder::record_locked(Series& series, double t,
+                              const MetricValue& metric)
+{
+    Sample sample;
+    sample.t = t;
+    const bool primed = series.size > 0 || series.ring.capacity() > 0;
+    switch (metric.kind) {
+    case MetricKind::kCounter:
+        sample.cumulative = metric.value;
+        if (primed) {
+            // A cumulative below the baseline means the registry was
+            // reset; treat the counter as freshly started.
+            sample.delta = metric.value >= series.prev_value
+                               ? metric.value - series.prev_value
+                               : metric.value;
+        }
+        series.prev_value = metric.value;
+        break;
+    case MetricKind::kGauge:
+        sample.cumulative = metric.value;
+        sample.delta = 0.0;
+        break;
+    case MetricKind::kHistogram: {
+        const std::size_t buckets = metric.bucket_counts.size();
+        sample.bucket_deltas.resize(buckets, 0);
+        series.prev_buckets.resize(buckets, 0);
+        bool reset = metric.count < series.prev_count;
+        for (std::size_t b = 0; !reset && b < buckets; ++b) {
+            reset = metric.bucket_counts[b] < series.prev_buckets[b];
+        }
+        if (primed && !reset) {
+            for (std::size_t b = 0; b < buckets; ++b) {
+                sample.bucket_deltas[b] =
+                    metric.bucket_counts[b] - series.prev_buckets[b];
+            }
+            sample.count_delta = metric.count - series.prev_count;
+            sample.sum_delta = metric.sum - series.prev_sum;
+        } else if (primed && reset) {
+            sample.bucket_deltas = metric.bucket_counts;
+            sample.count_delta = metric.count;
+            sample.sum_delta = metric.sum;
+        }
+        sample.cumulative = static_cast<double>(metric.count);
+        series.prev_buckets = metric.bucket_counts;
+        series.prev_count = metric.count;
+        series.prev_sum = metric.sum;
+        break;
+    }
+    }
+    if (series.ring.capacity() == 0) {
+        series.ring.reserve(config_.capacity);
+    }
+    if (series.ring.size() < config_.capacity) {
+        series.ring.push_back(std::move(sample));
+        series.head = series.ring.size() % config_.capacity;
+        series.size = series.ring.size();
+    } else {
+        series.ring[series.head] = std::move(sample);
+        series.head = (series.head + 1) % config_.capacity;
+        series.size = config_.capacity;
+    }
+}
+
+const FlightRecorder::Sample*
+FlightRecorder::newest_locked(const Series& series) const
+{
+    if (series.size == 0) {
+        return nullptr;
+    }
+    const std::size_t newest =
+        (series.head + series.ring.size() - 1) % series.ring.size();
+    return &series.ring[newest];
+}
+
+std::uint64_t
+FlightRecorder::num_samples() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return num_samples_;
+}
+
+std::vector<MetricRollup>
+FlightRecorder::rollup(double window_seconds) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricRollup> out;
+    out.reserve(series_.size());
+    for (const Series& series : series_) {
+        const Sample* newest = newest_locked(series);
+        if (newest == nullptr) {
+            continue;
+        }
+        const double cutoff = newest->t - window_seconds;
+        MetricRollup roll;
+        roll.name = series.name;
+        roll.kind = series.kind;
+        roll.last = newest->cumulative;
+
+        double oldest_t = newest->t;
+        double gauge_min = 0.0, gauge_max = 0.0, gauge_sum = 0.0;
+        std::size_t included = 0;
+        std::vector<std::uint64_t> bucket_totals(series.bounds.size() + 1,
+                                                 0);
+        for (std::size_t i = 0; i < series.size; ++i) {
+            const Sample& sample = series.ring[i];
+            if (sample.t < cutoff || sample.t > newest->t) {
+                continue;
+            }
+            oldest_t = std::min(oldest_t, sample.t);
+            roll.delta += series.kind == MetricKind::kHistogram
+                              ? static_cast<double>(sample.count_delta)
+                              : sample.delta;
+            roll.sum_delta += sample.sum_delta;
+            if (series.kind == MetricKind::kGauge) {
+                if (included == 0) {
+                    gauge_min = gauge_max = sample.cumulative;
+                } else {
+                    gauge_min = std::min(gauge_min, sample.cumulative);
+                    gauge_max = std::max(gauge_max, sample.cumulative);
+                }
+                gauge_sum += sample.cumulative;
+            }
+            if (series.kind == MetricKind::kHistogram) {
+                for (std::size_t b = 0;
+                     b < sample.bucket_deltas.size() &&
+                     b < bucket_totals.size();
+                     ++b) {
+                    bucket_totals[b] += sample.bucket_deltas[b];
+                }
+            }
+            ++included;
+        }
+        // Each sample's delta covers the interval since the previous
+        // sample, so the covered span reaches one interval before the
+        // oldest included sample.
+        const double interval =
+            static_cast<double>(config_.interval_ms) / 1000.0;
+        const double covered =
+            included > 0 ? (newest->t - oldest_t) + interval : 0.0;
+        roll.rate = covered > 0.0 ? roll.delta / covered : 0.0;
+        if (series.kind == MetricKind::kGauge && included > 0) {
+            roll.min = gauge_min;
+            roll.max = gauge_max;
+            roll.mean = gauge_sum / static_cast<double>(included);
+        }
+        if (series.kind == MetricKind::kHistogram) {
+            roll.p50 = bucket_quantile(series.bounds, bucket_totals, 0.50);
+            roll.p90 = bucket_quantile(series.bounds, bucket_totals, 0.90);
+            roll.p99 = bucket_quantile(series.bounds, bucket_totals, 0.99);
+        }
+        out.push_back(std::move(roll));
+    }
+    return out;
+}
+
+std::string
+FlightRecorder::to_json() const
+{
+    std::string out = "{\n  \"schema_version\": 1,\n";
+    out += "  \"interval_ms\": " + std::to_string(config_.interval_ms) +
+           ",\n";
+    out += "  \"capacity\": " + std::to_string(config_.capacity) + ",\n";
+    out += "  \"samples\": " + std::to_string(num_samples()) + ",\n";
+    out += "  \"windows\": [\n";
+    for (std::size_t w = 0; w < config_.windows.size(); ++w) {
+        const double seconds = config_.windows[w];
+        const std::vector<MetricRollup> rolls = rollup(seconds);
+        out += "    {\"seconds\": " + json_number(seconds) +
+               ", \"metrics\": [\n";
+        for (std::size_t i = 0; i < rolls.size(); ++i) {
+            const MetricRollup& roll = rolls[i];
+            out += "      {\"name\": \"" + util::json_escape(roll.name) +
+                   "\", \"kind\": \"" + kind_name(roll.kind) + "\"";
+            switch (roll.kind) {
+            case MetricKind::kCounter:
+                out += ", \"delta\": " + json_number(roll.delta) +
+                       ", \"rate\": " + json_number(roll.rate) +
+                       ", \"last\": " + json_number(roll.last);
+                break;
+            case MetricKind::kGauge:
+                out += ", \"last\": " + json_number(roll.last) +
+                       ", \"min\": " + json_number(roll.min) +
+                       ", \"max\": " + json_number(roll.max) +
+                       ", \"mean\": " + json_number(roll.mean);
+                break;
+            case MetricKind::kHistogram:
+                out += ", \"count\": " + json_number(roll.delta) +
+                       ", \"rate\": " + json_number(roll.rate) +
+                       ", \"sum\": " + json_number(roll.sum_delta) +
+                       ", \"p50\": " + json_number(roll.p50) +
+                       ", \"p90\": " + json_number(roll.p90) +
+                       ", \"p99\": " + json_number(roll.p99);
+                break;
+            }
+            out += "}";
+            if (i + 1 < rolls.size()) {
+                out += ",";
+            }
+            out += "\n";
+        }
+        out += "    ]}";
+        if (w + 1 < config_.windows.size()) {
+            out += ",";
+        }
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+void
+FlightRecorder::write_json(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        util::fatal("obs::FlightRecorder: cannot open " + path +
+                    " for writing");
+    }
+    out << to_json();
+    if (!out) {
+        util::fatal("obs::FlightRecorder: failed writing " + path);
+    }
+}
+
+} // namespace tgl::obs

@@ -1,0 +1,159 @@
+/// @file
+/// Time-series flight recorder over the metrics registry.
+///
+/// The registry answers "what are the totals right now"; the recorder
+/// answers "what happened over the last 1s/10s/60s". A background
+/// sampler thread snapshots the registry every `interval_ms` and files
+/// each metric into a fixed-size ring buffer of samples, so a
+/// long-running server keeps a bounded recent history it can serve
+/// over the wire (kTimeseries opcode) or dump on drain
+/// (`--timeseries-out`) without any external scrape infrastructure.
+///
+/// Storage model (DESIGN.md §15):
+///  * Counters are stored as per-sample *deltas* (this sample's
+///    cumulative minus the previous one). A cumulative value below the
+///    previous sample means the counter was reset (Registry::reset());
+///    the delta clamps to the post-reset cumulative — the standard
+///    rate-across-reset convention — so rates never go negative.
+///  * Gauges store the sampled value verbatim.
+///  * Histograms store per-sample bucket-count deltas plus count/sum
+///    deltas, which is exactly what windowed quantiles need.
+///  * The first sample of a metric primes its baseline and records a
+///    zero delta, so activity predating the recorder is not
+///    misattributed to the first interval.
+///
+/// Queries aggregate the ring over trailing windows: counter
+/// delta/rate, gauge last/min/max/mean, histogram count/rate/p50/p90/
+/// p99 (quantiles report the matching bucket's upper bound; the
+/// overflow bucket reports the largest finite bound). Everything —
+/// rings, baselines, rollups — is guarded by one recorder mutex;
+/// writers never touch it (they write to the registry as usual), so
+/// the only cross-thread contention is sampler vs. query.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tgl::obs {
+
+struct TimeseriesConfig
+{
+    /// Sampler period. Bounded history = capacity * interval.
+    unsigned interval_ms = 100;
+    /// Ring slots per metric (600 x 100ms = one minute of history).
+    std::size_t capacity = 600;
+    /// Trailing rollup windows rendered by to_json(), in seconds.
+    std::vector<double> windows = {1.0, 10.0, 60.0};
+};
+
+/// Windowed aggregate of one metric (see rollup()).
+struct MetricRollup
+{
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    /// Counter: summed delta over the window and delta/second. For
+    /// histograms delta is the observation-count delta.
+    double delta = 0.0;
+    double rate = 0.0;
+    /// Counter cumulative / gauge value at the newest sample.
+    double last = 0.0;
+    /// Gauge statistics over the window's samples.
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    /// Histogram observation-sum delta and bucket-quantiles.
+    double sum_delta = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(Registry& registry,
+                            TimeseriesConfig config = {});
+    ~FlightRecorder();
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /// Spawn the background sampler thread (idempotent).
+    void start();
+    /// Stop and join the sampler; recorded history stays queryable.
+    void stop();
+
+    /// Take one sample synchronously (the sampler thread calls this;
+    /// tests call it directly for deterministic rings).
+    void sample_now();
+
+    /// Total samples taken since construction (monotonic, not capped
+    /// by ring capacity).
+    std::uint64_t num_samples() const;
+
+    /// Aggregate every recorded metric over the trailing
+    /// @p window_seconds (relative to the newest sample).
+    std::vector<MetricRollup> rollup(double window_seconds) const;
+
+    /// Render every configured window as JSON:
+    /// {"schema_version":1,"interval_ms":...,"samples":N,
+    ///  "windows":[{"seconds":...,"metrics":[...]}, ...]}.
+    std::string to_json() const;
+
+    /// Write to_json() to @p path (tgl::util::Error on I/O failure).
+    void write_json(const std::string& path) const;
+
+    const TimeseriesConfig& config() const { return config_; }
+
+  private:
+    struct Sample
+    {
+        double t = 0.0; ///< seconds since recorder construction
+        double delta = 0.0;
+        double cumulative = 0.0; ///< counter total / gauge value
+        std::vector<std::uint64_t> bucket_deltas;
+        std::uint64_t count_delta = 0;
+        double sum_delta = 0.0;
+    };
+
+    struct Series
+    {
+        std::string name;
+        MetricKind kind = MetricKind::kCounter;
+        std::vector<double> bounds;
+        std::vector<Sample> ring; ///< capacity slots, lazily grown
+        std::size_t head = 0;     ///< next write position
+        std::size_t size = 0;
+        /// Baseline for delta computation (previous cumulative state).
+        double prev_value = 0.0;
+        std::vector<std::uint64_t> prev_buckets;
+        std::uint64_t prev_count = 0;
+        double prev_sum = 0.0;
+    };
+
+    void sampler_main();
+    void record_locked(Series& series, double t, const MetricValue& metric);
+    const Sample* newest_locked(const Series& series) const;
+
+    Registry& registry_;
+    TimeseriesConfig config_;
+    std::chrono::steady_clock::time_point epoch_;
+    Counter samples_counter_;
+
+    mutable std::mutex mutex_;
+    std::vector<Series> series_;
+    std::uint64_t num_samples_ = 0;
+
+    std::mutex sampler_mutex_;
+    std::condition_variable sampler_cv_;
+    bool stop_requested_ = false;
+    std::thread sampler_;
+};
+
+} // namespace tgl::obs

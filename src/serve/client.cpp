@@ -256,6 +256,26 @@ Client::stats_json()
     return response.body_text();
 }
 
+std::string
+Client::metrics_text()
+{
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(Op::kMetricsText));
+    const Response response = roundtrip(payload);
+    expect_ok(response, "metrics-text");
+    return response.body_text();
+}
+
+std::string
+Client::timeseries_json()
+{
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(Op::kTimeseries));
+    const Response response = roundtrip(payload);
+    expect_ok(response, "timeseries");
+    return response.body_text();
+}
+
 std::uint64_t
 Client::reload(const std::string& path)
 {

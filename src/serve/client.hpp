@@ -49,8 +49,16 @@ class Client
     std::vector<std::pair<std::uint32_t, float>>
     knn(std::uint32_t node, std::uint32_t k);
 
-    /// Metrics-registry snapshot as JSON text.
+    /// Metrics-registry snapshot as JSON text (includes the
+    /// "slow_requests" top-K latency log).
     std::string stats_json();
+
+    /// Registry snapshot in the Prometheus text exposition format.
+    std::string metrics_text();
+
+    /// Flight-recorder windowed rollups as JSON (kServerError — thrown
+    /// as util::Error — when the server runs without the recorder).
+    std::string timeseries_json();
 
     /// Ask the server to publish a new snapshot from @p path; returns
     /// the new epoch.

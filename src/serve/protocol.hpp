@@ -13,16 +13,24 @@
 ///   kPing       (0x01)  body: empty
 ///   kLinkScore  (0x02)  body: u32 count, count x (u32 u, u32 v)
 ///   kKnn        (0x03)  body: u32 node, u32 k
-///   kStats      (0x04)  body: empty
-///   kReload     (0x05)  body: UTF-8 path of an embedding artifact
+///   kStats       (0x04)  body: empty
+///   kReload      (0x05)  body: UTF-8 path of an embedding artifact
+///   kMetricsText (0x06)  body: empty
+///   kTimeseries  (0x07)  body: empty
 ///
 /// Responses (status kOk):
-///   Ping       u64 epoch, u64 fingerprint, u32 num_nodes, u32 dim,
-///              u8 quant (QuantMode)
-///   LinkScore  count x f32 score (request order)
-///   Knn        u32 count, count x (u32 node, f32 cosine)
-///   Stats      metrics-registry JSON snapshot (obs/metrics.hpp schema)
-///   Reload     u64 new epoch
+///   Ping        u64 epoch, u64 fingerprint, u32 num_nodes, u32 dim,
+///               u8 quant (QuantMode)
+///   LinkScore   count x f32 score (request order)
+///   Knn         u32 count, count x (u32 node, f32 cosine)
+///   Stats       metrics-registry JSON snapshot (obs/metrics.hpp
+///               schema) plus a "slow_requests" top-K latency log
+///   Reload      u64 new epoch
+///   MetricsText Prometheus text exposition of the registry
+///               (obs/exposition.hpp mapping rules)
+///   Timeseries  flight-recorder windowed-rollup JSON
+///               (obs/timeseries.hpp schema); kServerError when the
+///               server runs with the recorder disabled
 ///
 /// Error responses carry status kBadRequest (client fault: malformed
 /// frame, unknown opcode, out-of-range node, oversized request — the
@@ -45,6 +53,8 @@ enum class Op : std::uint8_t
     kKnn = 0x03,
     kStats = 0x04,
     kReload = 0x05,
+    kMetricsText = 0x06,
+    kTimeseries = 0x07,
 };
 
 enum class Status : std::uint8_t

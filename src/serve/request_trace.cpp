@@ -1,0 +1,122 @@
+#include "serve/request_trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace tgl::serve {
+
+namespace {
+
+bool
+slower(const SlowRequestRecord& a, const SlowRequestRecord& b)
+{
+    return a.total_seconds > b.total_seconds;
+}
+
+std::string
+json_number(double value)
+{
+    if (!(value == value) || value > 1e308 || value < -1e308) {
+        return "0";
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+} // namespace
+
+double
+RequestTrace::seconds_between(TracePoint from, TracePoint to)
+{
+    if (from == TracePoint{} || to == TracePoint{} || to < from) {
+        return 0.0;
+    }
+    return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t
+next_request_id()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SlowRequestLog::SlowRequestLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+SlowRequestLog::record(const SlowRequestRecord& record)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (heap_.size() < capacity_) {
+        heap_.push_back(record);
+        std::push_heap(heap_.begin(), heap_.end(), slower);
+        return;
+    }
+    if (record.total_seconds <= heap_.front().total_seconds) {
+        return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), slower);
+    heap_.back() = record;
+    std::push_heap(heap_.begin(), heap_.end(), slower);
+}
+
+std::vector<SlowRequestRecord>
+SlowRequestLog::entries() const
+{
+    std::vector<SlowRequestRecord> out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out = heap_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SlowRequestRecord& a, const SlowRequestRecord& b) {
+                  return a.total_seconds > b.total_seconds;
+              });
+    return out;
+}
+
+std::size_t
+SlowRequestLog::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+}
+
+void
+SlowRequestLog::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    heap_.clear();
+}
+
+std::string
+SlowRequestLog::to_json() const
+{
+    const std::vector<SlowRequestRecord> sorted = entries();
+    std::string out = "[";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const SlowRequestRecord& r = sorted[i];
+        out += "{\"request_id\": " + std::to_string(r.request_id) +
+               ", \"epoch\": " + std::to_string(r.epoch) +
+               ", \"pairs\": " + std::to_string(r.pairs) +
+               ", \"total_seconds\": " + json_number(r.total_seconds) +
+               ", \"admission_seconds\": " +
+               json_number(r.admission_seconds) +
+               ", \"queue_seconds\": " + json_number(r.queue_seconds) +
+               ", \"forward_seconds\": " + json_number(r.forward_seconds) +
+               ", \"serialize_seconds\": " +
+               json_number(r.serialize_seconds) + "}";
+        if (i + 1 < sorted.size()) {
+            out += ", ";
+        }
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace tgl::serve

@@ -1,0 +1,103 @@
+/// @file
+/// Per-request tracing for tgl_serve: stage timestamps and the bounded
+/// slow-request log.
+///
+/// Every traced request carries a process-unique id plus monotonic
+/// timestamps for the five lifecycle stages (DESIGN.md §15):
+///
+///   accepted        frame decoded on the connection thread
+///   enqueued        job submitted to the admission queue
+///   assembled       scorer coalesced the job into a batch and finished
+///                   gathering its features
+///   forward_done    the batched classifier forward returned
+///   serialized      the response was written back to the socket
+///
+/// The connection thread derives stage durations after serialization
+/// and (a) observes them into the `serve.stage.*` histograms, (b)
+/// offers the request to the SlowRequestLog — a bounded top-K-by-total
+/// -latency log (min-heap under a mutex) that the stats opcode and the
+/// SIGTERM drain path dump, so "what were my worst requests" survives
+/// without any external tracing infrastructure.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tgl::serve {
+
+using TracePoint = std::chrono::steady_clock::time_point;
+
+/// Stage timestamps for one request. Default-constructed time points
+/// mark stages never reached (failed or untraced requests).
+struct RequestTrace
+{
+    std::uint64_t request_id = 0;
+    TracePoint accepted{};
+    TracePoint enqueued{};
+    TracePoint assembled{};
+    TracePoint forward_done{};
+    TracePoint serialized{};
+
+    /// Seconds from @p from to @p to; 0 when either end is unset or
+    /// the interval is negative (clock is monotonic, but stages can
+    /// legitimately be skipped).
+    static double seconds_between(TracePoint from, TracePoint to);
+
+    bool complete() const
+    {
+        return accepted != TracePoint{} && enqueued != TracePoint{} &&
+               assembled != TracePoint{} && forward_done != TracePoint{} &&
+               serialized != TracePoint{};
+    }
+};
+
+/// One finished request in the slow log.
+struct SlowRequestRecord
+{
+    std::uint64_t request_id = 0;
+    std::uint64_t epoch = 0;   ///< snapshot epoch that served it
+    std::size_t pairs = 0;     ///< batch size requested by the client
+    double total_seconds = 0.0;
+    double admission_seconds = 0.0; ///< accepted -> enqueued
+    double queue_seconds = 0.0;     ///< enqueued -> assembled
+    double forward_seconds = 0.0;   ///< assembled -> forward_done
+    double serialize_seconds = 0.0; ///< forward_done -> serialized
+};
+
+/// Bounded top-K log of the slowest requests by total latency.
+/// Thread-safe; record() is O(log K) against a min-heap so the serve
+/// hot path pays (mutex + heap sift) only, and only K records persist.
+class SlowRequestLog
+{
+  public:
+    explicit SlowRequestLog(std::size_t capacity = 32);
+
+    /// Offer a finished request; kept only if the log has room or the
+    /// request is slower than the current fastest entry.
+    void record(const SlowRequestRecord& record);
+
+    /// Entries sorted slowest-first.
+    std::vector<SlowRequestRecord> entries() const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const;
+    void clear();
+
+    /// JSON array of entries (slowest-first), spliceable into the
+    /// stats payload.
+    std::string to_json() const;
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    /// Min-heap on total_seconds: top() is the cheapest record to evict.
+    std::vector<SlowRequestRecord> heap_;
+};
+
+/// Process-unique request id (atomic counter, starts at 1).
+std::uint64_t next_request_id();
+
+} // namespace tgl::serve

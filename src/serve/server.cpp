@@ -1,9 +1,12 @@
 #include "serve/server.hpp"
 
 #include "nn/tensor.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/cancellation.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -40,6 +43,11 @@ struct ServeMetrics
     obs::Histogram link_latency;
     obs::Histogram knn_latency;
     obs::Histogram batch_pairs;
+    obs::Histogram stage_admission;
+    obs::Histogram stage_queue;
+    obs::Histogram stage_forward;
+    obs::Histogram stage_serialize;
+    obs::Histogram stage_total;
 };
 
 ServeMetrics&
@@ -70,6 +78,16 @@ metrics()
         handles.batch_pairs = r.histogram(
             "serve.batch.pairs",
             {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
+        handles.stage_admission =
+            r.histogram("serve.stage.admission_seconds", latency_bounds);
+        handles.stage_queue =
+            r.histogram("serve.stage.queue_seconds", latency_bounds);
+        handles.stage_forward =
+            r.histogram("serve.stage.forward_seconds", latency_bounds);
+        handles.stage_serialize =
+            r.histogram("serve.stage.serialize_seconds", latency_bounds);
+        handles.stage_total =
+            r.histogram("serve.stage.total_seconds", latency_bounds);
         return handles;
     }();
     return m;
@@ -190,6 +208,18 @@ ServeConfig::validate() const
     if (max_knn == 0) {
         problems.push_back("max_knn must be >= 1");
     }
+    if (timeseries) {
+        if (sample_interval_ms == 0 || sample_interval_ms > 60'000) {
+            problems.push_back(
+                "sample_interval_ms must be in [1, 60000]");
+        }
+        if (timeseries_capacity < 2) {
+            problems.push_back("timeseries_capacity must be >= 2");
+        }
+    }
+    if (request_tracing && slow_log_capacity == 0) {
+        problems.push_back("slow_log_capacity must be >= 1");
+    }
     return problems;
 }
 
@@ -198,9 +228,11 @@ ServeConfig::validate() const
 
 Batcher::Batcher(const SnapshotStore& store,
                  std::function<nn::Mlp()> classifier_factory,
-                 unsigned threads, std::size_t max_batch_pairs)
+                 unsigned threads, std::size_t max_batch_pairs,
+                 bool tracing)
     : store_(store), classifier_factory_(std::move(classifier_factory)),
-      threads_(threads), max_batch_pairs_(max_batch_pairs)
+      threads_(threads), max_batch_pairs_(max_batch_pairs),
+      tracing_(tracing)
 {
 }
 
@@ -316,23 +348,49 @@ Batcher::scorer_loop(unsigned /*index*/)
         if (valid_pairs > 0) {
             metrics().batch_pairs.observe(
                 static_cast<double>(valid_pairs));
-            features = nn::Tensor(valid_pairs, 2 * std::size_t{dim});
-            std::size_t row = 0;
-            for (ScoreJob* job : valid) {
-                for (const auto& [u, v] : job->pairs) {
-                    float* out = features.row(row).data();
-                    snapshot->gather_row(u, out);
-                    snapshot->gather_row(v, out + dim);
-                    ++row;
+            try {
+                // Failpoint for chaos/CI: an injected delay here stalls
+                // the forward stage, which the slow-request log must
+                // then surface.
+                util::fault_point("serve.score");
+                features = nn::Tensor(valid_pairs, 2 * std::size_t{dim});
+                std::size_t row = 0;
+                for (ScoreJob* job : valid) {
+                    for (const auto& [u, v] : job->pairs) {
+                        float* out = features.row(row).data();
+                        snapshot->gather_row(u, out);
+                        snapshot->gather_row(v, out + dim);
+                        ++row;
+                    }
                 }
-            }
-            const nn::Tensor& output = net.forward(features);
-            row = 0;
-            for (ScoreJob* job : valid) {
-                job->epoch = snapshot->epoch();
-                job->scores.resize(job->pairs.size());
-                for (std::size_t i = 0; i < job->pairs.size(); ++i) {
-                    job->scores[i] = output(row++, 0);
+                if (tracing_) {
+                    const TracePoint assembled =
+                        std::chrono::steady_clock::now();
+                    for (ScoreJob* job : valid) {
+                        job->trace.assembled = assembled;
+                    }
+                }
+                const nn::Tensor& output = net.forward(features);
+                if (tracing_) {
+                    const TracePoint forward_done =
+                        std::chrono::steady_clock::now();
+                    for (ScoreJob* job : valid) {
+                        job->trace.forward_done = forward_done;
+                    }
+                }
+                row = 0;
+                for (ScoreJob* job : valid) {
+                    job->epoch = snapshot->epoch();
+                    job->scores.resize(job->pairs.size());
+                    for (std::size_t i = 0; i < job->pairs.size(); ++i) {
+                        job->scores[i] = output(row++, 0);
+                    }
+                }
+            } catch (const util::Error& error) {
+                // A scoring failure (injected or real) fails this
+                // batch's jobs instead of killing the scorer thread.
+                for (ScoreJob* job : valid) {
+                    job->error = util::strcat("score: ", error.what());
                 }
             }
         }
@@ -353,7 +411,9 @@ Server::Server(ServeConfig config,
                std::function<nn::Mlp()> classifier_factory)
     : config_(std::move(config)),
       batcher_(store_, std::move(classifier_factory),
-               config_.scorer_threads, config_.max_batch_pairs)
+               config_.scorer_threads, config_.max_batch_pairs,
+               config_.request_tracing),
+      slow_log_(config_.slow_log_capacity)
 {
     if (const auto problems = config_.validate(); !problems.empty()) {
         util::fatal(util::strcat("serve config: ", problems.front()));
@@ -422,6 +482,14 @@ Server::start()
                   &bound_len);
     port_ = ntohs(bound.sin_port);
 
+    if (config_.timeseries) {
+        obs::TimeseriesConfig ts;
+        ts.interval_ms = config_.sample_interval_ms;
+        ts.capacity = config_.timeseries_capacity;
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            obs::Registry::global(), std::move(ts));
+        recorder_->start();
+    }
     batcher_.start();
     acceptor_ = std::thread([this] { acceptor_loop(); });
     started_.store(true, std::memory_order_release);
@@ -557,13 +625,44 @@ Server::handle_frame(int fd, const std::uint8_t* payload, std::size_t size)
         if (size != 1) {
             break;
         }
-        const std::string json =
-            obs::Registry::global().snapshot().to_json();
+        std::string json = obs::Registry::global().snapshot().to_json();
+        // Splice the slow-request log in as a sibling of "metrics" so
+        // existing consumers of the registry schema keep working.
+        if (const std::size_t brace = json.rfind('}');
+            brace != std::string::npos) {
+            json.insert(brace, ",\n  \"slow_requests\": " +
+                                   slow_log_.to_json() + "\n");
+        }
         std::vector<std::uint8_t> body(json.begin(), json.end());
         return send_response(fd, Status::kOk, body);
     }
     case Op::kReload:
         return handle_reload(fd, payload, size);
+    case Op::kMetricsText: {
+        if (size != 1) {
+            break;
+        }
+        const std::string text =
+            obs::render_prometheus(obs::Registry::global().snapshot());
+        std::vector<std::uint8_t> body(text.begin(), text.end());
+        return send_response(fd, Status::kOk, body);
+    }
+    case Op::kTimeseries: {
+        if (size != 1) {
+            break;
+        }
+        if (recorder_ == nullptr) {
+            // Operator asked for history on a server running without
+            // the recorder: a server-side condition, and the
+            // connection stays usable.
+            send_error(fd, Status::kServerError,
+                       "timeseries: flight recorder disabled");
+            return true;
+        }
+        const std::string json = recorder_->to_json();
+        std::vector<std::uint8_t> body(json.begin(), json.end());
+        return send_response(fd, Status::kOk, body);
+    }
     }
     metrics().bad_requests.inc();
     send_error(fd, Status::kBadRequest,
@@ -577,6 +676,9 @@ Server::handle_link_score(int fd, const std::uint8_t* payload,
                           std::size_t size)
 {
     util::Timer timer;
+    const bool tracing = config_.request_tracing;
+    const TracePoint accepted =
+        tracing ? std::chrono::steady_clock::now() : TracePoint{};
     std::size_t at = 1;
     std::uint32_t count = 0;
     const auto reject = [&](const std::string& reason) {
@@ -605,6 +707,11 @@ Server::handle_link_score(int fd, const std::uint8_t* payload,
     }
     metrics().link_requests.inc();
     metrics().link_pairs.add(count);
+    if (tracing) {
+        job->trace.request_id = next_request_id();
+        job->trace.accepted = accepted;
+        job->trace.enqueued = std::chrono::steady_clock::now();
+    }
     batcher_.submit_and_wait(job);
     if (!job->error.empty()) {
         return reject(util::strcat("link-score: ", job->error));
@@ -616,7 +723,40 @@ Server::handle_link_score(int fd, const std::uint8_t* payload,
     }
     const bool ok = send_response(fd, Status::kOk, body);
     metrics().link_latency.observe(timer.seconds());
+    if (tracing) {
+        job->trace.serialized = std::chrono::steady_clock::now();
+        record_trace(*job);
+    }
     return ok;
+}
+
+void
+Server::record_trace(const ScoreJob& job)
+{
+    const RequestTrace& trace = job.trace;
+    if (!trace.complete()) {
+        return; // failed or partially traced request
+    }
+    SlowRequestRecord record;
+    record.request_id = trace.request_id;
+    record.epoch = job.epoch;
+    record.pairs = job.pairs.size();
+    record.admission_seconds =
+        RequestTrace::seconds_between(trace.accepted, trace.enqueued);
+    record.queue_seconds =
+        RequestTrace::seconds_between(trace.enqueued, trace.assembled);
+    record.forward_seconds =
+        RequestTrace::seconds_between(trace.assembled, trace.forward_done);
+    record.serialize_seconds =
+        RequestTrace::seconds_between(trace.forward_done, trace.serialized);
+    record.total_seconds =
+        RequestTrace::seconds_between(trace.accepted, trace.serialized);
+    metrics().stage_admission.observe(record.admission_seconds);
+    metrics().stage_queue.observe(record.queue_seconds);
+    metrics().stage_forward.observe(record.forward_seconds);
+    metrics().stage_serialize.observe(record.serialize_seconds);
+    metrics().stage_total.observe(record.total_seconds);
+    slow_log_.record(record);
 }
 
 bool
@@ -732,7 +872,19 @@ Server::stop()
     }
     // 3. Only then stop the scorers (the queue is empty by now).
     batcher_.stop();
+    // 4. One final sample so the recorded history covers the drain,
+    // then park the sampler. The history stays queryable.
+    if (recorder_ != nullptr) {
+        recorder_->sample_now();
+        recorder_->stop();
+    }
     metrics().drained.set(1.0);
+}
+
+std::string
+Server::timeseries_json() const
+{
+    return recorder_ != nullptr ? recorder_->to_json() : "{}\n";
 }
 
 void

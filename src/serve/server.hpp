@@ -27,6 +27,7 @@
 
 #include "nn/mlp.hpp"
 #include "serve/protocol.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/snapshot.hpp"
 
 #include <atomic>
@@ -40,6 +41,10 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+namespace tgl::obs {
+class FlightRecorder;
+} // namespace tgl::obs
 
 namespace tgl::serve {
 
@@ -65,6 +70,18 @@ struct ServeConfig
     std::uint32_t max_knn = 1024;
     /// Storage format for snapshots built by the reload endpoint.
     QuantMode quant = QuantMode::kFp32;
+    /// Per-request stage tracing (request ids, serve.stage.*
+    /// histograms, slow-request log). Off removes every extra clock
+    /// read from the request path.
+    bool request_tracing = true;
+    /// Background flight recorder feeding the kTimeseries opcode.
+    bool timeseries = true;
+    /// Flight-recorder sampler period.
+    unsigned sample_interval_ms = 100;
+    /// Flight-recorder ring slots per metric (600 x 100ms = 1 min).
+    std::size_t timeseries_capacity = 600;
+    /// Slow-request log size (top-K by total latency).
+    std::size_t slow_log_capacity = 32;
 
     /// All configuration problems, empty when the config is usable.
     std::vector<std::string> validate() const;
@@ -78,6 +95,10 @@ struct ScoreJob
     /// Epoch of the snapshot that scored this job (response provenance).
     std::uint64_t epoch = 0;
     std::string error; ///< non-empty: job failed (e.g. node out of range)
+    /// Stage timestamps (populated only when request tracing is on:
+    /// the connection thread stamps accepted/enqueued/serialized, the
+    /// scorer stamps assembled/forward_done).
+    RequestTrace trace;
 
     std::mutex mutex;
     std::condition_variable cv;
@@ -91,7 +112,7 @@ class Batcher
   public:
     Batcher(const SnapshotStore& store,
             std::function<nn::Mlp()> classifier_factory, unsigned threads,
-            std::size_t max_batch_pairs);
+            std::size_t max_batch_pairs, bool tracing = false);
     ~Batcher();
 
     void start();
@@ -108,6 +129,7 @@ class Batcher
     std::function<nn::Mlp()> classifier_factory_;
     unsigned threads_;
     std::size_t max_batch_pairs_;
+    bool tracing_;
 
     std::mutex mutex_;
     std::condition_variable cv_;
@@ -152,6 +174,13 @@ class Server
     /// requests, join every thread.
     void stop();
 
+    /// Top-K slowest traced requests (empty when tracing is off).
+    const SlowRequestLog& slow_log() const { return slow_log_; }
+
+    /// Flight-recorder windowed rollups; "{}\n" when the recorder is
+    /// disabled. Valid after stop() too (history survives the drain).
+    std::string timeseries_json() const;
+
     /// Block until process-wide cooperative cancellation (SIGTERM /
     /// SIGINT via util::install_signal_handlers) is requested, then
     /// drain via stop().
@@ -177,11 +206,16 @@ class Server
     bool handle_reload(int fd, const std::uint8_t* payload,
                        std::size_t size);
     void reap_finished_connections();
+    /// Observe stage histograms and offer the request to the slow log
+    /// (called on the connection thread after serialization).
+    void record_trace(const ScoreJob& job);
 
     ServeConfig config_;
     SnapshotStore store_;
     std::atomic<std::uint64_t> epoch_{0};
     Batcher batcher_;
+    SlowRequestLog slow_log_;
+    std::unique_ptr<obs::FlightRecorder> recorder_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;

@@ -39,9 +39,11 @@
 #include "rng/xoshiro256.hpp"
 
 // obs: metrics registry + tracing spans (pipeline-wide telemetry)
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_events.hpp"
 #include "obs/process_stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 // graph: temporal CSR substrate

@@ -1,4 +1,6 @@
-/// Unit tests for the obs metrics registry and trace spans.
+/// Unit tests for the obs metrics registry, the Prometheus exposition
+/// encoder, and trace spans.
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -8,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -95,6 +98,63 @@ TEST(Registry, HistogramBoundsMustBeStrictlyIncreasing)
                  util::Error);
 }
 
+TEST(Registry, HistogramRejectsUnsortedBounds)
+{
+    Registry registry;
+    EXPECT_THROW(registry.histogram("test.unsorted", {1.0, 3.0, 2.0}),
+                 util::Error);
+    EXPECT_THROW(registry.histogram("test.decreasing", {5.0, 1.0}),
+                 util::Error);
+}
+
+TEST(Registry, HistogramRejectsDuplicateBounds)
+{
+    Registry registry;
+    EXPECT_THROW(registry.histogram("test.dup", {1.0, 2.0, 2.0, 3.0}),
+                 util::Error);
+}
+
+TEST(Registry, HistogramRejectsNonFiniteBounds)
+{
+    Registry registry;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(registry.histogram("test.nan", {1.0, nan}), util::Error);
+    EXPECT_THROW(registry.histogram("test.inf", {1.0, inf}), util::Error);
+    EXPECT_THROW(registry.histogram("test.ninf", {-inf, 1.0}),
+                 util::Error);
+}
+
+TEST(Registry, HistogramReRegistrationKeepsBoundsAndWarnsOnce)
+{
+    Registry registry;
+    registry.histogram("test.rereg", {1.0, 2.0}).observe(1.5);
+    EXPECT_EQ(registry.histogram_bounds_mismatches(), 0u);
+    // Conflicting bounds: the registered layout wins, one warning.
+    const Histogram again =
+        registry.histogram("test.rereg", {1.0, 2.0, 3.0});
+    EXPECT_EQ(registry.histogram_bounds_mismatches(), 1u);
+    // Further conflicts on the same metric stay warn-once.
+    registry.histogram("test.rereg", {0.5});
+    EXPECT_EQ(registry.histogram_bounds_mismatches(), 1u);
+    // A matching re-registration is not a mismatch.
+    registry.histogram("test.rereg", {1.0, 2.0});
+    EXPECT_EQ(registry.histogram_bounds_mismatches(), 1u);
+    // The handle from the conflicting call observes into the
+    // registered two-bucket layout.
+    again.observe(1.5);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    const MetricValue* metric = snapshot.find("test.rereg");
+    ASSERT_NE(metric, nullptr);
+    ASSERT_EQ(metric->bounds.size(), 2u);
+    EXPECT_EQ(metric->count, 2u);
+    EXPECT_EQ(metric->bucket_counts[1], 2u);
+    // A different metric with a conflict counts separately.
+    registry.histogram("test.rereg2", {1.0});
+    registry.histogram("test.rereg2", {2.0});
+    EXPECT_EQ(registry.histogram_bounds_mismatches(), 2u);
+}
+
 TEST(Registry, CountsFromManyThreadsMergeExactly)
 {
     Registry registry;
@@ -136,6 +196,73 @@ TEST(Registry, JsonSnapshotContainsEveryKind)
     EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
     EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
     EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+}
+
+TEST(Exposition, SanitizesMetricNames)
+{
+    EXPECT_EQ(prometheus_name("serve.link.latency_seconds"),
+              "serve_link_latency_seconds");
+    EXPECT_EQ(prometheus_name("walk.steps-cached"), "walk_steps_cached");
+    EXPECT_EQ(prometheus_name("9starts.with.digit"),
+              "_9starts_with_digit");
+    EXPECT_EQ(prometheus_name(""), "_");
+    EXPECT_EQ(prometheus_name("already_ok:name"), "already_ok:name");
+}
+
+TEST(Exposition, RendersCounterWithTotalSuffix)
+{
+    Registry registry;
+    registry.counter("serve.requests").add(42);
+    const std::string text = render_prometheus(registry.snapshot());
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_requests_total 42\n"), std::string::npos);
+}
+
+TEST(Exposition, CounterTotalSuffixIsNotDoubled)
+{
+    Registry registry;
+    registry.counter("walk.steps_total").add(3);
+    const std::string text = render_prometheus(registry.snapshot());
+    EXPECT_NE(text.find("walk_steps_total 3\n"), std::string::npos);
+    EXPECT_EQ(text.find("walk_steps_total_total"), std::string::npos);
+}
+
+TEST(Exposition, RendersGaugeIncludingNonFinite)
+{
+    Registry registry;
+    registry.gauge("test.gauge").set(2.5);
+    registry.gauge("test.inf").set(
+        std::numeric_limits<double>::infinity());
+    const std::string text = render_prometheus(registry.snapshot());
+    EXPECT_NE(text.find("# TYPE test_gauge gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("test_gauge 2.5\n"), std::string::npos);
+    EXPECT_NE(text.find("test_inf +Inf\n"), std::string::npos);
+}
+
+TEST(Exposition, RendersCumulativeHistogram)
+{
+    Registry registry;
+    const Histogram histogram =
+        registry.histogram("test.lat", {0.001, 0.01, 0.1});
+    histogram.observe(0.0005); // bucket 0
+    histogram.observe(0.005);  // bucket 1
+    histogram.observe(0.005);  // bucket 1
+    histogram.observe(5.0);    // overflow
+    const std::string text = render_prometheus(registry.snapshot());
+    EXPECT_NE(text.find("# TYPE test_lat histogram\n"),
+              std::string::npos);
+    // Buckets are cumulative: 1, 3, 3, then +Inf == count == 4.
+    EXPECT_NE(text.find("test_lat_bucket{le=\"0.001\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_lat_bucket{le=\"0.01\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_lat_bucket{le=\"0.1\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_lat_bucket{le=\"+Inf\"} 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_lat_count 4\n"), std::string::npos);
+    EXPECT_NE(text.find("test_lat_sum "), std::string::npos);
 }
 
 TEST(Trace, SpanRecordsIntoActiveSession)

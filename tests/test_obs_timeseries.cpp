@@ -1,0 +1,304 @@
+/// Unit and concurrency tests for the obs flight recorder
+/// (obs/timeseries.hpp): delta/rate semantics, ring wraparound,
+/// counter-reset handling, windowed rollups, and sampler-vs-writer
+/// races (the latter run under TSan via the `threading` ctest label).
+#include "obs/timeseries.hpp"
+
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tgl::obs {
+namespace {
+
+TimeseriesConfig
+test_config(std::size_t capacity = 16)
+{
+    TimeseriesConfig config;
+    config.interval_ms = 5;
+    config.capacity = capacity;
+    return config;
+}
+
+const MetricRollup*
+find_rollup(const std::vector<MetricRollup>& rolls,
+            const std::string& name)
+{
+    for (const MetricRollup& roll : rolls) {
+        if (roll.name == name) {
+            return &roll;
+        }
+    }
+    return nullptr;
+}
+
+TEST(FlightRecorder, RejectsDegenerateConfig)
+{
+    Registry registry;
+    TimeseriesConfig zero_interval;
+    zero_interval.interval_ms = 0;
+    EXPECT_THROW(FlightRecorder(registry, zero_interval), util::Error);
+    TimeseriesConfig tiny;
+    tiny.capacity = 1;
+    EXPECT_THROW(FlightRecorder(registry, tiny), util::Error);
+}
+
+TEST(FlightRecorder, FirstSamplePrimesTheBaseline)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.counter");
+    counter.add(5); // activity before the recorder existed
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    counter.add(7);
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.counter");
+    ASSERT_NE(roll, nullptr);
+    // The pre-recorder 5 primes the baseline; only the 7 is windowed.
+    EXPECT_DOUBLE_EQ(roll->delta, 7.0);
+    EXPECT_DOUBLE_EQ(roll->last, 12.0);
+    EXPECT_GT(roll->rate, 0.0);
+}
+
+TEST(FlightRecorder, CounterResetClampsToFreshCumulative)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.reset");
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    counter.add(10);
+    recorder.sample_now();
+    registry.reset();
+    counter.add(3);
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.reset");
+    ASSERT_NE(roll, nullptr);
+    // 10 before the reset + 3 after; never a negative delta.
+    EXPECT_DOUBLE_EQ(roll->delta, 13.0);
+    EXPECT_DOUBLE_EQ(roll->last, 3.0);
+}
+
+TEST(FlightRecorder, RingWrapsAroundKeepingNewestSamples)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.wrap");
+    FlightRecorder recorder(registry, test_config(/*capacity=*/4));
+    for (int i = 0; i < 10; ++i) {
+        counter.inc();
+        recorder.sample_now();
+    }
+    EXPECT_EQ(recorder.num_samples(), 10u);
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.wrap");
+    ASSERT_NE(roll, nullptr);
+    // Only the 4 retained samples contribute (delta 1 each); the
+    // cumulative still reports the true total.
+    EXPECT_DOUBLE_EQ(roll->delta, 4.0);
+    EXPECT_DOUBLE_EQ(roll->last, 10.0);
+}
+
+TEST(FlightRecorder, GaugeWindowStatistics)
+{
+    Registry registry;
+    const Gauge gauge = registry.gauge("test.gauge");
+    FlightRecorder recorder(registry, test_config());
+    gauge.set(1.0);
+    recorder.sample_now();
+    gauge.set(5.0);
+    recorder.sample_now();
+    gauge.set(3.0);
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.gauge");
+    ASSERT_NE(roll, nullptr);
+    EXPECT_DOUBLE_EQ(roll->last, 3.0);
+    EXPECT_DOUBLE_EQ(roll->min, 1.0);
+    EXPECT_DOUBLE_EQ(roll->max, 5.0);
+    EXPECT_DOUBLE_EQ(roll->mean, 3.0);
+}
+
+TEST(FlightRecorder, HistogramWindowQuantiles)
+{
+    Registry registry;
+    const Histogram histogram =
+        registry.histogram("test.hist", {0.001, 0.01, 0.1, 1.0});
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    for (int i = 0; i < 10; ++i) {
+        histogram.observe(0.005); // bucket le=0.01
+    }
+    histogram.observe(0.5); // bucket le=1.0
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.hist");
+    ASSERT_NE(roll, nullptr);
+    EXPECT_DOUBLE_EQ(roll->delta, 11.0);
+    // Quantiles report the matching bucket's upper bound.
+    EXPECT_DOUBLE_EQ(roll->p50, 0.01);
+    EXPECT_DOUBLE_EQ(roll->p99, 1.0);
+    EXPECT_NEAR(roll->sum_delta, 10 * 0.005 + 0.5, 1e-9);
+}
+
+TEST(FlightRecorder, HistogramDeltasSurviveRegistryReset)
+{
+    Registry registry;
+    const Histogram histogram = registry.histogram("test.hreset", {1.0});
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    histogram.observe(0.5);
+    histogram.observe(0.5);
+    recorder.sample_now();
+    registry.reset();
+    // Post-reset count (1) dips below the pre-reset count (2), which is
+    // what marks the sample as a reset: the fresh cumulative counts as
+    // the delta instead of a negative difference.
+    histogram.observe(2.0);
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.hreset");
+    ASSERT_NE(roll, nullptr);
+    EXPECT_DOUBLE_EQ(roll->delta, 3.0); // 2 before + 1 after the reset
+}
+
+TEST(FlightRecorder, MetricAppearingMidFlightIsPickedUp)
+{
+    Registry registry;
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    registry.counter("test.late").add(4);
+    recorder.sample_now();
+    registry.counter("test.late").add(2);
+    recorder.sample_now();
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.late");
+    ASSERT_NE(roll, nullptr);
+    // First sighting primes; only post-priming deltas are windowed.
+    EXPECT_DOUBLE_EQ(roll->delta, 2.0);
+    EXPECT_DOUBLE_EQ(roll->last, 6.0);
+}
+
+TEST(FlightRecorder, NarrowWindowExcludesOldSamples)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.window");
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    counter.add(100);
+    recorder.sample_now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    counter.add(1);
+    recorder.sample_now();
+    // A 10ms window (much narrower than the 50ms gap) keeps only the
+    // newest sample's delta.
+    const auto rolls = recorder.rollup(0.010);
+    const MetricRollup* roll = find_rollup(rolls, "test.window");
+    ASSERT_NE(roll, nullptr);
+    EXPECT_DOUBLE_EQ(roll->delta, 1.0);
+    EXPECT_DOUBLE_EQ(roll->last, 101.0);
+}
+
+TEST(FlightRecorder, JsonHasSchemaWindowsAndMetrics)
+{
+    Registry registry;
+    registry.counter("test.c").add(1);
+    registry.gauge("test.g").set(2.0);
+    registry.histogram("test.h", {1.0}).observe(0.5);
+    FlightRecorder recorder(registry, test_config());
+    recorder.sample_now();
+    recorder.sample_now();
+    const std::string json = recorder.to_json();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"interval_ms\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"windows\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"test.c\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    // The recorder's own health counter flows through the registry.
+    EXPECT_NE(json.find("\"name\": \"obs.timeseries.samples\""),
+              std::string::npos);
+}
+
+TEST(FlightRecorder, SamplerThreadRacesWritersCleanly)
+{
+    Registry registry;
+    const Counter counter = registry.counter("test.race.counter");
+    const Histogram histogram =
+        registry.histogram("test.race.hist", {0.001, 0.01, 0.1});
+    const Gauge gauge = registry.gauge("test.race.gauge");
+
+    TimeseriesConfig config;
+    config.interval_ms = 1;
+    config.capacity = 64;
+    FlightRecorder recorder(registry, config);
+    recorder.start();
+
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 5000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kPerWriter; ++i) {
+                counter.inc();
+                histogram.observe(0.0005 * ((w + i) % 4 + 1));
+                gauge.set(static_cast<double>(i));
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    // Query concurrently with sampling and writing.
+    for (int q = 0; q < 20; ++q) {
+        (void)recorder.rollup(1.0);
+        (void)recorder.to_json();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (std::thread& writer : writers) {
+        writer.join();
+    }
+    recorder.stop();
+    recorder.sample_now(); // capture the quiesced final state
+    EXPECT_GE(recorder.num_samples(), 2u);
+    const auto rolls = recorder.rollup(1e9);
+    const MetricRollup* roll = find_rollup(rolls, "test.race.counter");
+    ASSERT_NE(roll, nullptr);
+    // Quiesced: deltas over the full window must sum to every write
+    // (the ring is large enough to hold the whole run).
+    EXPECT_DOUBLE_EQ(roll->last,
+                     static_cast<double>(kWriters * kPerWriter));
+    const MetricRollup* hist = find_rollup(rolls, "test.race.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->last,
+                     static_cast<double>(kWriters * kPerWriter));
+}
+
+TEST(FlightRecorder, StartStopAreIdempotent)
+{
+    Registry registry;
+    FlightRecorder recorder(registry, test_config());
+    recorder.start();
+    recorder.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    recorder.stop();
+    recorder.stop();
+    EXPECT_GE(recorder.num_samples(), 1u);
+    // Restart after stop works too.
+    recorder.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    recorder.stop();
+}
+
+} // namespace
+} // namespace tgl::obs

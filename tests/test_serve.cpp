@@ -10,6 +10,7 @@
 /// stress mix (the nightly TSan job sets it).
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/server.hpp"
 #include "serve/snapshot.hpp"
 
@@ -18,6 +19,7 @@
 #include "nn/tensor.hpp"
 #include "rng/random.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 #include <gtest/gtest.h>
 
@@ -230,14 +232,25 @@ struct ServerFixture
 {
     explicit ServerFixture(serve::QuantMode quant = serve::QuantMode::kFp32,
                            graph::NodeId nodes = 60, unsigned dim = 8)
+        : ServerFixture(
+              [quant] {
+                  serve::ServeConfig config;
+                  config.quant = quant;
+                  return config;
+              }(),
+              nodes, dim)
+    {
+    }
+
+    explicit ServerFixture(serve::ServeConfig config,
+                           graph::NodeId nodes = 60, unsigned dim = 8)
         : embedding(make_embedding(nodes, dim, 11))
     {
-        serve::ServeConfig config;
-        config.quant = quant;
         config.scorer_threads = 2;
         server = std::make_unique<serve::Server>(
             config,
-            serve::EmbeddingSnapshot::build(embedding, quant, 1, 0x5eed),
+            serve::EmbeddingSnapshot::build(embedding, config.quant, 1,
+                                            0x5eed),
             [dim] { return make_classifier(dim); });
         server->start();
     }
@@ -590,6 +603,185 @@ TEST(ServeServer, StressConcurrentMixedLoadWithReloads)
     EXPECT_EQ(client.ping().epoch,
               static_cast<std::uint64_t>(1 + kReloads));
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: slow-request log, per-request tracing, text/timeseries
+// opcodes (DESIGN.md §15)
+
+serve::SlowRequestRecord
+slow_record(std::uint64_t id, double total)
+{
+    serve::SlowRequestRecord record;
+    record.request_id = id;
+    record.total_seconds = total;
+    record.forward_seconds = total;
+    return record;
+}
+
+TEST(ServeSlowLog, KeepsTopKByTotalLatency)
+{
+    serve::SlowRequestLog log(3);
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+        // Totals 0.01 .. 0.06: only the three slowest survive.
+        log.record(slow_record(i, 0.01 * static_cast<double>(i)));
+    }
+    EXPECT_EQ(log.size(), 3u);
+    const auto entries = log.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].request_id, 6u); // slowest first
+    EXPECT_EQ(entries[1].request_id, 5u);
+    EXPECT_EQ(entries[2].request_id, 4u);
+    // A fast request never evicts a slower resident.
+    log.record(slow_record(7, 0.001));
+    EXPECT_EQ(log.entries()[2].request_id, 4u);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.to_json(), "[]");
+}
+
+TEST(ServeSlowLog, ToJsonCarriesStageBreakdown)
+{
+    serve::SlowRequestLog log(4);
+    serve::SlowRequestRecord record = slow_record(42, 0.25);
+    record.epoch = 3;
+    record.pairs = 17;
+    record.queue_seconds = 0.125;
+    log.record(record);
+    const std::string json = log.to_json();
+    EXPECT_NE(json.find("\"request_id\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"epoch\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"pairs\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_seconds\": 0.125"), std::string::npos);
+    EXPECT_NE(json.find("\"total_seconds\": 0.25"), std::string::npos);
+}
+
+TEST(ServeTrace, SecondsBetweenGuardsUnsetAndReversed)
+{
+    const serve::TracePoint unset{};
+    const auto now = std::chrono::steady_clock::now();
+    const auto later = now + std::chrono::milliseconds(10);
+    EXPECT_EQ(serve::RequestTrace::seconds_between(unset, now), 0.0);
+    EXPECT_EQ(serve::RequestTrace::seconds_between(now, unset), 0.0);
+    EXPECT_EQ(serve::RequestTrace::seconds_between(later, now), 0.0);
+    EXPECT_NEAR(serve::RequestTrace::seconds_between(now, later), 0.010,
+                1e-6);
+    serve::RequestTrace trace;
+    EXPECT_FALSE(trace.complete());
+    trace.accepted = trace.enqueued = trace.assembled = now;
+    trace.forward_done = trace.serialized = later;
+    EXPECT_TRUE(trace.complete());
+}
+
+TEST(ServeServer, MetricsTextExpositionRoundtrips)
+{
+    const ServerFixture fixture;
+    serve::Client client = fixture.client();
+    (void)client.link_scores({{0, 1}, {2, 3}});
+    const std::string text = client.metrics_text();
+    // Names are sanitized, counters carry _total, histograms expose
+    // cumulative buckets with a +Inf terminator.
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_epoch gauge"), std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE serve_link_latency_seconds histogram"),
+        std::string::npos);
+    EXPECT_NE(text.find("serve_link_latency_seconds_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_link_latency_seconds_sum"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_link_latency_seconds_count"),
+              std::string::npos);
+    // The tracing stage histograms flow through the same registry.
+    EXPECT_NE(text.find("serve_stage_total_seconds_bucket"),
+              std::string::npos);
+}
+
+TEST(ServeServer, TimeseriesOpcodeReturnsRollups)
+{
+    serve::ServeConfig config;
+    config.sample_interval_ms = 5;
+    const ServerFixture fixture(config);
+    serve::Client client = fixture.client();
+    (void)client.link_scores({{0, 1}});
+    // Let the sampler take at least one post-priming sample.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::string json = client.timeseries_json();
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"interval_ms\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"windows\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"serve.requests\""),
+              std::string::npos);
+    // The drain takes one final sample, so the dump stays available
+    // (and covers the shutdown) after stop().
+    fixture.server->stop();
+    EXPECT_NE(fixture.server->timeseries_json().find("\"samples\""),
+              std::string::npos);
+}
+
+TEST(ServeServer, TimeseriesDisabledIsServerErrorNotFatal)
+{
+    serve::ServeConfig config;
+    config.timeseries = false;
+    const ServerFixture fixture(config);
+    serve::Client client = fixture.client();
+    const serve::Response response = client.roundtrip(
+        {static_cast<std::uint8_t>(serve::Op::kTimeseries)});
+    EXPECT_EQ(response.status, serve::Status::kServerError);
+    EXPECT_NE(response.body_text().find("disabled"), std::string::npos);
+    // The connection survives and keeps serving.
+    EXPECT_EQ(client.ping().epoch, 1u);
+    EXPECT_EQ(fixture.server->timeseries_json(), "{}\n");
+}
+
+TEST(ServeServer, StatsCarriesSlowRequests)
+{
+    const ServerFixture fixture;
+    serve::Client client = fixture.client();
+    (void)client.link_scores({{0, 1}, {5, 6}});
+    const std::string stats = client.stats_json();
+    // The slow log is spliced in as a sibling of "metrics"; a traced
+    // request must appear with its stage breakdown.
+    EXPECT_NE(stats.find("\"slow_requests\": ["), std::string::npos);
+    EXPECT_NE(stats.find("\"request_id\""), std::string::npos);
+    EXPECT_NE(stats.find("\"forward_seconds\""), std::string::npos);
+    EXPECT_NE(stats.find("\"metrics\""), std::string::npos);
+    EXPECT_GE(fixture.server->slow_log().size(), 1u);
+}
+
+TEST(ServeServer, TracingOffKeepsSlowLogEmpty)
+{
+    serve::ServeConfig config;
+    config.request_tracing = false;
+    const ServerFixture fixture(config);
+    serve::Client client = fixture.client();
+    (void)client.link_scores({{0, 1}});
+    (void)client.link_scores({{2, 3}});
+    EXPECT_EQ(fixture.server->slow_log().size(), 0u);
+    // The stats splice still emits the (empty) array so consumers can
+    // rely on the key's presence.
+    EXPECT_NE(client.stats_json().find("\"slow_requests\": []"),
+              std::string::npos);
+}
+
+TEST(ServeServer, InjectedScorerStallLandsInSlowLog)
+{
+    serve::ServeConfig config;
+    config.slow_log_capacity = 8;
+    const ServerFixture fixture(config);
+    serve::Client client = fixture.client();
+    (void)client.link_scores({{0, 1}}); // fast baseline request
+    util::FailpointRegistry::configure("serve.score=delay:60ms@1");
+    (void)client.link_scores({{2, 3}}); // stalled in the scorer
+    util::FailpointRegistry::clear();
+    const auto entries = fixture.server->slow_log().entries();
+    ASSERT_GE(entries.size(), 2u);
+    // The stalled request tops the log, with the stall attributed to
+    // the queue stage (the failpoint fires before batch assembly).
+    EXPECT_GE(entries[0].total_seconds, 0.05);
+    EXPECT_GE(entries[0].queue_seconds, 0.05);
+    EXPECT_GT(entries[0].total_seconds, entries[1].total_seconds);
 }
 
 } // namespace

@@ -10,10 +10,18 @@ a tiny trained model and points this script at it:
         --reload-path ckpt-serve/embedding.tgla --expect-quant fp32
 
 Checks, in order: ping identity, link-score determinism and sanity,
-kNN ordering/self-exclusion, the stats JSON snapshot, malformed-frame
-and oversized-frame rejection (bad request + connection close, server
-stays up), failed-reload isolation (server error, connection stays
-usable, epoch unchanged), and a successful reload bumping the epoch.
+kNN ordering/self-exclusion, the stats JSON snapshot (including the
+spliced slow-request log), the Prometheus text exposition (parsed and
+validated by an independent Python parser: name/label syntax, monotone
+cumulative buckets, `_count` == the +Inf bucket), the flight-recorder
+timeseries rollup, malformed-frame and oversized-frame rejection (bad
+request + connection close, server stays up), failed-reload isolation
+(server error, connection stays usable, epoch unchanged), and a
+successful reload bumping the epoch.
+
+--expect-slow additionally requires the slow-request log to contain a
+request at least that many seconds in total (CI arms a `serve.score`
+delay failpoint and asserts the stall shows up).
 
 Exit 0 when every check passes, 1 with a diagnostic on the first
 failure.
@@ -24,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import socket
 import struct
 import sys
@@ -33,6 +42,8 @@ OP_LINK_SCORE = 0x02
 OP_KNN = 0x03
 OP_STATS = 0x04
 OP_RELOAD = 0x05
+OP_METRICS_TEXT = 0x06
+OP_TIMESERIES = 0x07
 
 STATUS_OK = 0
 STATUS_BAD_REQUEST = 1
@@ -48,6 +59,134 @@ class SmokeFailure(Exception):
 def check(condition: bool, message: str):
     if not condition:
         raise SmokeFailure(message)
+
+
+# --- Prometheus text-exposition parser -----------------------------------
+#
+# Independent of the C++ encoder (obs/exposition.cpp) on purpose: a bug
+# both sides share cannot cancel out. Grammar per the exposition format:
+#
+#   # TYPE <name> <counter|gauge|histogram>
+#   name[{label="value",...}] <number>
+
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+PROM_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def prom_value(text: str) -> float:
+    """Parse a sample value, accepting the +Inf/-Inf/NaN spellings."""
+    special = {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}
+    if text in special:
+        return special[text]
+    return float(text)
+
+
+def parse_prometheus(text: str):
+    """Parse an exposition payload into (types, samples).
+
+    types: metric name -> declared kind.
+    samples: list of (name, labels-dict, value) in document order.
+    Raises SmokeFailure on any syntax violation.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            check(len(parts) == 4 and parts[1] == "TYPE",
+                  f"line {lineno}: unexpected comment {line!r}")
+            name, kind = parts[2], parts[3]
+            check(PROM_NAME.match(name) is not None,
+                  f"line {lineno}: bad metric name {name!r}")
+            check(kind in ("counter", "gauge", "histogram"),
+                  f"line {lineno}: unknown type {kind!r}")
+            check(name not in types,
+                  f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        match = PROM_SAMPLE.match(line)
+        check(match is not None, f"line {lineno}: unparseable {line!r}")
+        labels = {}
+        if match["labels"]:
+            for item in match["labels"].split(","):
+                label = PROM_LABEL.match(item)
+                check(label is not None,
+                      f"line {lineno}: bad label {item!r}")
+                labels[label["key"]] = label["val"]
+        try:
+            value = prom_value(match["value"])
+        except ValueError:
+            raise SmokeFailure(
+                f"line {lineno}: bad value {match['value']!r}") from None
+        samples.append((match["name"], labels, value))
+    return types, samples
+
+
+def validate_prometheus(text: str) -> dict:
+    """Full structural validation; returns {name: scalar-or-histogram}.
+
+    Every sample must belong to a declared TYPE (histogram samples via
+    their _bucket/_sum/_count suffixes); histogram buckets must be
+    le-labelled, sorted, cumulative, terminated by +Inf, and agree with
+    _count.
+    """
+    types, samples = parse_prometheus(text)
+    series: dict[str, dict] = {}
+    for name, labels, value in samples:
+        base = name
+        part = "value"
+        for suffix, role in (("_bucket", "bucket"), ("_sum", "sum"),
+                             ("_count", "count")):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base, part = name[: -len(suffix)], role
+                break
+        check(base in types, f"sample {name} has no # TYPE declaration")
+        kind = types[base]
+        entry = series.setdefault(
+            base, {"kind": kind, "buckets": [], "sum": None,
+                   "count": None, "value": None})
+        if part == "bucket":
+            check(kind == "histogram", f"{name}: bucket on a {kind}")
+            check(set(labels) == {"le"}, f"{name}: labels {labels}")
+            entry["buckets"].append((prom_value(labels["le"]), value))
+        elif part in ("sum", "count"):
+            check(kind == "histogram", f"{name}: {part} on a {kind}")
+            entry[part] = value
+        else:
+            check(kind in ("counter", "gauge"),
+                  f"{name}: bare sample on a {kind}")
+            if kind == "counter":
+                check(name.endswith("_total"),
+                      f"counter {name} lacks the _total suffix")
+                check(value >= 0 and math.isfinite(value),
+                      f"counter {name} = {value}")
+            entry["value"] = value
+    for base, entry in series.items():
+        if entry["kind"] != "histogram":
+            check(entry["value"] is not None, f"{base}: TYPE but no sample")
+            continue
+        buckets = entry["buckets"]
+        check(len(buckets) >= 1, f"{base}: histogram without buckets")
+        bounds = [le for le, _ in buckets]
+        check(bounds == sorted(bounds), f"{base}: le out of order: {bounds}")
+        check(len(set(bounds)) == len(bounds),
+              f"{base}: duplicate le: {bounds}")
+        check(bounds[-1] == math.inf, f"{base}: no le=\"+Inf\" bucket")
+        counts = [c for _, c in buckets]
+        check(all(c0 <= c1 for c0, c1 in zip(counts, counts[1:])),
+              f"{base}: buckets not cumulative: {counts}")
+        check(entry["count"] is not None and entry["sum"] is not None,
+              f"{base}: missing _count or _sum")
+        check(counts[-1] == entry["count"],
+              f"{base}: +Inf bucket {counts[-1]} != _count {entry['count']}")
+    return series
 
 
 class Conn:
@@ -141,6 +280,18 @@ class Conn:
               f"stats failed: {response!r}")
         return json.loads(response[1].decode())
 
+    def metrics_text(self) -> str:
+        response = self.roundtrip(bytes([OP_METRICS_TEXT]))
+        check(response is not None and response[0] == STATUS_OK,
+              f"metrics-text failed: {response!r}")
+        return response[1].decode()
+
+    def timeseries_json(self) -> dict:
+        response = self.roundtrip(bytes([OP_TIMESERIES]))
+        check(response is not None and response[0] == STATUS_OK,
+              f"timeseries failed: {response!r}")
+        return json.loads(response[1].decode())
+
     def reload(self, path: str):
         """(status, epoch-or-None, reason)."""
         response = self.roundtrip(bytes([OP_RELOAD]) + path.encode())
@@ -203,8 +354,60 @@ def smoke(args) -> int:
         check(name in values, f"stats missing {name}")
         check(values[name]["value"] > 0, f"{name} never incremented")
     check("serve.epoch" in values, "stats missing serve.epoch")
+    check("slow_requests" in stats, "stats missing the slow_requests log")
+    slow = stats["slow_requests"]
+    check(isinstance(slow, list), f"slow_requests is {type(slow)}")
+    totals = [r["total_seconds"] for r in slow]
+    check(totals == sorted(totals, reverse=True),
+          f"slow_requests not slowest-first: {totals}")
+    if args.expect_slow > 0.0:
+        check(bool(slow),
+              "slow_requests empty despite an injected scorer stall")
+        check(totals[0] >= args.expect_slow,
+              f"slowest request {totals[0]:.4f}s < expected "
+              f"{args.expect_slow}s stall")
+        check(slow[0]["queue_seconds"] + slow[0]["forward_seconds"]
+              >= args.expect_slow * 0.5,
+              f"stall not attributed to the scorer stages: {slow[0]}")
     print(f"ok stats: {len(values)} metrics, "
-          f"serve.requests={values['serve.requests']['value']:.0f}")
+          f"serve.requests={values['serve.requests']['value']:.0f}, "
+          f"{len(slow)} slow requests")
+
+    # 4b. Prometheus exposition: independently parsed and validated,
+    #     then cross-checked against the JSON stats snapshot.
+    series = validate_prometheus(conn.metrics_text())
+    check("serve_requests_total" in series,
+          "exposition missing serve_requests_total")
+    check(series["serve_requests_total"]["kind"] == "counter",
+          "serve_requests_total is not a counter")
+    check(series["serve_requests_total"]["value"]
+          >= values["serve.requests"]["value"],
+          "exposition counter behind the stats snapshot")
+    check("serve_link_latency_seconds" in series,
+          "exposition missing the link latency histogram")
+    link = series["serve_link_latency_seconds"]
+    check(link["kind"] == "histogram" and link["count"] > 0,
+          f"link latency histogram empty: {link}")
+    check("serve_stage_total_seconds" in series,
+          "exposition missing the request-stage histograms")
+    print(f"ok metrics-text: {len(series)} series validated, "
+          f"link count {link['count']:.0f}")
+
+    # 4c. Flight-recorder rollups: schema, windows, live serve counters.
+    timeseries = conn.timeseries_json()
+    check(timeseries.get("schema_version") == 1,
+          f"timeseries schema_version {timeseries.get('schema_version')!r}")
+    check(timeseries.get("samples", 0) >= 1, "recorder never sampled")
+    windows = timeseries.get("windows", [])
+    check(bool(windows), "timeseries has no windows")
+    for window in windows:
+        names = {m["name"] for m in window["metrics"]}
+        check("serve.requests" in names,
+              f"window {window['seconds']}s missing serve.requests")
+        check("obs.timeseries.samples" in names,
+              "recorder's own health counter missing")
+    print(f"ok timeseries: {timeseries['samples']} samples, "
+          f"{len(windows)} windows")
 
     # 5. Malformed frame: unknown opcode — bad request, connection
     #    closed, server still up for the next connection.
@@ -274,6 +477,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--expect-quant", default="", choices=["", "fp32", "int8"],
         help="assert the server's quantization mode",
+    )
+    parser.add_argument(
+        "--expect-slow", type=float, default=0.0,
+        help="require the slow-request log to hold a request of at "
+        "least this many seconds (for failpoint-stall CI runs)",
     )
     args = parser.parse_args(argv)
     try:
